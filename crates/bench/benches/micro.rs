@@ -1,0 +1,220 @@
+//! Criterion micro-benchmarks of the hot building blocks: projection,
+//! simplex transforms, one PRO iteration, estimators, noise sampling,
+//! the DES cascade, and database interpolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmony_core::{Estimator, Optimizer, ProOptimizer};
+use harmony_params::init::{initial_simplex, InitialShape};
+use harmony_params::{ParamDef, ParamSpace, Point, Rounding, StepKind};
+use harmony_surface::{Gs2Model, Objective, PerfDatabase};
+use harmony_variability::des::TwoPriorityDes;
+use harmony_variability::dist::{Distribution, Exponential, Pareto};
+use harmony_variability::noise::{Noise, NoiseModel};
+use harmony_variability::seeded_rng;
+
+fn big_space(n: usize) -> ParamSpace {
+    ParamSpace::new(
+        (0..n)
+            .map(|i| ParamDef::integer(format!("p{i}"), 0, 1_000, 1).unwrap())
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let space = big_space(8);
+    let center = space.center();
+    let raw = Point::new(vec![512.3; 8]);
+    c.bench_function("projection/toward_center_8d", |b| {
+        b.iter(|| space.project(black_box(&raw), &center, Rounding::TowardCenter))
+    });
+    c.bench_function("projection/nearest_8d", |b| {
+        b.iter(|| space.project(black_box(&raw), &center, Rounding::Nearest))
+    });
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let space = big_space(8);
+    let simplex = initial_simplex(&space, InitialShape::Symmetric, 0.2).unwrap();
+    c.bench_function("simplex/reflect_2n_8d", |b| {
+        b.iter(|| simplex.transform_around(0, black_box(StepKind::Reflect)))
+    });
+    c.bench_function("simplex/rank_2n_8d", |b| b.iter(|| simplex.rank(1e-9)));
+}
+
+fn bench_pro_iteration(c: &mut Criterion) {
+    let space = big_space(6);
+    c.bench_function("pro/full_convergence_6d_bowl", |b| {
+        b.iter(|| {
+            let mut opt = ProOptimizer::with_defaults(space.clone());
+            loop {
+                let batch = opt.propose();
+                if batch.is_empty() {
+                    break;
+                }
+                let vals: Vec<f64> = batch
+                    .iter()
+                    .map(|p| p.iter().map(|x| (x - 300.0) * (x - 300.0)).sum())
+                    .collect();
+                opt.observe(&vals);
+            }
+            black_box(opt.best())
+        })
+    });
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..10).map(|i| 5.0 + 0.3 * i as f64).collect();
+    c.bench_function("estimator/min10", |b| {
+        b.iter(|| Estimator::MinOfK(10).reduce(black_box(&samples)))
+    });
+    c.bench_function("estimator/median10", |b| {
+        b.iter(|| Estimator::MedianOfK(10).reduce(black_box(&samples)))
+    });
+}
+
+fn bench_noise(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let pareto = Pareto::new(1.7, 2.0);
+    c.bench_function("noise/pareto_sample", |b| {
+        b.iter(|| black_box(pareto.sample(&mut rng)))
+    });
+    let model = Noise::paper_default(0.2);
+    c.bench_function("noise/two_job_observe", |b| {
+        b.iter(|| model.observe(black_box(3.0), &mut rng))
+    });
+}
+
+fn bench_des(c: &mut Criterion) {
+    let q = TwoPriorityDes::with_rho(0.3, Exponential::with_mean(0.2));
+    let mut rng = seeded_rng(2);
+    c.bench_function("des/finishing_time_rho0.3", |b| {
+        b.iter(|| q.finishing_time(black_box(5.0), &mut rng))
+    });
+}
+
+fn bench_database(c: &mut Criterion) {
+    let gs2 = Gs2Model::paper_scale();
+    let mut rng = seeded_rng(3);
+    let db = PerfDatabase::from_objective(&gs2, 0.5, 4, &mut rng);
+    let hit = gs2.space().center();
+    let miss = Point::from(&[24.0, 8.0, 2.0][..]);
+    c.bench_function("database/exact_hit", |b| {
+        b.iter(|| db.eval(black_box(&hit)))
+    });
+    c.bench_function("database/knn_interpolate", |b| {
+        b.iter(|| db.eval(black_box(&miss)))
+    });
+    c.bench_function("gs2/analytic_eval", |b| {
+        b.iter(|| gs2.eval(black_box(&hit)))
+    });
+}
+
+fn bench_hetero(c: &mut Criterion) {
+    use harmony_cluster::{Cluster, Heterogeneity, TuningTrace};
+    let cluster = Cluster::new(64);
+    let hetero = Heterogeneity::with_stragglers(64, 2, 2.0);
+    let mut rng = seeded_rng(4);
+    c.bench_function("cluster/hetero_step_64", |b| {
+        b.iter(|| {
+            let mut trace = TuningTrace::new();
+            cluster.run_fixed_hetero(
+                2.0,
+                1,
+                &hetero,
+                &Noise::paper_default(0.2),
+                &mut rng,
+                &mut trace,
+            );
+            black_box(trace.total_time())
+        })
+    });
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    use harmony_cluster::{Cluster, TuningTrace};
+    use harmony_core::adaptive::AdaptiveSampling;
+    let cluster = Cluster::new(16);
+    let policy = AdaptiveSampling {
+        min_k: 1,
+        max_k: 6,
+        patience: 2,
+    };
+    let mut rng = seeded_rng(5);
+    let noise = Noise::paper_default(0.3);
+    c.bench_function("adaptive/sample_batch_6pts", |b| {
+        b.iter(|| {
+            let mut trace = TuningTrace::new();
+            black_box(policy.sample_batch(
+                &cluster,
+                &[2.0, 2.1, 2.2, 2.3, 2.4, 2.5],
+                &noise,
+                &mut rng,
+                &mut trace,
+            ))
+        })
+    });
+}
+
+fn bench_arrivals(c: &mut Criterion) {
+    use harmony_variability::arrivals::{ArrivalProcess, MmppArrivals};
+    let mut mmpp = MmppArrivals::new(0.5, 8.0, 10.0, 2.0);
+    let mut rng = seeded_rng(6);
+    c.bench_function("arrivals/mmpp_interarrival", |b| {
+        b.iter(|| black_box(mmpp.next_interarrival(&mut rng)))
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    use harmony_stats::resample::bootstrap_mean_ci;
+    use harmony_stats::streaming::{P2Quantile, Welford};
+    use harmony_stats::tail::hill_estimate;
+    use harmony_stats::Ecdf;
+    let mut rng = seeded_rng(7);
+    let pareto = Pareto::new(1.7, 1.0);
+    let xs: Vec<f64> = (0..10_000).map(|_| pareto.sample(&mut rng)).collect();
+    c.bench_function("stats/ecdf_build_10k", |b| {
+        b.iter(|| black_box(Ecdf::new(&xs)))
+    });
+    c.bench_function("stats/hill_10k_k200", |b| {
+        b.iter(|| black_box(hill_estimate(&xs, 200)))
+    });
+    let small: Vec<f64> = xs[..1_000].to_vec();
+    c.bench_function("stats/bootstrap_mean_1k_x200", |b| {
+        b.iter(|| black_box(bootstrap_mean_ci(&small, 200, 0.95, 1)))
+    });
+    c.bench_function("stats/welford_push_10k", |b| {
+        b.iter(|| {
+            let mut w = Welford::new();
+            for &x in &xs {
+                w.push(x);
+            }
+            black_box(w.mean())
+        })
+    });
+    c.bench_function("stats/p2_quantile_push_10k", |b| {
+        b.iter(|| {
+            let mut q = P2Quantile::new(0.9);
+            for &x in &xs {
+                q.push(x);
+            }
+            black_box(q.get())
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_projection,
+    bench_simplex,
+    bench_pro_iteration,
+    bench_estimators,
+    bench_noise,
+    bench_des,
+    bench_database,
+    bench_hetero,
+    bench_adaptive,
+    bench_arrivals,
+    bench_stats
+);
+criterion_main!(micro);

@@ -1,0 +1,10 @@
+//! Adaptive-K ablation: the paper's future-work policy vs fixed K.
+use harmony_bench::experiments::ablations::adaptive_k;
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (steps, reps) = if quick { (100, 50) } else { (200, 500) };
+    println!("Adaptive-K ablation, Total_Time({steps}), {reps} reps");
+    emit(&adaptive_k(steps, reps, 2005));
+}

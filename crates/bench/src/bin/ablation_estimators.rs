@@ -1,0 +1,11 @@
+//! A2: estimator comparison (single / min / mean / median) under Pareto
+//! and Gaussian noise.
+use harmony_bench::experiments::ablations::estimators;
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (steps, reps) = if quick { (100, 30) } else { (200, 300) };
+    println!("A2: estimator ablation, Total_Time({steps}), {reps} reps, rho=0.3");
+    emit(&estimators(steps, reps, 0.3, 2005));
+}

@@ -1,0 +1,10 @@
+//! A1: PRO's expansion-check heuristic on vs off.
+use harmony_bench::experiments::ablations::expansion_check;
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (steps, reps) = if quick { (100, 30) } else { (200, 300) };
+    println!("A1: expansion-check ablation, Total_Time({steps}), {reps} reps");
+    emit(&expansion_check(steps, reps, 0.1, 2005));
+}

@@ -1,0 +1,11 @@
+//! Monitoring-mode ablation: stop-at-convergence vs continuous
+//! re-probing with fresh v0 re-measurement.
+use harmony_bench::experiments::ablations::monitoring;
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (steps, reps) = if quick { (100, 50) } else { (200, 500) };
+    println!("Monitoring ablation, Total_Time({steps}), {reps} reps");
+    emit(&monitoring(steps, reps, 2005));
+}

@@ -1,0 +1,10 @@
+//! Projection-rounding ablation: toward-center (paper) vs nearest.
+use harmony_bench::experiments::ablations::projection;
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (steps, reps) = if quick { (100, 30) } else { (200, 300) };
+    println!("Projection ablation, Total_Time({steps}), {reps} reps");
+    emit(&projection(steps, reps, 0.1, 2005));
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 1: per-iteration time and Total_Time for three
+//! direct-search algorithms. `--quick` reduces replication counts.
+use harmony_bench::experiments::fig01::{run, Fig01Config};
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Fig01Config {
+            steps: 100,
+            reps: 8,
+            ..Fig01Config::default()
+        }
+    } else {
+        Fig01Config::default()
+    };
+    println!(
+        "Figure 1: T_k and Total_Time, {} steps x {} reps, rho={} alpha={}",
+        cfg.steps, cfg.reps, cfg.rho, cfg.alpha
+    );
+    emit(&run(&cfg));
+}

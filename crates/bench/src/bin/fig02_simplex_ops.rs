@@ -1,0 +1,9 @@
+//! Regenerates Figure 2: reflection / shrink / expansion of the example
+//! 3-point simplex in 2-D.
+use harmony_bench::experiments::fig02;
+use harmony_bench::report::emit;
+
+fn main() {
+    println!("Figure 2: simplex transformations around the best vertex");
+    emit(&fig02::run());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 3: running-time traces of 4 processors out of a
+//! 64-node cluster, showing correlated big spikes and local small ones.
+use harmony_bench::experiments::fig03::{correlations, run, Fig03Config};
+use harmony_bench::report::emit;
+
+fn main() {
+    let cfg = Fig03Config::default();
+    println!(
+        "Figure 3: {}-iteration traces on {} of {} processors",
+        cfg.iters, cfg.plotted, cfg.procs
+    );
+    emit(&run(&cfg));
+    emit(&correlations(&cfg));
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figures 4-7: pdf and log-log 1-cdf of the cluster trace,
+//! full and truncated at 5 s, plus quantitative tail statistics.
+use harmony_bench::experiments::fig04_07::{run, TailConfig};
+use harmony_bench::report::emit;
+
+fn main() {
+    let cfg = TailConfig::default();
+    println!(
+        "Figures 4-7: tail analysis of {} x {} samples (cutoff {})",
+        cfg.trace.procs, cfg.trace.iters, cfg.cutoff
+    );
+    let (f4, f5, f6, f7, stats) = run(&cfg);
+    emit(&f4);
+    emit(&f5);
+    emit(&f6);
+    emit(&f7);
+    emit(&stats);
+}

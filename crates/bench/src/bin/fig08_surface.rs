@@ -1,0 +1,15 @@
+//! Regenerates Figure 8: the GS2 performance surface over
+//! (ntheta, negrid) at a fixed node count.
+use harmony_bench::experiments::fig08::{count_local_minima, run, Fig08Config};
+use harmony_bench::report::emit;
+
+fn main() {
+    let cfg = Fig08Config::default();
+    println!("Figure 8: GS2 surface at nodes = {}", cfg.nodes);
+    let t = run(&cfg);
+    println!(
+        "strict local minima on the slice: {}",
+        count_local_minima(&t)
+    );
+    emit(&t);
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 9: average NTT vs initial simplex relative size
+//! for the minimal (N+1) and symmetric (2N) simplex shapes.
+use harmony_bench::experiments::fig09::{run, Fig09Config};
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Fig09Config {
+            reps: 16,
+            ..Fig09Config::default()
+        }
+    } else {
+        Fig09Config::default()
+    };
+    println!(
+        "Figure 9: initial simplex study, {} reps per point, rho={}",
+        cfg.reps, cfg.rho
+    );
+    emit(&run(&cfg));
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 10: average NTT vs number of samples K for idle
+//! throughput rho in {0, 0.05, ..., 0.4} (Pareto alpha = 1.7,
+//! Total_Time(100), sequential sampling, 2000 reps full scale).
+use harmony_bench::experiments::fig10::{optimal_k, run, run_extended, run_packed, Fig10Config};
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Fig10Config {
+            reps: 50,
+            ..Fig10Config::default()
+        }
+    } else {
+        Fig10Config::default()
+    };
+    println!(
+        "Figure 10: multi-sampling study, {} reps per cell, alpha={}",
+        cfg.reps, cfg.alpha
+    );
+    let t = run(&cfg);
+    emit(&t);
+    emit(&optimal_k(&t));
+    emit(&run_extended(&cfg));
+    emit(&run_packed(&cfg));
+}

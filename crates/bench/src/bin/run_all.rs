@@ -1,0 +1,80 @@
+//! Regenerates every figure and table at reduced ("--quick") or full
+//! scale in one run. See EXPERIMENTS.md for the recorded outputs.
+use harmony_bench::experiments::{
+    ablations, charts, fig01, fig02, fig03, fig04_07, fig08, fig09, fig10, tables,
+};
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    let scale = if quick { "quick" } else { "full" };
+    println!("=== regenerating all paper artifacts ({scale} scale) ===\n");
+
+    let f1 = if quick {
+        fig01::Fig01Config {
+            steps: 150,
+            reps: 12,
+            ..Default::default()
+        }
+    } else {
+        fig01::Fig01Config::default()
+    };
+    let t1 = fig01::run(&f1);
+    emit(&t1);
+    emit(&fig02::run());
+    let f3 = fig03::Fig03Config::default();
+    let t3 = fig03::run(&f3);
+    emit(&t3);
+    emit(&fig03::correlations(&f3));
+    let (a, b, c, d, e) = fig04_07::run(&fig04_07::TailConfig::default());
+    for t in [&a, &b, &c, &d, &e] {
+        emit(t);
+    }
+    let t8 = fig08::run(&fig08::Fig08Config::default());
+    println!("fig08 local minima: {}", fig08::count_local_minima(&t8));
+    emit(&t8);
+    let f9 = if quick {
+        fig09::Fig09Config {
+            reps: 16,
+            ..Default::default()
+        }
+    } else {
+        fig09::Fig09Config::default()
+    };
+    let t9 = fig09::run(&f9);
+    emit(&t9);
+    let f10 = if quick {
+        fig10::Fig10Config {
+            reps: 50,
+            ..Default::default()
+        }
+    } else {
+        fig10::Fig10Config::default()
+    };
+    let t10 = fig10::run(&f10);
+    emit(&t10);
+    emit(&fig10::optimal_k(&t10));
+    emit(&fig10::run_extended(&f10));
+    emit(&fig10::run_packed(&f10));
+    charts::emit_all(&t1, &t3, &b, &d, &t8, &t9, &t10);
+
+    let qreps = if quick { 20_000 } else { 200_000 };
+    emit(&tables::queue_validation(qreps, 2005));
+    emit(&tables::min_operator(qreps, 2005));
+    let (bsteps, breps) = if quick { (100, 20) } else { (300, 200) };
+    emit(&tables::baselines(bsteps, breps, 0.1, 2005));
+    emit(&tables::time_to_quality(
+        bsteps,
+        breps,
+        0.1,
+        &[1.25, 1.1],
+        2005,
+    ));
+    let (asteps, areps) = if quick { (100, 30) } else { (200, 300) };
+    emit(&ablations::expansion_check(asteps, areps, 0.1, 2005));
+    emit(&ablations::estimators(asteps, areps, 0.3, 2005));
+    emit(&ablations::projection(asteps, areps, 0.1, 2005));
+    emit(&ablations::monitoring(asteps, areps, 2005));
+    emit(&ablations::adaptive_k(asteps, areps, 2005));
+    println!("=== done ===");
+}

@@ -1,0 +1,11 @@
+//! T3: on-line suitability of global baselines (SA, GA, random) against
+//! the direct-search family on GS2 under heavy-tailed noise.
+use harmony_bench::experiments::tables::baselines;
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (steps, reps) = if quick { (100, 20) } else { (300, 200) };
+    println!("T3: baseline comparison, Total_Time({steps}), {reps} reps");
+    emit(&baselines(steps, reps, 0.1, 2005));
+}

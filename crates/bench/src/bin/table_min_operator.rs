@@ -1,0 +1,10 @@
+//! T2: validates the min-of-K closed forms (eq. 19/20) by Monte Carlo.
+use harmony_bench::experiments::tables::min_operator;
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 30_000 } else { 300_000 };
+    println!("T2: min-of-K Pareto theory validation, {reps} reps per K");
+    emit(&min_operator(reps, 2005));
+}

@@ -1,0 +1,11 @@
+//! T1: validates the two-job model (eq. 6) against the discrete-event
+//! simulator for exponential and Pareto first-priority service.
+use harmony_bench::experiments::tables::queue_validation;
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 20_000 } else { 200_000 };
+    println!("T1: E[y] = f/(1-rho) validation, {reps} reps per rho");
+    emit(&queue_validation(reps, 2005));
+}

@@ -1,0 +1,11 @@
+//! Time-to-quality: steps until each algorithm's deployed configuration
+//! is within 10% of the global optimum.
+use harmony_bench::experiments::tables::time_to_quality;
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (steps, reps) = if quick { (100, 30) } else { (300, 200) };
+    println!("time-to-quality (within 1.25x / 1.10x of optimum), {reps} reps, rho=0.1");
+    emit(&time_to_quality(steps, reps, 0.1, &[1.25, 1.1], 2005));
+}

@@ -1,0 +1,67 @@
+//! Figure 2 — the three simplex transformations (reflection, shrink,
+//! expansion) of a 3-point simplex in 2-D around its best vertex.
+//!
+//! A diagram in the paper; here we emit the exact transformed
+//! coordinates so the geometry can be re-plotted (and the formulas are
+//! property-tested in `harmony-params`).
+
+use crate::report::Table;
+use harmony_params::{Point, Simplex, StepKind};
+
+/// The Fig. 2 example simplex: `v⁰ = (1,1)`, `v¹ = (3,1)`, `v² = (2,3)`.
+pub fn example_simplex() -> Simplex {
+    Simplex::new(vec![
+        Point::from(&[1.0, 1.0][..]),
+        Point::from(&[3.0, 1.0][..]),
+        Point::from(&[2.0, 3.0][..]),
+    ])
+    .expect("valid example simplex")
+}
+
+/// Emits one labeled row per vertex per case (original, reflection,
+/// shrink, expansion): `x, y`.
+pub fn run() -> Table {
+    let simplex = example_simplex();
+    let mut table = Table::new("fig02_simplex_ops", &["x", "y"]);
+    for (i, v) in simplex.vertices().iter().enumerate() {
+        table.push_labeled(format!("original_v{i}"), vec![v[0], v[1]]);
+    }
+    for (name, kind) in [
+        ("reflection", StepKind::Reflect),
+        ("shrink", StepKind::Shrink),
+        ("expansion", StepKind::Expand),
+    ] {
+        table.push_labeled(
+            format!("{name}_v0"),
+            vec![simplex.vertex(0)[0], simplex.vertex(0)[1]],
+        );
+        for (j, p) in simplex.transform_around(0, kind).iter().enumerate() {
+            table.push_labeled(format!("{name}_v{}", j + 1), vec![p[0], p[1]]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_vertices_emitted() {
+        // 3 original + 3 cases x 3 vertices (center + 2 transformed)
+        let t = run();
+        assert_eq!(t.rows.len(), 12);
+        assert_eq!(t.labels.len(), 12);
+    }
+
+    #[test]
+    fn reflection_rows_match_formula() {
+        let t = run();
+        let idx = t.labels.iter().position(|l| l == "reflection_v1").unwrap();
+        // 2*(1,1) - (3,1) = (-1,1)
+        assert_eq!(t.rows[idx], vec![-1.0, 1.0]);
+        let idx = t.labels.iter().position(|l| l == "expansion_v2").unwrap();
+        // 3*(1,1) - 2*(2,3) = (-1,-3)
+        assert_eq!(t.rows[idx], vec![-1.0, -3.0]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 3 — 800-iteration running-time traces on 4 (of 64) processors:
+//! big correlated spikes plus small spikes over a flat base.
+
+use crate::report::Table;
+use harmony_variability::trace::{ClusterTrace, ClusterTraceModel};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig03Config {
+    /// Cluster size (paper: 64).
+    pub procs: usize,
+    /// Iterations per processor (paper: 800).
+    pub iters: usize,
+    /// How many processors' series to emit (paper plots 4).
+    pub plotted: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Fig03Config {
+    fn default() -> Self {
+        Fig03Config {
+            procs: 64,
+            iters: 800,
+            plotted: 4,
+            seed: 2005,
+        }
+    }
+}
+
+/// Generates the trace used by Fig. 3–7.
+pub fn generate(cfg: &Fig03Config) -> ClusterTrace {
+    ClusterTraceModel::gs2_like(cfg.procs, cfg.iters).generate(cfg.seed)
+}
+
+/// The Fig. 3 table: `iter, proc0..proc3` running times.
+pub fn run(cfg: &Fig03Config) -> Table {
+    let trace = generate(cfg);
+    let plotted = cfg.plotted.min(cfg.procs);
+    let mut header: Vec<String> = vec!["iter".into()];
+    header.extend((0..plotted).map(|p| format!("proc{p}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new("fig03_traces", &header_refs);
+    for k in 0..cfg.iters {
+        let mut row = vec![(k + 1) as f64];
+        for p in 0..plotted {
+            row.push(trace.proc(p)[k]);
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// Companion table: pairwise Pearson correlations between the plotted
+/// processors (the "high correlation and similarity" observation).
+pub fn correlations(cfg: &Fig03Config) -> Table {
+    let trace = generate(cfg);
+    let plotted = cfg.plotted.min(cfg.procs);
+    let mut table = Table::new("fig03_correlations", &["proc_a", "proc_b", "pearson"]);
+    for a in 0..plotted {
+        for b in (a + 1)..plotted {
+            table.push(vec![a as f64, b as f64, trace.pearson(a, b)]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Fig03Config {
+        Fig03Config {
+            procs: 8,
+            iters: 200,
+            plotted: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn trace_table_shape() {
+        let t = run(&small());
+        assert_eq!(t.rows.len(), 200);
+        assert_eq!(t.header.len(), 5);
+        assert!(t.rows.iter().all(|r| r[1..].iter().all(|&v| v > 0.0)));
+    }
+
+    #[test]
+    fn spikes_present() {
+        let t = run(&small());
+        let max = t
+            .rows
+            .iter()
+            .flat_map(|r| r[1..].iter().copied())
+            .fold(0.0, f64::max);
+        assert!(max > 6.0, "max={max}");
+    }
+
+    #[test]
+    fn correlations_are_high() {
+        let c = correlations(&small());
+        assert_eq!(c.rows.len(), 6); // C(4,2)
+        for row in &c.rows {
+            assert!(row[2] > 0.3, "pearson={}", row[2]);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Figures 4–7 — heavy-tail diagnostics of the cluster trace.
+//!
+//! Fig. 4: pdf (histogram) of all processors' samples; Fig. 5: log-log
+//! 1-cdf ("last part of the graph approximately forms a line"); Fig. 6
+//! and Fig. 7: the same after truncating samples > 5 to isolate the
+//! small-spike component. A summary table adds the quantitative tail
+//! estimates (Hill `α̂`, log-log slope, fit `r²`).
+
+use crate::experiments::fig03::{generate, Fig03Config};
+use crate::report::Table;
+use harmony_stats::tail::{classify_tail, hill_estimate, truncate};
+use harmony_stats::Ecdf;
+use harmony_stats::Histogram;
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TailConfig {
+    /// The trace to analyse.
+    pub trace: Fig03Config,
+    /// Histogram bins (paper uses ~10 coarse bars).
+    pub bins: usize,
+    /// The Fig. 6/7 truncation cutoff (paper: 5 seconds).
+    pub cutoff: f64,
+    /// Fraction of distinct tail points used by the slope fit — the
+    /// *asymptotic* region ("the last part of the graph", Fig. 5); the
+    /// synthetic trace is a mixture, so wider windows blend the big- and
+    /// small-spike regimes and the fit degrades.
+    pub tail_fraction: f64,
+}
+
+impl Default for TailConfig {
+    fn default() -> Self {
+        TailConfig {
+            trace: Fig03Config::default(),
+            bins: 20,
+            cutoff: 5.0,
+            tail_fraction: 0.05,
+        }
+    }
+}
+
+fn pdf_table(xs: &[f64], bins: usize, title: &str) -> Table {
+    let h = Histogram::from_samples(xs, bins);
+    let mut t = Table::new(title, &["bin_center", "density", "count"]);
+    for (i, (center, density)) in h.series().into_iter().enumerate() {
+        t.push(vec![center, density, h.counts()[i] as f64]);
+    }
+    t
+}
+
+fn survival_table(xs: &[f64], title: &str, max_points: usize) -> Table {
+    let series = Ecdf::new(xs).survival_series();
+    let stride = (series.len() / max_points).max(1);
+    let mut t = Table::new(title, &["x", "p_gt_x", "ln_x", "ln_p"]);
+    for (i, (x, q)) in series.iter().enumerate() {
+        if i % stride == 0 || i + 1 == series.len() {
+            t.push(vec![*x, *q, x.ln(), q.ln()]);
+        }
+    }
+    t
+}
+
+/// Runs the full Fig. 4–7 pipeline; returns
+/// `(fig04_pdf, fig05_1cdf, fig06_pdf_trunc, fig07_1cdf_trunc, tail_stats)`.
+pub fn run(cfg: &TailConfig) -> (Table, Table, Table, Table, Table) {
+    let samples = generate(&cfg.trace).flatten();
+    let truncated = truncate(&samples, cfg.cutoff);
+
+    let fig04 = pdf_table(&samples, cfg.bins, "fig04_pdf");
+    let fig05 = survival_table(&samples, "fig05_1cdf", 400);
+    let fig06 = pdf_table(&truncated, cfg.bins, "fig06_pdf_truncated");
+    let fig07 = survival_table(&truncated, "fig07_1cdf_truncated", 400);
+
+    let mut stats = Table::new(
+        "fig04_07_tail_stats",
+        &["n", "hill_alpha", "slope_alpha", "fit_r2", "heavy"],
+    );
+    for (label, xs) in [("full", &samples), ("truncated", &truncated)] {
+        let verdict = classify_tail(xs, cfg.tail_fraction);
+        let k = (xs.len() / 50).max(10).min(xs.len() - 1);
+        let hill = hill_estimate(xs, k);
+        stats.push_labeled(
+            label,
+            vec![
+                xs.len() as f64,
+                hill,
+                verdict.alpha,
+                verdict.r2,
+                f64::from(u8::from(verdict.heavy)),
+            ],
+        );
+    }
+    (fig04, fig05, fig06, fig07, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TailConfig {
+        TailConfig {
+            trace: Fig03Config {
+                procs: 16,
+                iters: 500,
+                plotted: 4,
+                seed: 11,
+            },
+            ..TailConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_all_tables() {
+        let (f4, f5, f6, f7, stats) = run(&small());
+        assert_eq!(f4.rows.len(), 20);
+        assert!(!f5.rows.is_empty());
+        assert_eq!(f6.rows.len(), 20);
+        assert!(!f7.rows.is_empty());
+        assert_eq!(stats.rows.len(), 2);
+    }
+
+    #[test]
+    fn tail_bars_are_non_negligible() {
+        // the Fig. 4 eyeball test: the top bins carry real mass
+        let (f4, ..) = run(&small());
+        let total: f64 = f4.rows.iter().map(|r| r[2]).sum();
+        let top3: f64 = f4.rows[f4.rows.len() - 3..].iter().map(|r| r[2]).sum();
+        assert!(top3 / total > 0.0005, "top3 mass = {}", top3 / total);
+    }
+
+    #[test]
+    fn survival_series_is_decreasing() {
+        let (_, f5, ..) = run(&small());
+        for w in f5.rows.windows(2) {
+            assert!(w[1][1] <= w[0][1]);
+        }
+    }
+
+    #[test]
+    fn truncation_removes_big_spikes() {
+        let (_, f5, _, f7, _) = run(&small());
+        let max_full = f5.rows.iter().map(|r| r[0]).fold(0.0, f64::max);
+        let max_trunc = f7.rows.iter().map(|r| r[0]).fold(0.0, f64::max);
+        assert!(max_full > 5.0);
+        assert!(max_trunc <= 5.0);
+    }
+
+    #[test]
+    fn full_trace_is_diagnosed_heavy_tailed() {
+        let (.., stats) = run(&small());
+        let full_row = &stats.rows[0];
+        // hill alpha within the heavy-tail band
+        assert!(
+            full_row[1] > 0.0 && full_row[1] < 2.5,
+            "hill={}",
+            full_row[1]
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 8 — the GS2 performance surface as a function of two tunable
+//! parameters with the third fixed: "not smooth and contains multiple
+//! local minimums".
+
+use crate::report::Table;
+use harmony_params::Point;
+use harmony_surface::{Gs2Model, Objective};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig08Config {
+    /// The fixed value of the third parameter (`nodes`).
+    pub nodes: f64,
+}
+
+impl Default for Fig08Config {
+    fn default() -> Self {
+        Fig08Config { nodes: 16.0 }
+    }
+}
+
+/// Long-format surface dump: `ntheta, negrid, seconds_per_iter`.
+pub fn run(cfg: &Fig08Config) -> Table {
+    let gs2 = Gs2Model::paper_scale();
+    let space = gs2.space();
+    let nthetas: Vec<f64> = (0..space.param(0).cardinality().expect("discrete"))
+        .map(|i| space.param(0).level(i))
+        .collect();
+    let negrids: Vec<f64> = (0..space.param(1).cardinality().expect("discrete"))
+        .map(|i| space.param(1).level(i))
+        .collect();
+    let mut table = Table::new("fig08_surface", &["ntheta", "negrid", "seconds"]);
+    for &nt in &nthetas {
+        for &ne in &negrids {
+            let p = Point::from(&[nt, ne, cfg.nodes][..]);
+            table.push(vec![nt, ne, gs2.eval(&p)]);
+        }
+    }
+    table
+}
+
+/// Counts strict 4-neighbour local minima on the emitted slice — the
+/// quantitative version of "multiple local minimums".
+pub fn count_local_minima(table: &Table) -> usize {
+    // rebuild the grid
+    let mut nthetas: Vec<f64> = table.rows.iter().map(|r| r[0]).collect();
+    nthetas.dedup();
+    let negrids: Vec<f64> = {
+        let mut v: Vec<f64> = table.rows.iter().map(|r| r[1]).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.dedup();
+        v
+    };
+    let cols = negrids.len();
+    let val = |i: usize, j: usize| table.rows[i * cols + j][2];
+    let mut count = 0;
+    for i in 0..nthetas.len() {
+        for j in 0..cols {
+            let c = val(i, j);
+            let mut is_min = true;
+            for (di, dj) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+                let (ni, nj) = (i as i64 + di, j as i64 + dj);
+                if ni >= 0
+                    && nj >= 0
+                    && (ni as usize) < nthetas.len()
+                    && (nj as usize) < cols
+                    && val(ni as usize, nj as usize) <= c
+                {
+                    is_min = false;
+                    break;
+                }
+            }
+            if is_min {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_covers_full_slice() {
+        let t = run(&Fig08Config::default());
+        assert_eq!(t.rows.len(), 15 * 12);
+        assert!(t.rows.iter().all(|r| r[2] > 0.0));
+    }
+
+    #[test]
+    fn surface_is_rugged() {
+        let t = run(&Fig08Config::default());
+        assert!(count_local_minima(&t) >= 2);
+    }
+
+    #[test]
+    fn different_node_counts_change_surface() {
+        let a = run(&Fig08Config { nodes: 4.0 });
+        let b = run(&Fig08Config { nodes: 64.0 });
+        assert_ne!(a.rows, b.rows);
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per paper artifact. See DESIGN.md §3 for the index.
+
+pub mod ablations;
+pub mod charts;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04_07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod tables;

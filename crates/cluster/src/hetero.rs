@@ -1,0 +1,212 @@
+//! Heterogeneous clusters and straggler injection.
+//!
+//! The paper's variability model treats all processors as identical;
+//! real clusters are not — nodes differ in clock/memory binning, and a
+//! single persistently slow node ("straggler") dominates every barrier
+//! because `T_k = max_p t_{p,k}` (eq. 1). This module extends the SPMD
+//! simulator with per-processor speed factors so that effect can be
+//! studied (and so tuning experiments can inject the pathology that
+//! Petrini et al.'s "missing supercomputer performance" work — the
+//! paper's \[15\] — made famous).
+
+use crate::metrics::TuningTrace;
+use crate::spmd::{Cluster, StepOutcome};
+use harmony_variability::noise::NoiseModel;
+use rand::RngCore;
+
+/// Per-processor slowdown factors for a [`Cluster`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heterogeneity {
+    /// `factors[p] ≥ 1` multiplies every running time observed on
+    /// processor `p`.
+    factors: Vec<f64>,
+}
+
+impl Heterogeneity {
+    /// A uniform (homogeneous) cluster of `procs` processors.
+    pub fn uniform(procs: usize) -> Self {
+        assert!(procs > 0, "need at least one processor");
+        Heterogeneity {
+            factors: vec![1.0; procs],
+        }
+    }
+
+    /// Explicit factors (all ≥ 1, finite).
+    pub fn from_factors(factors: Vec<f64>) -> Self {
+        assert!(!factors.is_empty(), "need at least one processor");
+        assert!(
+            factors.iter().all(|f| f.is_finite() && *f >= 1.0),
+            "slowdown factors must be finite and >= 1"
+        );
+        Heterogeneity { factors }
+    }
+
+    /// A uniform cluster with `stragglers` of its processors slowed by
+    /// `slowdown` (the slow nodes are the highest-numbered ones).
+    pub fn with_stragglers(procs: usize, stragglers: usize, slowdown: f64) -> Self {
+        assert!(stragglers <= procs, "more stragglers than processors");
+        assert!(slowdown >= 1.0, "slowdown must be >= 1");
+        let mut factors = vec![1.0; procs];
+        for f in factors.iter_mut().skip(procs - stragglers) {
+            *f = slowdown;
+        }
+        Heterogeneity { factors }
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The slowdown factor of processor `p`.
+    pub fn factor(&self, p: usize) -> f64 {
+        self.factors[p]
+    }
+
+    /// The barrier slowdown a perfectly balanced job suffers: the worst
+    /// factor (eq. 1 is a max).
+    pub fn barrier_factor(&self) -> f64 {
+        self.factors.iter().copied().fold(1.0, f64::max)
+    }
+
+    /// The throughput the cluster *loses* to heterogeneity relative to
+    /// its mean speed: `max/mean − 1`.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.factors.iter().sum::<f64>() / self.factors.len() as f64;
+        self.barrier_factor() / mean - 1.0
+    }
+}
+
+impl Cluster {
+    /// [`Cluster::execute_step`] on a heterogeneous cluster: evaluation
+    /// `i` runs on processor `i` and its observed time is scaled by that
+    /// processor's slowdown factor.
+    ///
+    /// # Panics
+    /// Panics when `hetero` does not match the cluster width or the step
+    /// is empty/overcommitted.
+    pub fn execute_step_hetero<M: NoiseModel + ?Sized>(
+        &self,
+        costs: &[f64],
+        hetero: &Heterogeneity,
+        noise: &M,
+        rng: &mut dyn RngCore,
+    ) -> StepOutcome {
+        assert_eq!(
+            hetero.procs(),
+            self.procs,
+            "heterogeneity profile must cover all processors"
+        );
+        let base = self.execute_step(costs, noise, rng);
+        let observed: Vec<f64> = base
+            .observed
+            .iter()
+            .enumerate()
+            .map(|(p, &t)| t * hetero.factor(p))
+            .collect();
+        let t_k = observed.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        StepOutcome { observed, t_k }
+    }
+
+    /// Runs `steps` barrier iterations of a fixed configuration on a
+    /// heterogeneous cluster with every processor occupied, recording
+    /// `T_k` per step — the straggler-impact experiment in one call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_fixed_hetero<M: NoiseModel + ?Sized>(
+        &self,
+        cost: f64,
+        steps: usize,
+        hetero: &Heterogeneity,
+        noise: &M,
+        rng: &mut dyn RngCore,
+        trace: &mut TuningTrace,
+    ) {
+        let costs = vec![cost; self.procs];
+        for _ in 0..steps {
+            let outcome = self.execute_step_hetero(&costs, hetero, noise, rng);
+            trace.push(outcome.t_k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_variability::noise::Noise;
+    use harmony_variability::seeded_rng;
+
+    #[test]
+    fn uniform_profile_changes_nothing() {
+        let c = Cluster::new(4);
+        let h = Heterogeneity::uniform(4);
+        let mut rng_a = seeded_rng(1);
+        let mut rng_b = seeded_rng(1);
+        let plain = c.execute_step(&[1.0, 2.0, 3.0], &Noise::None, &mut rng_a);
+        let het = c.execute_step_hetero(&[1.0, 2.0, 3.0], &h, &Noise::None, &mut rng_b);
+        assert_eq!(plain, het);
+        assert_eq!(h.barrier_factor(), 1.0);
+        assert_eq!(h.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn straggler_dominates_barrier() {
+        let c = Cluster::new(8);
+        let h = Heterogeneity::with_stragglers(8, 1, 3.0);
+        let mut rng = seeded_rng(2);
+        // all processors run the same 1-second iteration
+        let out = c.execute_step_hetero(&[1.0; 8], &h, &Noise::None, &mut rng);
+        assert_eq!(out.t_k, 3.0);
+        assert_eq!(out.observed[7], 3.0);
+        assert_eq!(out.observed[0], 1.0);
+        assert_eq!(h.barrier_factor(), 3.0);
+    }
+
+    #[test]
+    fn one_straggler_costs_its_full_slowdown_despite_tiny_imbalance() {
+        // eq. 1's cruelty: 1 of 64 nodes at 2x slows every step 2x even
+        // though mean capacity dropped only ~1.6%
+        let h = Heterogeneity::with_stragglers(64, 1, 2.0);
+        assert!(h.imbalance() > 0.9, "imbalance={}", h.imbalance());
+        let c = Cluster::new(64);
+        let mut rng = seeded_rng(3);
+        let mut trace = TuningTrace::new();
+        c.run_fixed_hetero(1.0, 50, &h, &Noise::None, &mut rng, &mut trace);
+        assert_eq!(trace.len(), 50);
+        assert!(trace.step_times().iter().all(|&t| t == 2.0));
+    }
+
+    #[test]
+    fn straggler_with_noise_compounds() {
+        let c = Cluster::new(8);
+        let h = Heterogeneity::with_stragglers(8, 1, 2.0);
+        let noise = Noise::paper_default(0.3);
+        let mut rng = seeded_rng(4);
+        let mut slow_sum = 0.0;
+        let n = 2_000;
+        for _ in 0..n {
+            let out = c.execute_step_hetero(&[1.0; 8], &h, &noise, &mut rng);
+            slow_sum += out.observed[7];
+        }
+        // E[slow node time] = 2 * E[y] = 2 * 1/(1-0.3)
+        let expect = 2.0 / 0.7;
+        let mean = slow_sum / n as f64;
+        assert!((mean - expect).abs() / expect < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn from_factors_validation() {
+        assert!(std::panic::catch_unwind(|| Heterogeneity::from_factors(vec![0.5])).is_err());
+        assert!(std::panic::catch_unwind(|| Heterogeneity::from_factors(vec![])).is_err());
+        let h = Heterogeneity::from_factors(vec![1.0, 1.5]);
+        assert_eq!(h.factor(1), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all processors")]
+    fn profile_width_mismatch_rejected() {
+        let c = Cluster::new(4);
+        let h = Heterogeneity::uniform(2);
+        let mut rng = seeded_rng(5);
+        c.execute_step_hetero(&[1.0], &h, &Noise::None, &mut rng);
+    }
+}

@@ -1,0 +1,37 @@
+//! SPMD cluster simulation and on-line tuning metrics (§2, §5.2).
+//!
+//! The paper's application model: `P` processors run the same iterative
+//! code; after every iteration they synchronize, so the cluster-wide
+//! iteration time is the *worst case* over processors,
+//! `T_k = max_p t_{p,k}` (eq. 1), and the quantity a tuner must minimise
+//! is the cumulative `Total_Time(K) = Σ T_k` (eq. 2) — not the final
+//! converged value.
+//!
+//! * [`metrics`] — [`metrics::TuningTrace`] accumulates `T_k` per time
+//!   step and reports `Total_Time` and the normalised
+//!   `NTT = (1−ρ)·Total_Time` of eq. 23,
+//! * [`spmd`] — [`spmd::Cluster`] executes one barrier-synchronised time
+//!   step: every scheduled evaluation observes its own noise draw and the
+//!   step costs the maximum,
+//! * [`schedule`] — maps `(n points) × (K samples)` onto `P` processors:
+//!   the paper's sequential-steps worst case (§6.2) or dense packing
+//!   (§5.2's "with 64 processors we can set K=10 with no additional
+//!   cost"),
+//! * [`pool`] — a crossbeam-based worker pool for running thousands of
+//!   independent replications in parallel on real threads,
+//! * [`hetero`] — per-processor speed factors and straggler injection
+//!   (one slow node dominates every barrier, eq. 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hetero;
+pub mod metrics;
+pub mod pool;
+pub mod schedule;
+pub mod spmd;
+
+pub use hetero::Heterogeneity;
+pub use metrics::TuningTrace;
+pub use schedule::{SamplingMode, Schedule};
+pub use spmd::{Cluster, StepOutcome};

@@ -1,0 +1,157 @@
+//! On-line tuning performance metrics (§2, eq. 1–2, eq. 23).
+
+/// The running record of a tuning session: one entry per barrier-
+/// synchronised time step holding the cluster-wide worst-case time
+/// `T_k = max_p t_{p,k}`.
+///
+/// `Total_Time(K) = Σ_{k≤K} T_k` is the paper's primary metric; the
+/// *integral* nature of the metric is what makes transient behaviour
+/// matter (Fig. 1): an algorithm that converges to a slightly worse
+/// point but explores cheaply can beat one with a better asymptote.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TuningTrace {
+    steps: Vec<f64>,
+}
+
+impl TuningTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        TuningTrace::default()
+    }
+
+    /// Records one time step's worst-case iteration time `T_k`.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative times.
+    pub fn push(&mut self, t_k: f64) {
+        assert!(t_k.is_finite() && t_k >= 0.0, "invalid step time {t_k}");
+        self.steps.push(t_k);
+    }
+
+    /// Number of recorded time steps `K`.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Per-step worst-case times `T_k` (the Fig. 1-a series).
+    pub fn step_times(&self) -> &[f64] {
+        &self.steps
+    }
+
+    /// `Total_Time(K)` (eq. 2).
+    pub fn total_time(&self) -> f64 {
+        self.steps.iter().sum()
+    }
+
+    /// `Total_Time(k)` truncated to the first `k` steps.
+    ///
+    /// # Panics
+    /// Panics when `k` exceeds the recorded length.
+    pub fn total_time_at(&self, k: usize) -> f64 {
+        assert!(k <= self.len(), "k={k} exceeds trace length {}", self.len());
+        self.steps[..k].iter().sum()
+    }
+
+    /// The cumulative series `(k, Total_Time(k))` for `k = 1..=K`
+    /// (the Fig. 1-b series).
+    pub fn cumulative(&self) -> Vec<f64> {
+        self.steps
+            .iter()
+            .scan(0.0, |acc, t| {
+                *acc += t;
+                Some(*acc)
+            })
+            .collect()
+    }
+
+    /// Normalised total time `NTT = (1−ρ)·Total_Time` (eq. 23), which
+    /// makes runs under different idle throughputs comparable.
+    pub fn ntt(&self, rho: f64) -> f64 {
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0,1)");
+        (1.0 - rho) * self.total_time()
+    }
+
+    /// The best (smallest) single-step time seen so far.
+    pub fn best_step(&self) -> Option<f64> {
+        self.steps.iter().copied().reduce(f64::min)
+    }
+
+    /// Extends this trace with another (used when a convergence-probe
+    /// phase follows the main loop).
+    pub fn extend_from(&mut self, other: &TuningTrace) {
+        self.steps.extend_from_slice(&other.steps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_is_sum() {
+        let mut tr = TuningTrace::new();
+        for t in [2.0, 3.0, 1.5] {
+            tr.push(t);
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.total_time(), 6.5);
+        assert_eq!(tr.total_time_at(2), 5.0);
+        assert_eq!(tr.total_time_at(0), 0.0);
+    }
+
+    #[test]
+    fn cumulative_series() {
+        let mut tr = TuningTrace::new();
+        for t in [1.0, 2.0, 3.0] {
+            tr.push(t);
+        }
+        assert_eq!(tr.cumulative(), vec![1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn ntt_normalises() {
+        let mut tr = TuningTrace::new();
+        tr.push(10.0);
+        assert_eq!(tr.ntt(0.0), 10.0);
+        assert!((tr.ntt(0.2) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_step_and_empty() {
+        let mut tr = TuningTrace::new();
+        assert!(tr.best_step().is_none());
+        assert!(tr.is_empty());
+        tr.push(5.0);
+        tr.push(2.0);
+        assert_eq!(tr.best_step(), Some(2.0));
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = TuningTrace::new();
+        a.push(1.0);
+        let mut b = TuningTrace::new();
+        b.push(2.0);
+        a.extend_from(&b);
+        assert_eq!(a.step_times(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid step time")]
+    fn rejects_negative() {
+        TuningTrace::new().push(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in")]
+    fn rejects_bad_rho() {
+        let mut tr = TuningTrace::new();
+        tr.push(1.0);
+        tr.ntt(1.0);
+    }
+}

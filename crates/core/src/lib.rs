@@ -1,0 +1,62 @@
+//! Parallel Rank Ordering (PRO) and companion direct-search optimizers
+//! for on-line parameter tuning — the primary contribution of
+//! Tabatabaee, Tiwari & Hollingsworth, *"Parallel Parameter Tuning for
+//! Applications with Performance Variability"* (SC 2005).
+//!
+//! # Architecture
+//!
+//! Every algorithm implements the batch **ask/tell** interface
+//! [`Optimizer`]: it *proposes* a batch of admissible points, the caller
+//! evaluates them (with whatever noise, sampling, and scheduling policy
+//! applies) and *observes* the estimates back. This keeps the
+//! algorithms pure state machines and puts measurement policy — the
+//! paper's other contribution — in one place:
+//!
+//! * [`pro`] — **Parallel Rank Ordering** (Algorithm 2): reflect all
+//!   non-best vertices through the best in parallel, probe the most
+//!   promising expansion first, expand or shrink; GSS-class and
+//!   projection-aware,
+//! * [`sro`] — Sequential Rank Ordering (Algorithm 1),
+//! * [`nelder_mead`] — the classical simplex method (the original
+//!   Active Harmony optimizer, §3.1),
+//! * [`baselines`] — random search, simulated annealing, and a genetic
+//!   algorithm (§2 argues these transiently explore too expensively for
+//!   on-line use),
+//! * [`sampling`] — the estimator layer: single sample, **min-of-K**
+//!   (§5), mean-of-K, median-of-K,
+//! * [`adaptive`] — the paper's future-work item: per-batch adaptive
+//!   sample counts that stop as soon as the pending decision is stable,
+//! * [`restart`] — multi-start wrapping for global coverage on deceptive
+//!   surfaces,
+//! * [`logged`] — transparent observation logging and prior-run reuse
+//!   (the paper's reference \[3\]): export a session's measurements as a
+//!   performance database or warm-start the next session,
+//! * [`tuner`] — the on-line tuning driver: runs an optimizer against an
+//!   objective + noise model on a simulated SPMD cluster for exactly `K`
+//!   time steps, producing the `Total_Time`/NTT record of eq. 2/23,
+//! * [`server`] — an Active-Harmony-style tuning **server** with real
+//!   client threads exchanging fetch/report messages over channels,
+//!   including free parallel multi-sampling when `P > n` (§5.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod baselines;
+pub mod logged;
+pub mod nelder_mead;
+pub mod optimizer;
+pub mod pro;
+pub mod restart;
+pub mod sampling;
+pub mod server;
+pub mod sro;
+pub mod tuner;
+
+pub use adaptive::{AdaptiveSampling, AdaptiveTuner, AdaptiveTunerConfig};
+pub use logged::{Logged, ObservationLog};
+pub use optimizer::Optimizer;
+pub use pro::{ProConfig, ProOptimizer};
+pub use restart::{restarting_pro, Restarting};
+pub use sampling::Estimator;
+pub use tuner::{OnlineTuner, TunerConfig, TuningOutcome};

@@ -1,0 +1,299 @@
+//! Observation logging and prior-run reuse.
+//!
+//! The paper's own prior work (its reference \[3\], Chung & Hollingsworth,
+//! *"Using Information from Prior Runs to Improve Automated Tuning
+//! Systems"*, SC'04) seeds tuning sessions with data from earlier runs.
+//! This module provides the mechanism: [`Logged`] wraps *any*
+//! [`Optimizer`] and transparently records every `(point, estimate)`
+//! pair the driver feeds it; the resulting [`ObservationLog`] can be
+//! exported as a `harmony_surface::PerfDatabase` (per-point minimum
+//! estimates — the paper's own resilient reduction) or used to pick a
+//! warm-start center for the next session.
+
+use crate::optimizer::Optimizer;
+use harmony_params::{ParamSpace, Point};
+use harmony_surface::PerfDatabase;
+use std::collections::HashMap;
+
+/// Per-point record: visits and running estimate statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// The configuration.
+    pub point: Point,
+    /// Number of estimates received for it.
+    pub visits: usize,
+    /// Smallest estimate seen (the min-of-visits reduction).
+    pub min_estimate: f64,
+    /// Mean of the estimates.
+    pub mean_estimate: f64,
+}
+
+/// Everything a tuning session measured, keyed by configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationLog {
+    records: HashMap<Vec<u64>, PointRecord>,
+}
+
+fn key_of(p: &Point) -> Vec<u64> {
+    p.iter().map(f64::to_bits).collect()
+}
+
+impl ObservationLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        ObservationLog::default()
+    }
+
+    /// Records one estimate.
+    pub fn record(&mut self, point: &Point, estimate: f64) {
+        assert!(estimate.is_finite(), "log estimates must be finite");
+        let entry = self
+            .records
+            .entry(key_of(point))
+            .or_insert_with(|| PointRecord {
+                point: point.clone(),
+                visits: 0,
+                min_estimate: f64::INFINITY,
+                mean_estimate: 0.0,
+            });
+        entry.visits += 1;
+        entry.min_estimate = entry.min_estimate.min(estimate);
+        entry.mean_estimate += (estimate - entry.mean_estimate) / entry.visits as f64;
+    }
+
+    /// Number of distinct configurations measured.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total estimates recorded across all configurations.
+    pub fn total_visits(&self) -> usize {
+        self.records.values().map(|r| r.visits).sum()
+    }
+
+    /// The records, in unspecified order.
+    pub fn records(&self) -> impl Iterator<Item = &PointRecord> {
+        self.records.values()
+    }
+
+    /// The best configuration by minimum estimate — the natural
+    /// warm-start center for a follow-up session.
+    pub fn best(&self) -> Option<&PointRecord> {
+        self.records.values().min_by(|a, b| {
+            a.min_estimate
+                .partial_cmp(&b.min_estimate)
+                .expect("finite estimates")
+        })
+    }
+
+    /// Exports the log as a performance database over `space` (per-point
+    /// minimum estimates), interpolating unmeasured configurations with
+    /// `k_neighbors` — prior-run data in the exact shape the paper's §6
+    /// methodology consumes.
+    ///
+    /// # Panics
+    /// Panics when the log is empty or holds fewer points than
+    /// `k_neighbors`.
+    pub fn into_database(&self, space: ParamSpace, k_neighbors: usize) -> PerfDatabase {
+        assert!(
+            self.len() >= k_neighbors.max(1),
+            "log has {} points, need at least {k_neighbors}",
+            self.len()
+        );
+        let mut db = PerfDatabase::new(space, k_neighbors);
+        for rec in self.records.values() {
+            db.insert(rec.point.clone(), rec.min_estimate);
+        }
+        db
+    }
+}
+
+/// An [`Optimizer`] wrapper that records every observation it relays.
+pub struct Logged<O: Optimizer> {
+    inner: O,
+    log: ObservationLog,
+}
+
+impl<O: Optimizer> Logged<O> {
+    /// Wraps an optimizer.
+    pub fn new(inner: O) -> Self {
+        Logged {
+            inner,
+            log: ObservationLog::new(),
+        }
+    }
+
+    /// The log so far.
+    pub fn log(&self) -> &ObservationLog {
+        &self.log
+    }
+
+    /// Consumes the wrapper, returning the inner optimizer and the log.
+    pub fn into_parts(self) -> (O, ObservationLog) {
+        (self.inner, self.log)
+    }
+}
+
+impl<O: Optimizer> Optimizer for Logged<O> {
+    fn space(&self) -> &ParamSpace {
+        self.inner.space()
+    }
+
+    fn propose(&mut self) -> Vec<Point> {
+        self.inner.propose()
+    }
+
+    fn observe(&mut self, values: &[f64]) {
+        let batch = self.inner.propose();
+        for (p, &v) in batch.iter().zip(values) {
+            self.log.record(p, v);
+        }
+        self.inner.observe(values);
+    }
+
+    fn best(&self) -> Option<(Point, f64)> {
+        self.inner.best()
+    }
+
+    fn recommendation(&self) -> Option<(Point, f64)> {
+        self.inner.recommendation()
+    }
+
+    fn converged(&self) -> bool {
+        self.inner.converged()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pro::ProOptimizer;
+    use crate::tuner::{OnlineTuner, TunerConfig};
+    use crate::Estimator;
+    use harmony_cluster::SamplingMode;
+    use harmony_params::ParamDef;
+    use harmony_surface::objective::FnObjective;
+    use harmony_surface::Objective;
+    use harmony_variability::noise::Noise;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::integer("x", -10, 10, 1).unwrap(),
+            ParamDef::integer("y", -10, 10, 1).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn bowl() -> FnObjective<impl Fn(&Point) -> f64> {
+        FnObjective::new("bowl", space(), |p| 1.0 + 0.2 * (p[0] * p[0] + p[1] * p[1]))
+    }
+
+    fn cfg(seed: u64) -> TunerConfig {
+        TunerConfig {
+            procs: 64,
+            max_steps: 80,
+            estimator: Estimator::Single,
+            mode: SamplingMode::SequentialSteps,
+            seed,
+            full_occupancy: false,
+            exploit_width: 6,
+        }
+    }
+
+    #[test]
+    fn logging_is_transparent() {
+        // a logged PRO takes exactly the same path as a bare one
+        let f = |p: &Point| 1.0 + p[0] * p[0] + p[1] * p[1];
+        let mut bare = ProOptimizer::with_defaults(space());
+        let mut logged = Logged::new(ProOptimizer::with_defaults(space()));
+        loop {
+            let a = bare.propose();
+            let b = logged.propose();
+            assert_eq!(a, b);
+            if a.is_empty() {
+                break;
+            }
+            let vals: Vec<f64> = a.iter().map(f).collect();
+            bare.observe(&vals);
+            logged.observe(&vals);
+        }
+        assert_eq!(bare.best(), logged.best());
+        assert!(!logged.log().is_empty());
+    }
+
+    #[test]
+    fn log_counts_and_reductions() {
+        let mut log = ObservationLog::new();
+        let p = Point::from(&[1.0, 2.0][..]);
+        log.record(&p, 5.0);
+        log.record(&p, 3.0);
+        log.record(&p, 4.0);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.total_visits(), 3);
+        let rec = log.best().unwrap();
+        assert_eq!(rec.visits, 3);
+        assert_eq!(rec.min_estimate, 3.0);
+        assert!((rec.mean_estimate - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_log_exports_a_database() {
+        let obj = bowl();
+        let mut logged = Logged::new(ProOptimizer::with_defaults(space()));
+        let out = OnlineTuner::new(cfg(5)).run(&obj, &Noise::None, &mut logged);
+        let log = logged.log().clone();
+        assert!(log.len() >= 10, "only {} points logged", log.len());
+        assert_eq!(
+            log.best().unwrap().min_estimate,
+            out.best_estimate,
+            "log best must agree with the session's best estimate"
+        );
+        let db = log.into_database(space(), 3);
+        // the database reproduces measured values exactly (noise-free)
+        for rec in log.records() {
+            assert_eq!(db.eval(&rec.point), rec.min_estimate);
+        }
+    }
+
+    #[test]
+    fn warm_start_from_prior_run_descends_faster() {
+        // run 1 (cold): log everything; run 2: recenter PRO's initial
+        // simplex on the prior best -- the Chung/Hollingsworth prior-runs
+        // idea in miniature
+        let obj = bowl();
+        let noise = Noise::paper_default(0.2);
+        let mut cold_logged = Logged::new(ProOptimizer::with_defaults(space()));
+        let cold = OnlineTuner::new(cfg(1)).run(&obj, &noise, &mut cold_logged);
+        let prior_best = cold_logged.log().best().unwrap().point.clone();
+
+        let mut warm_inner = ProOptimizer::with_defaults(space());
+        warm_inner.recenter(&prior_best);
+        let mut warm = Logged::new(warm_inner);
+        let warm_out = OnlineTuner::new(cfg(2)).run(&obj, &noise, &mut warm);
+
+        // the warm session reaches good quality at least as fast
+        let threshold = 2.0; // within 2x of the optimum (1.0)
+        let warm_steps = warm_out.steps_to_quality(threshold);
+        let cold_steps = cold.steps_to_quality(threshold);
+        match (warm_steps, cold_steps) {
+            (Some(w), Some(c)) => assert!(w <= c, "warm {w} > cold {c}"),
+            (Some(_), None) => {}
+            other => panic!("unexpected quality outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn empty_log_cannot_export() {
+        ObservationLog::new().into_database(space(), 1);
+    }
+}

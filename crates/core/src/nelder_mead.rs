@@ -1,0 +1,365 @@
+//! The Nelder–Mead simplex method (§3.1) — the optimizer originally used
+//! by Active Harmony, included as the baseline whose shortcomings
+//! motivate rank ordering.
+//!
+//! For `N` variables the method keeps `N+1` vertices. Each iteration
+//! replaces the worst vertex `v_N` with a point on the line
+//! `v_N + α(c − v_N)` through the centroid `c` of the other vertices
+//! (eq. 3), trying reflection (`α = 2`), expansion (`α = 3`), and
+//! contraction (`α = 0.5`), and shrinking the whole simplex around the
+//! best point when none helps.
+//!
+//! Unlike rank ordering, acceptance is relative to the *worst* vertex,
+//! the polytope can deform arbitrarily (and degenerate — see
+//! [`NelderMead::simplex_rank`]), and the method is inherently
+//! sequential: proposals are singletons except for the shrink step.
+
+use crate::optimizer::{Incumbent, Optimizer};
+use harmony_params::init::{initial_simplex, InitialShape, DEFAULT_RELATIVE_SIZE};
+use harmony_params::{ParamSpace, Point, Rounding, Simplex};
+
+/// Configuration of the Nelder–Mead baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Initial simplex relative size `r`.
+    pub relative_size: f64,
+    /// Projection rounding (needed for discrete parameters; classical
+    /// NM has no projection at all).
+    pub rounding: Rounding,
+    /// Simplex diameter below which the search reports convergence.
+    pub collapse_tol: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            relative_size: DEFAULT_RELATIVE_SIZE,
+            rounding: Rounding::Nearest,
+            collapse_tol: 1e-9,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Init,
+    Reflect,
+    Expand,
+    Contract,
+    Shrink,
+    Done,
+}
+
+/// The Nelder–Mead optimizer over a (possibly discrete) parameter space.
+pub struct NelderMead {
+    space: ParamSpace,
+    cfg: NelderMeadConfig,
+    simplex: Simplex,
+    values: Vec<f64>,
+    phase: Phase,
+    queue: Vec<Point>,
+    got: Vec<f64>,
+    /// `f(r)` carried from the reflection to the expansion/contraction
+    /// decision, together with the reflected point.
+    reflected: Option<(Point, f64)>,
+    incumbent: Incumbent,
+    iterations: usize,
+    converged: bool,
+}
+
+impl NelderMead {
+    /// Creates Nelder–Mead over `space` (always a minimal `N+1`-vertex
+    /// simplex, per the classical method).
+    pub fn new(space: ParamSpace, cfg: NelderMeadConfig) -> Self {
+        let simplex = initial_simplex(&space, InitialShape::Minimal, cfg.relative_size)
+            .expect("valid initial simplex");
+        let queue = simplex.vertices().to_vec();
+        NelderMead {
+            space,
+            cfg,
+            simplex,
+            values: Vec::new(),
+            phase: Phase::Init,
+            queue,
+            got: Vec::new(),
+            reflected: None,
+            incumbent: Incumbent::new(),
+            iterations: 0,
+            converged: false,
+        }
+    }
+
+    /// Nelder–Mead with defaults.
+    pub fn with_defaults(space: ParamSpace) -> Self {
+        NelderMead::new(space, NelderMeadConfig::default())
+    }
+
+    /// Completed iterations (worst-vertex replacements or shrinks).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Rank of the current simplex — exposes the degeneracy failure mode
+    /// discussed in §3.1.
+    pub fn simplex_rank(&self, tol: f64) -> usize {
+        self.simplex.rank(tol)
+    }
+
+    fn project(&self, raw: &Point) -> Point {
+        self.space
+            .project(raw, self.simplex.vertex(0), self.cfg.rounding)
+    }
+
+    /// Point on the line `v_N + α(c − v_N)` (eq. 3 context), projected.
+    fn line_point(&self, alpha: f64) -> Point {
+        let worst = self.simplex.vertex(self.simplex.len() - 1);
+        let c = self.simplex.centroid_excluding(self.simplex.len() - 1);
+        // v_N + α(c − v_N) = (1−α)·v_N + α·c
+        let raw = Point::affine(&[(1.0 - alpha, worst), (alpha, &c)]);
+        self.project(&raw)
+    }
+
+    fn start_phase(&mut self, phase: Phase, queue: Vec<Point>) {
+        self.phase = phase;
+        self.queue = queue;
+        self.got = Vec::new();
+    }
+
+    fn enter_iteration(&mut self) {
+        let mut order: Vec<usize> = (0..self.values.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.values[a]
+                .partial_cmp(&self.values[b])
+                .expect("finite objective values")
+        });
+        self.simplex.permute(&order);
+        self.values = order.iter().map(|&i| self.values[i]).collect();
+
+        if self.simplex.collapsed(self.cfg.collapse_tol) {
+            self.converged = true;
+            self.phase = Phase::Done;
+            self.queue = Vec::new();
+        } else {
+            let r = self.line_point(2.0);
+            self.start_phase(Phase::Reflect, vec![r]);
+        }
+    }
+
+    fn replace_worst(&mut self, point: Point, value: f64) {
+        let worst = self.simplex.len() - 1;
+        self.simplex.set_vertex(worst, point);
+        self.values[worst] = value;
+        self.iterations += 1;
+        self.enter_iteration();
+    }
+
+    fn phase_complete(&mut self) {
+        let queue = std::mem::take(&mut self.queue);
+        let got = std::mem::take(&mut self.got);
+        match self.phase {
+            Phase::Init => {
+                self.values = got;
+                self.enter_iteration();
+            }
+            Phase::Reflect => {
+                let (r, f_r) = (queue.into_iter().next().expect("one point"), got[0]);
+                let worst_val = *self.values.last().expect("non-empty simplex");
+                if f_r < self.values[0] {
+                    self.reflected = Some((r, f_r));
+                    let e = self.line_point(3.0);
+                    self.start_phase(Phase::Expand, vec![e]);
+                } else if f_r < worst_val {
+                    self.replace_worst(r, f_r);
+                } else {
+                    self.reflected = Some((r, f_r));
+                    let co = self.line_point(0.5);
+                    self.start_phase(Phase::Contract, vec![co]);
+                }
+            }
+            Phase::Expand => {
+                let (e, f_e) = (queue.into_iter().next().expect("one point"), got[0]);
+                let (r, f_r) = self.reflected.take().expect("reflection recorded");
+                if f_e < f_r {
+                    self.replace_worst(e, f_e);
+                } else {
+                    self.replace_worst(r, f_r);
+                }
+            }
+            Phase::Contract => {
+                let (co, f_co) = (queue.into_iter().next().expect("one point"), got[0]);
+                let worst_val = *self.values.last().expect("non-empty simplex");
+                self.reflected = None;
+                if f_co < worst_val {
+                    self.replace_worst(co, f_co);
+                } else {
+                    // shrink the whole simplex around the best point
+                    let shrinks: Vec<Point> = self
+                        .simplex
+                        .transform_around(0, harmony_params::StepKind::Shrink)
+                        .iter()
+                        .map(|p| self.project(p))
+                        .collect();
+                    self.start_phase(Phase::Shrink, shrinks);
+                }
+            }
+            Phase::Shrink => {
+                for (j, (p, v)) in queue.into_iter().zip(got).enumerate() {
+                    self.simplex.set_vertex(j + 1, p);
+                    self.values[j + 1] = v;
+                }
+                self.iterations += 1;
+                self.enter_iteration();
+            }
+            Phase::Done => unreachable!("phase_complete after Done"),
+        }
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Vec<Point> {
+        if self.phase == Phase::Done {
+            return Vec::new();
+        }
+        vec![self.queue[self.got.len()].clone()]
+    }
+
+    fn observe(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), 1, "Nelder-Mead evaluates one point at a time");
+        let v = values[0];
+        assert!(v.is_finite(), "observe: non-finite objective value");
+        let point = &self.queue[self.got.len()];
+        self.incumbent.offer(point, v);
+        self.got.push(v);
+        if self.got.len() == self.queue.len() {
+            self.phase_complete();
+        }
+    }
+
+    fn best(&self) -> Option<(Point, f64)> {
+        self.incumbent.get()
+    }
+
+    fn recommendation(&self) -> Option<(Point, f64)> {
+        if self.values.is_empty() {
+            self.incumbent.get()
+        } else {
+            Some((self.simplex.vertex(0).clone(), self.values[0]))
+        }
+    }
+
+    fn converged(&self) -> bool {
+        self.converged
+    }
+
+    fn name(&self) -> &str {
+        "nelder-mead"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_params::ParamDef;
+
+    fn cont_space(n: usize) -> ParamSpace {
+        ParamSpace::new(
+            (0..n)
+                .map(|i| ParamDef::continuous(format!("x{i}"), -10.0, 10.0).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn drive<F: Fn(&Point) -> f64>(opt: &mut NelderMead, f: F, max_evals: usize) {
+        for _ in 0..max_evals {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            opt.observe(&[f(&batch[0])]);
+        }
+    }
+
+    #[test]
+    fn descends_continuous_bowl() {
+        let mut opt = NelderMead::with_defaults(cont_space(2));
+        drive(&mut opt, |p| p[0] * p[0] + p[1] * p[1], 2_000);
+        let (best, val) = opt.best().unwrap();
+        assert!(val < 0.5, "val={val} at {best:?}");
+    }
+
+    #[test]
+    fn works_on_integer_lattice() {
+        let space = ParamSpace::new(vec![
+            ParamDef::integer("x", -20, 20, 1).unwrap(),
+            ParamDef::integer("y", -20, 20, 1).unwrap(),
+        ])
+        .unwrap();
+        let mut opt = NelderMead::with_defaults(space);
+        drive(
+            &mut opt,
+            |p| (p[0] - 4.0).powi(2) + (p[1] + 3.0).powi(2),
+            4_000,
+        );
+        let (_, val) = opt.best().unwrap();
+        // NM on lattices is unreliable (the point of the paper); accept
+        // any reasonable descent
+        assert!(val <= 9.0, "val={val}");
+    }
+
+    #[test]
+    fn proposals_are_singletons() {
+        let mut opt = NelderMead::with_defaults(cont_space(3));
+        for _ in 0..50 {
+            let b = opt.propose();
+            if b.is_empty() {
+                break;
+            }
+            assert_eq!(b.len(), 1);
+            opt.observe(&[b[0].iter().map(|c| c * c).sum()]);
+        }
+    }
+
+    #[test]
+    fn simplex_rank_is_full_at_start() {
+        let opt = NelderMead::with_defaults(cont_space(3));
+        assert_eq!(opt.simplex_rank(1e-9), 3);
+    }
+
+    #[test]
+    fn mckinnon_style_deformation_can_degenerate() {
+        // On a discrete lattice with nearest rounding the NM polytope can
+        // lose rank — the §3.1 failure mode. We only assert the rank
+        // diagnostic is usable mid-run (value in 0..=N).
+        let space = ParamSpace::new(vec![
+            ParamDef::integer("x", -5, 5, 1).unwrap(),
+            ParamDef::integer("y", -5, 5, 1).unwrap(),
+        ])
+        .unwrap();
+        let mut opt = NelderMead::with_defaults(space);
+        drive(&mut opt, |p| p[0].abs() + p[1].abs(), 200);
+        assert!(opt.simplex_rank(1e-9) <= 2);
+    }
+
+    #[test]
+    fn converges_and_stops() {
+        let mut opt = NelderMead::with_defaults(cont_space(1));
+        drive(&mut opt, |p| (p[0] - 2.0).powi(2), 5_000);
+        assert!(opt.converged());
+        assert!(opt.propose().is_empty());
+        assert!((opt.best().unwrap().0[0] - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn expansion_improves_on_steep_slopes() {
+        let mut opt = NelderMead::with_defaults(cont_space(2));
+        drive(&mut opt, |p| 100.0 - p[0] - p[1], 2_000);
+        let (best, _) = opt.best().unwrap();
+        // should walk toward the (10, 10) corner
+        assert!(best[0] > 5.0 && best[1] > 5.0, "best={best:?}");
+    }
+}

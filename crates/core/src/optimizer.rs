@@ -1,0 +1,109 @@
+//! The batch ask/tell optimizer interface.
+
+use harmony_params::{ParamSpace, Point};
+
+/// A direct-search optimizer driven in batches.
+///
+/// The driver repeatedly calls [`Optimizer::propose`] for the next batch
+/// of points to evaluate *concurrently*, measures them (applying its
+/// estimator and scheduling policy), and reports the estimates through
+/// [`Optimizer::observe`] in the same order. An empty proposal means the
+/// algorithm has nothing more to ask (converged or exhausted).
+///
+/// Implementations never evaluate the objective themselves — this is
+/// what lets one driver vary noise models, sample counts, and processor
+/// schedules across all algorithms uniformly.
+pub trait Optimizer {
+    /// The admissible region being searched.
+    fn space(&self) -> &ParamSpace;
+
+    /// The next batch of admissible points to evaluate concurrently.
+    /// Returns an empty batch iff the algorithm is finished.
+    fn propose(&mut self) -> Vec<Point>;
+
+    /// Reports the estimated objective values for the last proposal, in
+    /// proposal order.
+    ///
+    /// # Panics
+    /// Implementations panic if `values.len()` differs from the last
+    /// proposal's length or if called before `propose`.
+    fn observe(&mut self, values: &[f64]);
+
+    /// The best point and estimate seen so far (by raw estimate — under
+    /// noise this is an extreme-value-biased record, useful for
+    /// reporting but not what a tuning system should deploy).
+    fn best(&self) -> Option<(Point, f64)>;
+
+    /// The configuration the algorithm would *deploy now* — for simplex
+    /// methods the current best vertex `v⁰`, which under noisy
+    /// estimation can differ from the luckiest-ever observation.
+    /// Defaults to [`Optimizer::best`].
+    fn recommendation(&self) -> Option<(Point, f64)> {
+        self.best()
+    }
+
+    /// True once the algorithm's own stopping criterion has fired.
+    fn converged(&self) -> bool {
+        false
+    }
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Book-keeping shared by all optimizers: remembers the best estimate
+/// ever observed (the incumbent the cluster keeps running after
+/// convergence).
+#[derive(Debug, Clone, Default)]
+pub struct Incumbent {
+    best: Option<(Point, f64)>,
+}
+
+impl Incumbent {
+    /// Empty incumbent.
+    pub fn new() -> Self {
+        Incumbent::default()
+    }
+
+    /// Offers a candidate; keeps it when strictly better.
+    pub fn offer(&mut self, point: &Point, value: f64) {
+        if self.best.as_ref().is_none_or(|(_, b)| value < *b) {
+            self.best = Some((point.clone(), value));
+        }
+    }
+
+    /// Current best, if any.
+    pub fn get(&self) -> Option<(Point, f64)> {
+        self.best.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incumbent_keeps_minimum() {
+        let mut inc = Incumbent::new();
+        assert!(inc.get().is_none());
+        let a = Point::from(&[1.0][..]);
+        let b = Point::from(&[2.0][..]);
+        inc.offer(&a, 5.0);
+        inc.offer(&b, 7.0);
+        assert_eq!(inc.get().unwrap().1, 5.0);
+        inc.offer(&b, 3.0);
+        let (p, v) = inc.get().unwrap();
+        assert_eq!(v, 3.0);
+        assert_eq!(p, b);
+    }
+
+    #[test]
+    fn ties_keep_first() {
+        let mut inc = Incumbent::new();
+        let a = Point::from(&[1.0][..]);
+        let b = Point::from(&[2.0][..]);
+        inc.offer(&a, 5.0);
+        inc.offer(&b, 5.0);
+        assert_eq!(inc.get().unwrap().0, a);
+    }
+}

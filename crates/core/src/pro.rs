@@ -1,0 +1,766 @@
+//! Parallel Rank Ordering (Algorithm 2 of the paper).
+//!
+//! PRO maintains a simplex of `m` vertices (the paper recommends the
+//! symmetric `2N`-vertex simplex, §3.2.3). Each iteration:
+//!
+//! 1. **Reflection step** — reorder so `f(v⁰) ≤ … ≤ f(vⁿ)`, then
+//!    evaluate all `n` reflections `rʲ = Π(2v⁰ − vʲ)` *in parallel*.
+//! 2. If the best reflection beats `f(v⁰)`: **expansion check** —
+//!    evaluate the single most promising expansion
+//!    `e = Π(3v⁰ − 2vˡ)`, `l = argmin f(rʲ)`. The paper does this
+//!    deliberately instead of expanding everything at once: "there are
+//!    some expansion points with very poor performance that can slow
+//!    down the algorithm", and on a barrier-synchronised cluster one bad
+//!    evaluation stalls everyone.
+//! 3. If the check succeeds, the **expansion step** evaluates all
+//!    `eʲ = Π(3v⁰ − 2vʲ)` in parallel and accepts them; otherwise the
+//!    reflected points are accepted.
+//! 4. If no reflection beats `f(v⁰)`, the simplex **shrinks** around the
+//!    best vertex: `vʲ ← Π(½(v⁰ + vʲ))`.
+//!
+//! Reflection/expansion are accepted only when they beat the *best*
+//! point found so far — stricter than Nelder–Mead's "better than the
+//! worst vertex" rule, and the reason PRO is in the GSS class with
+//! guaranteed convergence behaviour (§3.2, Kolda et al.).
+//!
+//! When every vertex collapses onto `v⁰` (exactly, for discrete
+//! parameters — the toward-center projection guarantees this happens in
+//! finitely many shrinks), the **stopping criterion** (§3.2.2) probes the
+//! `2N` lattice neighbours of `v⁰`; if none improves, `v⁰` is a local
+//! minimum and the search stops, otherwise PRO continues with the probe
+//! simplex (we keep `v⁰` in it so the incumbent stays a vertex).
+
+use crate::optimizer::{Incumbent, Optimizer};
+use harmony_params::init::{initial_simplex, InitialShape, DEFAULT_RELATIVE_SIZE};
+use harmony_params::{ParamSpace, Point, Rounding, Simplex, StepKind};
+
+/// Tunable knobs of the PRO algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProConfig {
+    /// Initial simplex shape; the paper finds [`InitialShape::Symmetric`]
+    /// ("2N vertices") much better on discrete problems (Fig. 9).
+    pub shape: InitialShape,
+    /// Initial simplex relative size `r` (§3.2.3; default 0.2).
+    pub relative_size: f64,
+    /// Projection rounding rule; [`Rounding::TowardCenter`] is the
+    /// paper's operator, plain nearest is the ablation alternative.
+    pub rounding: Rounding,
+    /// When true (Algorithm 2), probe the single most promising
+    /// expansion point before committing the whole parallel expansion
+    /// step; when false, evaluate all expansions immediately and keep
+    /// whichever of {reflections, expansions} is better (ablation A1).
+    pub expansion_check: bool,
+    /// Chebyshev diameter below which the simplex counts as collapsed
+    /// (exact 0 is reached on discrete lattices).
+    pub collapse_tol: f64,
+    /// Relative neighbour step for continuous parameters in the
+    /// stopping-criterion probe.
+    pub probe_eps: f64,
+    /// Continuous-monitoring mode: when the §3.2.2 stopping criterion
+    /// finds no improving neighbour, do not stop — keep re-probing the
+    /// neighbourhood every phase (the optimizer never reports
+    /// convergence; the driver's step budget ends the session). This
+    /// models an Active-Harmony deployment that keeps verifying the
+    /// tuned point so it can react if conditions change, and is the
+    /// reading of the §6 simulation under which `NTT(ρ=0)` is exactly
+    /// linear in the sample count.
+    pub continuous: bool,
+}
+
+impl Default for ProConfig {
+    fn default() -> Self {
+        ProConfig {
+            shape: InitialShape::Symmetric,
+            relative_size: DEFAULT_RELATIVE_SIZE,
+            rounding: Rounding::TowardCenter,
+            expansion_check: true,
+            collapse_tol: 1e-9,
+            probe_eps: 0.01,
+            continuous: false,
+        }
+    }
+}
+
+/// Which batch the optimizer is waiting on.
+#[derive(Debug, Clone)]
+enum State {
+    /// Waiting for the initial vertices' values.
+    Init,
+    /// Waiting for the `n` parallel reflections.
+    Reflect,
+    /// Waiting for the single expansion-check point; carries the
+    /// reflected points and their values.
+    ExpandCheck { reflections: Vec<(Point, f64)> },
+    /// Waiting for the `n` parallel expansions; carries the reflections
+    /// as the fallback set for the no-check ablation.
+    Expand { reflections: Vec<(Point, f64)> },
+    /// Waiting for the `n` parallel shrink points.
+    Shrink,
+    /// Waiting for the stopping-criterion probe points.
+    Probe,
+    /// Search finished.
+    Done,
+}
+
+/// The Parallel Rank Ordering optimizer.
+///
+/// # Example
+///
+/// The ask/tell loop — the caller owns evaluation:
+///
+/// ```
+/// use harmony_core::{Optimizer, ProOptimizer};
+/// use harmony_params::{ParamDef, ParamSpace};
+///
+/// let space = ParamSpace::new(vec![
+///     ParamDef::integer("x", -20, 20, 1).unwrap(),
+///     ParamDef::integer("y", -20, 20, 1).unwrap(),
+/// ])
+/// .unwrap();
+/// let mut pro = ProOptimizer::with_defaults(space);
+/// loop {
+///     let batch = pro.propose();
+///     if batch.is_empty() {
+///         break; // converged
+///     }
+///     let values: Vec<f64> = batch.iter().map(|p| p[0] * p[0] + p[1] * p[1]).collect();
+///     pro.observe(&values);
+/// }
+/// assert_eq!(pro.best().unwrap().0.as_slice(), &[0.0, 0.0]);
+/// ```
+pub struct ProOptimizer {
+    space: ParamSpace,
+    cfg: ProConfig,
+    simplex: Simplex,
+    values: Vec<f64>,
+    state: State,
+    pending: Vec<Point>,
+    incumbent: Incumbent,
+    iterations: usize,
+    converged: bool,
+}
+
+impl ProOptimizer {
+    /// Creates PRO over `space` with the given configuration.
+    pub fn new(space: ParamSpace, cfg: ProConfig) -> Self {
+        let simplex =
+            initial_simplex(&space, cfg.shape, cfg.relative_size).expect("valid initial simplex");
+        let pending = simplex.vertices().to_vec();
+        ProOptimizer {
+            space,
+            cfg,
+            simplex,
+            values: Vec::new(),
+            state: State::Init,
+            pending,
+            incumbent: Incumbent::new(),
+            iterations: 0,
+            converged: false,
+        }
+    }
+
+    /// PRO with the paper's defaults (symmetric 2N simplex, `r = 0.2`,
+    /// toward-center projection, expansion check on).
+    pub fn with_defaults(space: ParamSpace) -> Self {
+        ProOptimizer::new(space, ProConfig::default())
+    }
+
+    /// Completed simplex-transform iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Re-anchors the search: rebuilds the initial simplex around
+    /// `center` and resets the state machine (the incumbent is kept).
+    /// Used by the multi-start wrapper to explore a fresh region.
+    ///
+    /// # Panics
+    /// Panics when `center` is inadmissible.
+    pub fn recenter(&mut self, center: &Point) {
+        self.simplex = harmony_params::init::initial_simplex_at(
+            &self.space,
+            self.cfg.shape,
+            self.cfg.relative_size,
+            center,
+        )
+        .expect("valid recentered simplex");
+        self.values = Vec::new();
+        self.pending = self.simplex.vertices().to_vec();
+        self.state = State::Init;
+        self.converged = false;
+    }
+
+    /// The current simplex (for diagnostics and tests).
+    pub fn simplex(&self) -> &Simplex {
+        &self.simplex
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ProConfig {
+        &self.cfg
+    }
+
+    fn best_vertex(&self) -> &Point {
+        self.simplex.vertex(0)
+    }
+
+    /// Projects a transformed point back into the admissible region,
+    /// rounding toward the transformation center `v⁰`.
+    fn project(&self, raw: &Point) -> Point {
+        self.space
+            .project(raw, self.best_vertex(), self.cfg.rounding)
+    }
+
+    /// The stopping-criterion evaluation batch: the 2N neighbour probes,
+    /// preceded (in continuous-monitoring mode) by `v⁰` itself so the
+    /// running configuration is re-measured with fresh noise instead of
+    /// trusting a possibly extreme-value-lucky stored estimate.
+    fn probe_batch(&self, probes: Vec<Point>) -> Vec<Point> {
+        if self.cfg.continuous {
+            let mut batch = Vec::with_capacity(probes.len() + 1);
+            batch.push(self.best_vertex().clone());
+            batch.extend(probes);
+            batch
+        } else {
+            probes
+        }
+    }
+
+    /// Applies `kind` to every non-best vertex and projects.
+    fn transformed(&self, kind: StepKind) -> Vec<Point> {
+        self.simplex
+            .transform_around(0, kind)
+            .iter()
+            .map(|p| self.project(p))
+            .collect()
+    }
+
+    /// Sorts the simplex by value and decides the next phase: probe when
+    /// collapsed, otherwise a parallel reflection step.
+    fn enter_iteration(&mut self) {
+        let mut order: Vec<usize> = (0..self.values.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.values[a]
+                .partial_cmp(&self.values[b])
+                .expect("finite objective values")
+        });
+        self.simplex.permute(&order);
+        let mut sorted = Vec::with_capacity(self.values.len());
+        for &i in &order {
+            sorted.push(self.values[i]);
+        }
+        self.values = sorted;
+
+        if self.simplex.collapsed(self.cfg.collapse_tol) {
+            let probes = self
+                .space
+                .probe_points(self.best_vertex(), self.cfg.probe_eps);
+            if probes.is_empty() {
+                self.converged = true;
+                self.state = State::Done;
+                self.pending = Vec::new();
+            } else {
+                self.pending = self.probe_batch(probes);
+                self.state = State::Probe;
+            }
+        } else {
+            self.pending = self.transformed(StepKind::Reflect);
+            self.state = State::Reflect;
+        }
+    }
+
+    /// Replaces all non-best vertices (indices `1..m`) with `points` and
+    /// their `values`, then starts the next iteration.
+    fn accept(&mut self, points: Vec<Point>, values: Vec<f64>) {
+        debug_assert_eq!(points.len(), self.simplex.len() - 1);
+        for (j, (p, v)) in points.into_iter().zip(values).enumerate() {
+            self.simplex.set_vertex(j + 1, p);
+            self.values[j + 1] = v;
+        }
+        self.iterations += 1;
+        self.enter_iteration();
+    }
+}
+
+impl Optimizer for ProOptimizer {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Vec<Point> {
+        if matches!(self.state, State::Done) {
+            return Vec::new();
+        }
+        self.pending.clone()
+    }
+
+    fn observe(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.pending.len(),
+            "observe: expected {} values, got {}",
+            self.pending.len(),
+            values.len()
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "observe: non-finite objective value"
+        );
+        for (p, &v) in self.pending.iter().zip(values.iter()) {
+            self.incumbent.offer(p, v);
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let state = std::mem::replace(&mut self.state, State::Done);
+        match state {
+            State::Init => {
+                self.values = values.to_vec();
+                self.enter_iteration();
+            }
+            State::Reflect => {
+                let reflections: Vec<(Point, f64)> =
+                    pending.into_iter().zip(values.iter().copied()).collect();
+                let l = argmin(values);
+                if values[l] < self.values[0] {
+                    // successful reflection: check or perform expansion
+                    if self.cfg.expansion_check {
+                        // expansion of the source vertex whose reflection
+                        // won: source of r^j is vertex j+1
+                        let source = self.simplex.vertex(l + 1);
+                        let raw = source.expand_through(self.best_vertex());
+                        self.pending = vec![self.project(&raw)];
+                        self.state = State::ExpandCheck { reflections };
+                    } else {
+                        self.pending = self.transformed(StepKind::Expand);
+                        self.state = State::Expand { reflections };
+                    }
+                } else {
+                    // failed reflection: shrink around the best vertex
+                    self.pending = self.transformed(StepKind::Shrink);
+                    self.state = State::Shrink;
+                }
+            }
+            State::ExpandCheck { reflections } => {
+                let e_val = values[0];
+                let best_reflection = reflections
+                    .iter()
+                    .map(|(_, v)| *v)
+                    .fold(f64::INFINITY, f64::min);
+                if e_val < best_reflection {
+                    // commit the full parallel expansion step
+                    self.pending = self.transformed(StepKind::Expand);
+                    self.state = State::Expand { reflections };
+                } else {
+                    let (pts, vals): (Vec<_>, Vec<_>) = reflections.into_iter().unzip();
+                    self.accept(pts, vals);
+                }
+            }
+            State::Expand { reflections } => {
+                let expansions: Vec<(Point, f64)> =
+                    pending.into_iter().zip(values.iter().copied()).collect();
+                if self.cfg.expansion_check {
+                    // Algorithm 2 accepts the expansion set unconditionally
+                    // once the check point succeeded
+                    let (pts, vals): (Vec<_>, Vec<_>) = expansions.into_iter().unzip();
+                    self.accept(pts, vals);
+                } else {
+                    // ablation: pick the better of the two parallel sets
+                    let best_e = expansions
+                        .iter()
+                        .map(|(_, v)| *v)
+                        .fold(f64::INFINITY, f64::min);
+                    let best_r = reflections
+                        .iter()
+                        .map(|(_, v)| *v)
+                        .fold(f64::INFINITY, f64::min);
+                    let chosen = if best_e < best_r {
+                        expansions
+                    } else {
+                        reflections
+                    };
+                    let (pts, vals): (Vec<_>, Vec<_>) = chosen.into_iter().unzip();
+                    self.accept(pts, vals);
+                }
+            }
+            State::Shrink => {
+                let vals = values.to_vec();
+                self.accept(pending, vals);
+            }
+            State::Probe => {
+                // in continuous mode the first batch entry is a fresh
+                // re-measurement of v0 itself; otherwise compare probes
+                // against the stored estimate
+                let (baseline, probe_pts, probe_vals) = if self.cfg.continuous {
+                    (values[0], &pending[1..], &values[1..])
+                } else {
+                    (self.values[0], pending.as_slice(), values)
+                };
+                let l = argmin(probe_vals);
+                if probe_vals[l] < baseline {
+                    // a neighbour improves: continue with the probe
+                    // simplex (v0 kept so the running point stays a
+                    // vertex)
+                    let mut verts = vec![self.best_vertex().clone()];
+                    let mut vals = vec![baseline];
+                    verts.extend(probe_pts.iter().cloned());
+                    vals.extend_from_slice(probe_vals);
+                    self.simplex = Simplex::new(verts).expect("probe simplex is valid");
+                    self.values = vals;
+                    self.iterations += 1;
+                    self.enter_iteration();
+                } else if self.cfg.continuous {
+                    // keep monitoring: adopt the fresh estimate of v0 and
+                    // re-probe the neighbourhood next phase
+                    for v in self.values.iter_mut() {
+                        *v = baseline;
+                    }
+                    let probes = self
+                        .space
+                        .probe_points(self.best_vertex(), self.cfg.probe_eps);
+                    self.pending = self.probe_batch(probes);
+                    self.state = State::Probe;
+                } else {
+                    // v0 is a local minimum: stop (§3.2.2)
+                    self.converged = true;
+                    self.state = State::Done;
+                }
+            }
+            State::Done => panic!("observe called after convergence"),
+        }
+    }
+
+    fn best(&self) -> Option<(Point, f64)> {
+        self.incumbent.get()
+    }
+
+    fn recommendation(&self) -> Option<(Point, f64)> {
+        // deploy the current best simplex vertex — what Active Harmony
+        // actually sets the application's parameters to
+        if self.values.is_empty() {
+            self.incumbent.get()
+        } else {
+            Some((self.simplex.vertex(0).clone(), self.values[0]))
+        }
+    }
+
+    fn converged(&self) -> bool {
+        self.converged
+    }
+
+    fn name(&self) -> &str {
+        "pro"
+    }
+}
+
+fn argmin(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite objective values"))
+        .expect("non-empty batch")
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_params::ParamDef;
+
+    fn lattice_space(lo: i64, hi: i64) -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::integer("x", lo, hi, 1).unwrap(),
+            ParamDef::integer("y", lo, hi, 1).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// Drives an optimizer against a deterministic objective until
+    /// convergence or the budget runs out; returns evaluation count.
+    fn drive<F: Fn(&Point) -> f64>(opt: &mut ProOptimizer, f: F, max_batches: usize) -> usize {
+        let mut evals = 0;
+        for _ in 0..max_batches {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            evals += batch.len();
+            let vals: Vec<f64> = batch.iter().map(&f).collect();
+            opt.observe(&vals);
+        }
+        evals
+    }
+
+    #[test]
+    fn converges_to_global_min_of_bowl() {
+        let space = lattice_space(-50, 50);
+        let mut opt = ProOptimizer::with_defaults(space);
+        drive(&mut opt, |p| p[0] * p[0] + p[1] * p[1] + 3.0, 500);
+        assert!(opt.converged(), "did not converge");
+        let (best, val) = opt.best().unwrap();
+        assert_eq!(best.as_slice(), &[0.0, 0.0]);
+        assert_eq!(val, 3.0);
+    }
+
+    #[test]
+    fn converges_to_shifted_minimum() {
+        let space = lattice_space(0, 100);
+        let mut opt = ProOptimizer::with_defaults(space);
+        drive(&mut opt, |p| (p[0] - 13.0).abs() + (p[1] - 77.0).abs(), 500);
+        assert!(opt.converged());
+        let (best, _) = opt.best().unwrap();
+        assert_eq!(best.as_slice(), &[13.0, 77.0]);
+    }
+
+    #[test]
+    fn all_proposals_are_admissible() {
+        let space = ParamSpace::new(vec![
+            ParamDef::integer("x", 0, 30, 3).unwrap(),
+            ParamDef::levels("y", vec![1.0, 2.0, 5.0, 9.0]).unwrap(),
+        ])
+        .unwrap();
+        let mut opt = ProOptimizer::with_defaults(space.clone());
+        for _ in 0..200 {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            for p in &batch {
+                assert!(space.is_admissible(p), "inadmissible proposal {p:?}");
+            }
+            let vals: Vec<f64> = batch.iter().map(|p| (p[0] - 9.0).powi(2) + p[1]).collect();
+            opt.observe(&vals);
+        }
+    }
+
+    #[test]
+    fn expansion_path_taken_on_descending_plane() {
+        // on a linear slope reflections always improve and expansions
+        // improve further, so the first iterations must expand
+        let space = lattice_space(-100, 100);
+        let mut opt = ProOptimizer::with_defaults(space);
+        // f decreasing in x+y: minimum at (100, 100) corner... use
+        // negative slope toward corner
+        drive(&mut opt, |p| 1000.0 - p[0] - p[1], 500);
+        assert!(opt.converged());
+        let (best, _) = opt.best().unwrap();
+        assert_eq!(best.as_slice(), &[100.0, 100.0]);
+    }
+
+    #[test]
+    fn probe_escapes_fake_convergence() {
+        // Scripted oracle: force the simplex to collapse onto x = 3 while
+        // the probe discovers the better neighbour x = 2, verifying the
+        // §3.2.2 "continue PRO with the generated simplex" branch.
+        let space = ParamSpace::new(vec![ParamDef::integer("x", 0, 4, 1).unwrap()]).unwrap();
+        let cfg = ProConfig {
+            relative_size: 0.5, // b = 1 -> initial simplex {3, 1}
+            ..ProConfig::default()
+        };
+        let mut opt = ProOptimizer::new(space, cfg);
+        // (expected proposal, scripted values)
+        let script: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![3.0, 1.0], vec![1.0, 2.0]), // init: v0 = 3
+            (vec![4.0], vec![5.0]),           // reflect 2*3-1=5 -> clamp 4: fails
+            (vec![2.0], vec![3.0]),           // shrink midpoint
+            (vec![4.0], vec![6.0]),           // reflect 2*3-2=4: fails
+            (vec![3.0], vec![1.1]),           // shrink collapses onto 3
+            (vec![2.0, 4.0], vec![0.5, 7.0]), // probe: neighbour 2 improves!
+            (vec![1.0, 0.0], vec![5.0, 5.0]), // continue: reflections fail
+            (vec![2.0, 3.0], vec![0.6, 5.0]), // shrink
+            (vec![2.0, 1.0], vec![5.0, 5.0]), // reflections fail again
+            (vec![2.0, 2.0], vec![0.6, 0.6]), // shrink collapses onto 2
+            (vec![1.0, 3.0], vec![9.0, 9.0]), // probe finds nothing: done
+        ];
+        for (i, (expect, answers)) in script.iter().enumerate() {
+            let batch = opt.propose();
+            let got: Vec<f64> = batch.iter().map(|p| p[0]).collect();
+            assert_eq!(&got, expect, "step {i}");
+            opt.observe(answers);
+        }
+        assert!(opt.converged());
+        assert!(opt.propose().is_empty());
+        let (best, val) = opt.best().unwrap();
+        assert_eq!(best.as_slice(), &[2.0]);
+        assert_eq!(val, 0.5);
+    }
+
+    #[test]
+    fn converged_stops_proposing() {
+        let space = lattice_space(-5, 5);
+        let mut opt = ProOptimizer::with_defaults(space);
+        drive(&mut opt, |p| p[0] * p[0] + p[1] * p[1], 500);
+        assert!(opt.converged());
+        assert!(opt.propose().is_empty());
+    }
+
+    #[test]
+    fn no_expansion_check_still_converges() {
+        let space = lattice_space(-30, 30);
+        let cfg = ProConfig {
+            expansion_check: false,
+            ..ProConfig::default()
+        };
+        let mut opt = ProOptimizer::new(space, cfg);
+        drive(
+            &mut opt,
+            |p| (p[0] - 7.0).powi(2) + (p[1] + 4.0).powi(2),
+            500,
+        );
+        assert!(opt.converged());
+        let (best, _) = opt.best().unwrap();
+        assert_eq!(best.as_slice(), &[7.0, -4.0]);
+    }
+
+    #[test]
+    fn minimal_simplex_also_works() {
+        let space = lattice_space(-30, 30);
+        let cfg = ProConfig {
+            shape: InitialShape::Minimal,
+            ..ProConfig::default()
+        };
+        let mut opt = ProOptimizer::new(space, cfg);
+        drive(&mut opt, |p| p[0].abs() + p[1].abs(), 500);
+        assert!(opt.converged());
+        assert_eq!(opt.best().unwrap().0.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn nearest_rounding_ablation_converges() {
+        let space = lattice_space(-30, 30);
+        let cfg = ProConfig {
+            rounding: Rounding::Nearest,
+            ..ProConfig::default()
+        };
+        let mut opt = ProOptimizer::new(space, cfg);
+        drive(&mut opt, |p| p[0] * p[0] + p[1] * p[1], 2_000);
+        // nearest rounding loses the guaranteed discrete collapse, but on
+        // a bowl it still finds the optimum
+        assert_eq!(opt.best().unwrap().0.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_given_same_observations() {
+        let space = lattice_space(-20, 20);
+        let f = |p: &Point| (p[0] - 3.0).powi(2) + (p[1] - 2.0).powi(2);
+        let run = || {
+            let mut opt = ProOptimizer::with_defaults(space.clone());
+            let mut log = Vec::new();
+            for _ in 0..100 {
+                let batch = opt.propose();
+                if batch.is_empty() {
+                    break;
+                }
+                log.extend(batch.iter().map(|p| (p[0], p[1])));
+                let vals: Vec<f64> = batch.iter().map(f).collect();
+                opt.observe(&vals);
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn iteration_counter_advances() {
+        let space = lattice_space(-20, 20);
+        let mut opt = ProOptimizer::with_defaults(space);
+        drive(&mut opt, |p| p[0] * p[0] + p[1] * p[1], 500);
+        assert!(opt.iterations() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn wrong_observation_length_panics() {
+        let space = lattice_space(-5, 5);
+        let mut opt = ProOptimizer::with_defaults(space);
+        let n = opt.propose().len();
+        assert!(n > 1);
+        opt.observe(&[1.0]);
+    }
+
+    #[test]
+    fn handles_1d_space() {
+        let space = ParamSpace::new(vec![ParamDef::integer("x", -40, 40, 1).unwrap()]).unwrap();
+        let mut opt = ProOptimizer::with_defaults(space);
+        drive(&mut opt, |p| (p[0] - 11.0).powi(2), 500);
+        assert!(opt.converged());
+        assert_eq!(opt.best().unwrap().0.as_slice(), &[11.0]);
+    }
+
+    #[test]
+    fn continuous_mode_never_converges_and_keeps_probing() {
+        let space = lattice_space(-10, 10);
+        let cfg = ProConfig {
+            continuous: true,
+            ..ProConfig::default()
+        };
+        let mut opt = ProOptimizer::new(space, cfg);
+        let f = |p: &Point| p[0] * p[0] + p[1] * p[1] + 1.0;
+        for _ in 0..400 {
+            let batch = opt.propose();
+            assert!(!batch.is_empty(), "continuous mode must keep proposing");
+            let vals: Vec<f64> = batch.iter().map(f).collect();
+            opt.observe(&vals);
+        }
+        assert!(!opt.converged());
+        // the recommendation still lands on the optimum
+        let (rec, _) = opt.recommendation().unwrap();
+        assert_eq!(rec.as_slice(), &[0.0, 0.0]);
+        // and the steady state is the probe batch: v0 plus its neighbours
+        let batch = opt.propose();
+        assert_eq!(batch[0].as_slice(), &[0.0, 0.0]);
+        assert!(batch.len() >= 3);
+    }
+
+    #[test]
+    fn continuous_mode_refreshes_v0_estimate() {
+        // feed a lucky-low value for v0 once; a later fresh re-measurement
+        // must replace it (the stored estimate is not sticky)
+        let space = ParamSpace::new(vec![ParamDef::integer("x", 0, 4, 1).unwrap()]).unwrap();
+        let cfg = ProConfig {
+            continuous: true,
+            relative_size: 0.5,
+            ..ProConfig::default()
+        };
+        let mut opt = ProOptimizer::new(space, cfg);
+        // init {3, 1}: give 3 a lucky low value
+        opt.observe(&[0.1, 5.0]); // v0 = 3 @ 0.1
+                                  // reflect [4]: bad
+        opt.observe(&[9.0]);
+        // shrink [2]: bad
+        opt.observe(&[9.0]);
+        // reflect [4]: bad -> shrink [3] collapses
+        opt.observe(&[9.0]);
+        opt.observe(&[0.2]);
+        // probe batch = [3 (re-measured), 2, 4]
+        let batch = opt.propose();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].as_slice(), &[3.0]);
+        // fresh v0 measurement is 4.0 (the luck is gone); neighbour 2 now
+        // looks better at 3.0 -> the search must move off the plateau
+        opt.observe(&[4.0, 3.0, 9.0]);
+        let (rec, val) = opt.recommendation().unwrap();
+        assert_eq!(rec.as_slice(), &[2.0]);
+        assert_eq!(val, 3.0);
+    }
+
+    #[test]
+    fn rugged_surface_reaches_good_local_minimum() {
+        // multi-minimum surface: PRO is a local method; assert it ends
+        // at *a* local minimum (no 4-neighbour improves)
+        let space = lattice_space(-20, 20);
+        let f = |p: &Point| {
+            let (x, y) = (p[0], p[1]);
+            x * x + y * y + 30.0 * ((0.9 * x).sin().powi(2) + (0.7 * y).sin().powi(2))
+        };
+        let mut opt = ProOptimizer::with_defaults(space.clone());
+        drive(&mut opt, f, 2_000);
+        assert!(opt.converged());
+        let (best, val) = opt.best().unwrap();
+        for probe in space.probe_points(&best, 0.01) {
+            assert!(
+                f(&probe) >= val,
+                "probe {probe:?} ({}) beats best {best:?} ({val})",
+                f(&probe)
+            );
+        }
+    }
+}

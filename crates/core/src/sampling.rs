@@ -1,0 +1,143 @@
+//! The estimator layer (§5): how `K` raw observations of one point are
+//! reduced to the single estimate fed to the optimizer.
+//!
+//! The conventional choice is the sample mean, but a heavy-tailed
+//! `n(v)` has infinite variance so the mean never concentrates (§5.1).
+//! The paper's proposal is the **minimum**: for Pareto(α) noise the min
+//! of `K` samples is Pareto(`Kα`), finite-variance as soon as
+//! `K > 2/α`, and `f + n_min(f)` is increasing in `f`, so comparing
+//! minima preserves the true ordering of candidate points.
+
+/// Reduction applied to the `K` observations of one candidate point.
+///
+/// # Example
+///
+/// ```
+/// use harmony_core::Estimator;
+///
+/// let samples = [5.2, 47.0, 5.4]; // one heavy-tail outlier
+/// assert_eq!(Estimator::MinOfK(3).reduce(&samples), 5.2);
+/// assert!(Estimator::MeanOfK(3).reduce(&samples) > 19.0); // wrecked
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Estimator {
+    /// One observation, used as-is (`K = 1`).
+    Single,
+    /// Minimum of `K` observations — the paper's resilient estimator
+    /// (`L_y^{(K)}`, eq. 13).
+    MinOfK(
+        /// Number of samples `K ≥ 1`.
+        usize,
+    ),
+    /// Mean of `K` observations — the conventional estimator that fails
+    /// under infinite variance.
+    MeanOfK(
+        /// Number of samples `K ≥ 1`.
+        usize,
+    ),
+    /// Median of `K` observations — a robust-statistics control.
+    MedianOfK(
+        /// Number of samples `K ≥ 1`.
+        usize,
+    ),
+}
+
+impl Estimator {
+    /// The number of samples the estimator consumes per point.
+    pub fn samples(&self) -> usize {
+        match *self {
+            Estimator::Single => 1,
+            Estimator::MinOfK(k) | Estimator::MeanOfK(k) | Estimator::MedianOfK(k) => {
+                assert!(k >= 1, "estimator needs at least one sample");
+                k
+            }
+        }
+    }
+
+    /// Reduces one point's observations to its estimate.
+    ///
+    /// # Panics
+    /// Panics when `samples` is empty or its length differs from
+    /// [`Estimator::samples`].
+    pub fn reduce(&self, samples: &[f64]) -> f64 {
+        assert_eq!(
+            samples.len(),
+            self.samples(),
+            "estimator expected {} samples, got {}",
+            self.samples(),
+            samples.len()
+        );
+        match *self {
+            Estimator::Single => samples[0],
+            Estimator::MinOfK(_) => samples.iter().copied().fold(f64::INFINITY, f64::min),
+            Estimator::MeanOfK(k) => samples.iter().sum::<f64>() / k as f64,
+            Estimator::MedianOfK(_) => {
+                let mut s = samples.to_vec();
+                s.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                let n = s.len();
+                if n % 2 == 1 {
+                    s[n / 2]
+                } else {
+                    0.5 * (s[n / 2 - 1] + s[n / 2])
+                }
+            }
+        }
+    }
+
+    /// Short label for reports ("min3", "mean5", …).
+    pub fn label(&self) -> String {
+        match *self {
+            Estimator::Single => "single".into(),
+            Estimator::MinOfK(k) => format!("min{k}"),
+            Estimator::MeanOfK(k) => format!("mean{k}"),
+            Estimator::MedianOfK(k) => format!("median{k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_counts() {
+        assert_eq!(Estimator::Single.samples(), 1);
+        assert_eq!(Estimator::MinOfK(5).samples(), 5);
+        assert_eq!(Estimator::MeanOfK(3).samples(), 3);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Estimator::Single.reduce(&[4.0]), 4.0);
+        assert_eq!(Estimator::MinOfK(3).reduce(&[4.0, 2.0, 9.0]), 2.0);
+        assert_eq!(Estimator::MeanOfK(3).reduce(&[4.0, 2.0, 9.0]), 5.0);
+        assert_eq!(Estimator::MedianOfK(3).reduce(&[4.0, 2.0, 9.0]), 4.0);
+        assert_eq!(Estimator::MedianOfK(4).reduce(&[4.0, 2.0, 9.0, 6.0]), 5.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Estimator::Single.label(), "single");
+        assert_eq!(Estimator::MinOfK(10).label(), "min10");
+        assert_eq!(Estimator::MedianOfK(7).label(), "median7");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 samples")]
+    fn wrong_sample_count_rejected() {
+        Estimator::MinOfK(3).reduce(&[1.0]);
+    }
+
+    #[test]
+    fn min_beats_mean_under_outliers() {
+        // one giant outlier wrecks the mean but not the min
+        let clean = [5.0, 5.1, 4.9];
+        let dirty = [5.0, 500.0, 4.9];
+        let min_shift =
+            (Estimator::MinOfK(3).reduce(&dirty) - Estimator::MinOfK(3).reduce(&clean)).abs();
+        let mean_shift =
+            (Estimator::MeanOfK(3).reduce(&dirty) - Estimator::MeanOfK(3).reduce(&clean)).abs();
+        assert!(min_shift < 1e-12);
+        assert!(mean_shift > 100.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! An Active-Harmony-style tuning server with real client threads.
+//!
+//! Active Harmony structures on-line tuning as a central server owning
+//! the optimizer state while the application's SPMD processes fetch
+//! parameter assignments and report measured performance. This module
+//! reproduces that architecture in-process: one server (the calling
+//! thread) and `P` client threads exchanging messages over crossbeam
+//! channels. Each barrier-synchronised time step the server hands every
+//! active client one `(point, sample)` evaluation slot, collects the
+//! reports, charges the step the worst observation (eq. 1), and advances
+//! the optimizer when a batch completes.
+//!
+//! Unlike [`crate::tuner::OnlineTuner`] (which models §6.2's sequential
+//! worst case), the server packs `(point, sample)` slots densely over
+//! processors — §5.2's observation that with `P ≥ n·K` processors,
+//! multi-sampling is free: "If there are 64 parallel processors running
+//! GS2 concurrently, we can set K = 10 with no additional cost."
+
+use crate::optimizer::Optimizer;
+use crate::sampling::Estimator;
+use crate::tuner::TuningOutcome;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use harmony_cluster::TuningTrace;
+use harmony_params::Point;
+use harmony_surface::Objective;
+use harmony_variability::noise::NoiseModel;
+use harmony_variability::{seeded_rng, stream_seed};
+
+/// Configuration of a distributed tuning session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Number of client threads (simulated SPMD processes).
+    pub procs: usize,
+    /// Time-step budget `K`.
+    pub max_steps: usize,
+    /// Estimator reducing each point's samples.
+    pub estimator: Estimator,
+    /// Base RNG seed (each client gets a derived stream).
+    pub seed: u64,
+}
+
+/// Server→client message.
+enum Task {
+    /// Evaluate `point`; echo `slot` back in the report.
+    Run { slot: usize, point: Point },
+    /// Shut down the client loop.
+    Stop,
+}
+
+/// Client→server measurement report.
+struct Report {
+    slot: usize,
+    observed: f64,
+}
+
+/// Runs one distributed tuning session: spawns `procs` client threads,
+/// drives `optimizer` to convergence or budget exhaustion, exploits the
+/// incumbent for the remaining steps, and joins all clients.
+pub fn run_distributed<O, M>(
+    objective: &O,
+    noise: &M,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+) -> TuningOutcome
+where
+    O: Objective + Sync + ?Sized,
+    M: NoiseModel + Sync + ?Sized,
+{
+    assert!(cfg.procs > 0, "server needs at least one client");
+    assert!(cfg.max_steps > 0, "server needs a positive step budget");
+
+    crossbeam::thread::scope(|scope| {
+        let (report_tx, report_rx) = unbounded::<Report>();
+        let mut client_txs: Vec<Sender<Task>> = Vec::with_capacity(cfg.procs);
+        for c in 0..cfg.procs {
+            let (task_tx, task_rx) = unbounded::<Task>();
+            client_txs.push(task_tx);
+            let report_tx = report_tx.clone();
+            scope.spawn(move |_| client_loop(c, task_rx, report_tx, objective, noise, cfg.seed));
+        }
+        drop(report_tx);
+
+        let outcome = serve(objective, optimizer, cfg, &client_txs, &report_rx);
+        for tx in &client_txs {
+            tx.send(Task::Stop).expect("client alive at shutdown");
+        }
+        outcome
+    })
+    .expect("tuning client panicked")
+}
+
+/// One simulated SPMD process: fetch task, run (evaluate objective under
+/// local noise), report.
+fn client_loop<O, M>(
+    id: usize,
+    tasks: Receiver<Task>,
+    reports: Sender<Report>,
+    objective: &O,
+    noise: &M,
+    seed: u64,
+) where
+    O: Objective + ?Sized,
+    M: NoiseModel + ?Sized,
+{
+    let mut rng = seeded_rng(stream_seed(seed, id as u64 + 1));
+    while let Ok(task) = tasks.recv() {
+        match task {
+            Task::Run { slot, point } => {
+                let cost = objective.eval(&point);
+                let observed = noise.observe(cost, &mut rng);
+                if reports.send(Report { slot, observed }).is_err() {
+                    break; // server gone
+                }
+            }
+            Task::Stop => break,
+        }
+    }
+}
+
+/// The server side: batch scheduling, step accounting, optimizer
+/// advancement, exploit fill.
+fn serve<O>(
+    objective: &O,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+    clients: &[Sender<Task>],
+    reports: &Receiver<Report>,
+) -> TuningOutcome
+where
+    O: Objective + ?Sized,
+{
+    let mut trace = TuningTrace::new();
+    let mut evaluations = 0usize;
+    let mut quality_curve: Vec<(usize, f64)> = Vec::new();
+    let k = cfg.estimator.samples();
+
+    while trace.len() < cfg.max_steps && !optimizer.converged() {
+        let batch = optimizer.propose();
+        if batch.is_empty() {
+            break;
+        }
+        // flat (point, sample) slots, packed densely over clients
+        let slots: Vec<usize> = (0..batch.len() * k).collect();
+        let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(k); batch.len()];
+        for chunk in slots.chunks(clients.len()) {
+            for (client, &slot) in clients.iter().zip(chunk.iter()) {
+                let point = batch[slot / k].clone();
+                client
+                    .send(Task::Run { slot, point })
+                    .expect("client alive during step");
+            }
+            let mut t_k = f64::NEG_INFINITY;
+            for _ in 0..chunk.len() {
+                let report = reports.recv().expect("client reports before exiting");
+                t_k = t_k.max(report.observed);
+                samples[report.slot / k].push(report.observed);
+            }
+            trace.push(t_k);
+            evaluations += chunk.len();
+        }
+        let estimates: Vec<f64> = samples.iter().map(|s| cfg.estimator.reduce(s)).collect();
+        optimizer.observe(&estimates);
+        if let Some((rec, _)) = optimizer.recommendation() {
+            quality_curve.push((trace.len(), objective.eval(&rec)));
+        }
+    }
+
+    let (best_point, best_estimate) = optimizer
+        .recommendation()
+        .expect("distributed session observed at least one batch");
+    let best_true_cost = objective.eval(&best_point);
+
+    // exploit: one client keeps running the tuned configuration
+    while trace.len() < cfg.max_steps {
+        clients[0]
+            .send(Task::Run {
+                slot: 0,
+                point: best_point.clone(),
+            })
+            .expect("client alive during exploit");
+        let report = reports.recv().expect("client reports during exploit");
+        trace.push(report.observed);
+    }
+
+    TuningOutcome {
+        trace,
+        steps_budget: cfg.max_steps,
+        best_point,
+        best_estimate,
+        best_true_cost,
+        converged: optimizer.converged(),
+        evaluations,
+        quality_curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pro::ProOptimizer;
+    use harmony_params::{ParamDef, ParamSpace};
+    use harmony_surface::objective::FnObjective;
+    use harmony_variability::noise::Noise;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::integer("x", -15, 15, 1).unwrap(),
+            ParamDef::integer("y", -15, 15, 1).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn bowl() -> FnObjective<impl Fn(&Point) -> f64 + Sync> {
+        FnObjective::new("bowl", space(), |p| 1.5 + 0.1 * (p[0] * p[0] + p[1] * p[1]))
+    }
+
+    fn cfg(estimator: Estimator, steps: usize, procs: usize) -> ServerConfig {
+        ServerConfig {
+            procs,
+            max_steps: steps,
+            estimator,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn distributed_session_finds_optimum() {
+        let obj = bowl();
+        let mut opt = ProOptimizer::with_defaults(space());
+        let out = run_distributed(&obj, &Noise::None, &mut opt, cfg(Estimator::Single, 80, 8));
+        assert!(out.converged);
+        assert_eq!(out.best_point.as_slice(), &[0.0, 0.0]);
+        assert_eq!(out.best_true_cost, 1.5);
+        assert!(out.trace.len() >= 80);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let obj = bowl();
+        let noise = Noise::paper_default(0.2);
+        let run = || {
+            let mut opt = ProOptimizer::with_defaults(space());
+            run_distributed(&obj, &noise, &mut opt, cfg(Estimator::MinOfK(2), 60, 4)).total_time()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn free_parallel_multisampling() {
+        // §5.2: with plenty of processors, K samples cost no extra steps.
+        // The 2-D symmetric simplex proposes 4 points; with 64 clients a
+        // K=10 batch still fits one step, so the converged trace length
+        // matches the K=1 run's.
+        let obj = bowl();
+        let steps = |est: Estimator| {
+            let mut opt = ProOptimizer::with_defaults(space());
+            let out = run_distributed(&obj, &Noise::None, &mut opt, cfg(est, 50, 64));
+            out.evaluations
+        };
+        let e1 = steps(Estimator::Single);
+        let e10 = steps(Estimator::MinOfK(10));
+        assert!(e10 >= 9 * e1, "e1={e1} e10={e10}");
+        // both sessions converged within the same step budget
+    }
+
+    #[test]
+    fn fewer_procs_than_batch_splits_steps() {
+        let obj = bowl();
+        let mut opt = ProOptimizer::with_defaults(space());
+        // 4-point batches on 2 clients: every batch takes 2 steps
+        let out = run_distributed(&obj, &Noise::None, &mut opt, cfg(Estimator::Single, 30, 2));
+        assert!(out.trace.len() >= 30);
+        assert_eq!(out.best_point.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn noisy_distributed_session_stays_reasonable() {
+        let obj = bowl();
+        let noise = Noise::Pareto {
+            alpha: 1.7,
+            rho: 0.3,
+        };
+        let mut opt = ProOptimizer::with_defaults(space());
+        let out = run_distributed(&obj, &noise, &mut opt, cfg(Estimator::MinOfK(5), 100, 32));
+        // heavy noise, but min-of-5 keeps the chosen point decent
+        assert!(out.best_true_cost < 4.0, "true={}", out.best_true_cost);
+    }
+}

@@ -1,0 +1,399 @@
+//! Sequential Rank Ordering (Algorithm 1 of the paper).
+//!
+//! The sequential ancestor of PRO: at each iteration only the *worst*
+//! vertex's reflection `r = Π(2v⁰ − vⁿ)` is checked (one evaluation). If
+//! it beats `f(v⁰)` the expansion `e = Π(3v⁰ − 2vⁿ)` is checked (one
+//! more evaluation) and the whole simplex is then reflected or expanded
+//! vertex-by-vertex; otherwise the simplex shrinks. Every evaluation is
+//! proposed as its own singleton batch — on a cluster this models one
+//! configuration change per time step, which is exactly why the paper
+//! parallelised the algorithm.
+
+use crate::optimizer::{Incumbent, Optimizer};
+use harmony_params::init::{initial_simplex, InitialShape, DEFAULT_RELATIVE_SIZE};
+use harmony_params::{ParamSpace, Point, Rounding, Simplex, StepKind};
+
+/// Configuration of Sequential Rank Ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SroConfig {
+    /// Initial simplex shape (the paper's SRO discussion uses the
+    /// minimal simplex; symmetric also works).
+    pub shape: InitialShape,
+    /// Initial simplex relative size `r`.
+    pub relative_size: f64,
+    /// Projection rounding rule.
+    pub rounding: Rounding,
+    /// Collapse tolerance for the stopping criterion.
+    pub collapse_tol: f64,
+    /// Continuous-neighbour step for the stopping probe.
+    pub probe_eps: f64,
+}
+
+impl Default for SroConfig {
+    fn default() -> Self {
+        SroConfig {
+            shape: InitialShape::Symmetric,
+            relative_size: DEFAULT_RELATIVE_SIZE,
+            rounding: Rounding::TowardCenter,
+            collapse_tol: 1e-9,
+            probe_eps: 0.01,
+        }
+    }
+}
+
+/// What the sequence of singleton evaluations currently being drained
+/// will be used for once complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Evaluating the initial vertices.
+    Init,
+    /// Evaluating the single reflection-check point `r`.
+    ReflectCheck,
+    /// Evaluating the single expansion-check point `e`.
+    ExpandCheck,
+    /// Evaluating the full reflected vertex set.
+    ReflectAll,
+    /// Evaluating the full expanded vertex set.
+    ExpandAll,
+    /// Evaluating the shrink set.
+    Shrink,
+    /// Evaluating the stopping-criterion probes.
+    Probe,
+    /// Finished.
+    Done,
+}
+
+/// The Sequential Rank Ordering optimizer (proposals are singletons).
+pub struct SroOptimizer {
+    space: ParamSpace,
+    cfg: SroConfig,
+    simplex: Simplex,
+    values: Vec<f64>,
+    phase: Phase,
+    /// Points queued for the current phase and values received so far.
+    queue: Vec<Point>,
+    got: Vec<f64>,
+    /// `f(r)` kept across the expansion check.
+    reflect_check_val: f64,
+    incumbent: Incumbent,
+    iterations: usize,
+    converged: bool,
+}
+
+impl SroOptimizer {
+    /// Creates SRO over `space`.
+    pub fn new(space: ParamSpace, cfg: SroConfig) -> Self {
+        let simplex =
+            initial_simplex(&space, cfg.shape, cfg.relative_size).expect("valid initial simplex");
+        let queue = simplex.vertices().to_vec();
+        SroOptimizer {
+            space,
+            cfg,
+            simplex,
+            values: Vec::new(),
+            phase: Phase::Init,
+            queue,
+            got: Vec::new(),
+            reflect_check_val: f64::NAN,
+            incumbent: Incumbent::new(),
+            iterations: 0,
+            converged: false,
+        }
+    }
+
+    /// SRO with default configuration.
+    pub fn with_defaults(space: ParamSpace) -> Self {
+        SroOptimizer::new(space, SroConfig::default())
+    }
+
+    /// Completed simplex-transform iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn best_vertex(&self) -> &Point {
+        self.simplex.vertex(0)
+    }
+
+    fn project(&self, raw: &Point) -> Point {
+        self.space
+            .project(raw, self.best_vertex(), self.cfg.rounding)
+    }
+
+    fn transformed(&self, kind: StepKind) -> Vec<Point> {
+        self.simplex
+            .transform_around(0, kind)
+            .iter()
+            .map(|p| self.project(p))
+            .collect()
+    }
+
+    fn start_phase(&mut self, phase: Phase, queue: Vec<Point>) {
+        self.phase = phase;
+        self.queue = queue;
+        self.got = Vec::new();
+    }
+
+    fn enter_iteration(&mut self) {
+        let mut order: Vec<usize> = (0..self.values.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.values[a]
+                .partial_cmp(&self.values[b])
+                .expect("finite objective values")
+        });
+        self.simplex.permute(&order);
+        self.values = order.iter().map(|&i| self.values[i]).collect();
+
+        if self.simplex.collapsed(self.cfg.collapse_tol) {
+            let probes = self
+                .space
+                .probe_points(self.best_vertex(), self.cfg.probe_eps);
+            if probes.is_empty() {
+                self.converged = true;
+                self.phase = Phase::Done;
+                self.queue = Vec::new();
+            } else {
+                self.start_phase(Phase::Probe, probes);
+            }
+        } else {
+            // reflection check of the worst vertex only
+            let worst = self.simplex.vertex(self.simplex.len() - 1);
+            let r = self.project(&worst.reflect_through(self.best_vertex()));
+            self.start_phase(Phase::ReflectCheck, vec![r]);
+        }
+    }
+
+    fn accept(&mut self, points: Vec<Point>, values: Vec<f64>) {
+        for (j, (p, v)) in points.into_iter().zip(values).enumerate() {
+            self.simplex.set_vertex(j + 1, p);
+            self.values[j + 1] = v;
+        }
+        self.iterations += 1;
+        self.enter_iteration();
+    }
+
+    /// Handles a completed phase (all queued singletons evaluated).
+    fn phase_complete(&mut self) {
+        let queue = std::mem::take(&mut self.queue);
+        let got = std::mem::take(&mut self.got);
+        match self.phase {
+            Phase::Init => {
+                self.values = got;
+                self.enter_iteration();
+            }
+            Phase::ReflectCheck => {
+                let f_r = got[0];
+                if f_r < self.values[0] {
+                    self.reflect_check_val = f_r;
+                    let worst = self.simplex.vertex(self.simplex.len() - 1);
+                    let e = self.project(&worst.expand_through(self.best_vertex()));
+                    self.start_phase(Phase::ExpandCheck, vec![e]);
+                } else {
+                    let shrinks = self.transformed(StepKind::Shrink);
+                    self.start_phase(Phase::Shrink, shrinks);
+                }
+            }
+            Phase::ExpandCheck => {
+                let f_e = got[0];
+                if f_e < self.reflect_check_val {
+                    let expansions = self.transformed(StepKind::Expand);
+                    self.start_phase(Phase::ExpandAll, expansions);
+                } else {
+                    let reflections = self.transformed(StepKind::Reflect);
+                    self.start_phase(Phase::ReflectAll, reflections);
+                }
+            }
+            Phase::ReflectAll | Phase::ExpandAll | Phase::Shrink => {
+                self.accept(queue, got);
+            }
+            Phase::Probe => {
+                let (l, &min_v) = got
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite values"))
+                    .expect("non-empty probe set");
+                if min_v < self.values[0] {
+                    let mut verts = vec![self.best_vertex().clone()];
+                    let mut vals = vec![self.values[0]];
+                    verts.extend(queue);
+                    vals.extend(got);
+                    let _ = l;
+                    self.simplex = Simplex::new(verts).expect("probe simplex is valid");
+                    self.values = vals;
+                    self.iterations += 1;
+                    self.enter_iteration();
+                } else {
+                    self.converged = true;
+                    self.phase = Phase::Done;
+                }
+            }
+            Phase::Done => unreachable!("phase_complete after Done"),
+        }
+    }
+}
+
+impl Optimizer for SroOptimizer {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Vec<Point> {
+        if self.phase == Phase::Done {
+            return Vec::new();
+        }
+        vec![self.queue[self.got.len()].clone()]
+    }
+
+    fn observe(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), 1, "SRO evaluates one point at a time");
+        let v = values[0];
+        assert!(v.is_finite(), "observe: non-finite objective value");
+        let point = &self.queue[self.got.len()];
+        self.incumbent.offer(point, v);
+        self.got.push(v);
+        if self.got.len() == self.queue.len() {
+            self.phase_complete();
+        }
+    }
+
+    fn best(&self) -> Option<(Point, f64)> {
+        self.incumbent.get()
+    }
+
+    fn recommendation(&self) -> Option<(Point, f64)> {
+        if self.values.is_empty() {
+            self.incumbent.get()
+        } else {
+            Some((self.simplex.vertex(0).clone(), self.values[0]))
+        }
+    }
+
+    fn converged(&self) -> bool {
+        self.converged
+    }
+
+    fn name(&self) -> &str {
+        "sro"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_params::ParamDef;
+
+    fn lattice_space(lo: i64, hi: i64) -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::integer("x", lo, hi, 1).unwrap(),
+            ParamDef::integer("y", lo, hi, 1).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn drive<F: Fn(&Point) -> f64>(opt: &mut SroOptimizer, f: F, max_evals: usize) -> usize {
+        let mut evals = 0;
+        while evals < max_evals {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            assert_eq!(batch.len(), 1, "SRO proposals are singletons");
+            evals += 1;
+            opt.observe(&[f(&batch[0])]);
+        }
+        evals
+    }
+
+    #[test]
+    fn proposals_are_singletons_and_converge() {
+        let space = lattice_space(-30, 30);
+        let mut opt = SroOptimizer::with_defaults(space);
+        drive(&mut opt, |p| p[0] * p[0] + p[1] * p[1] + 1.0, 10_000);
+        assert!(opt.converged());
+        let (best, val) = opt.best().unwrap();
+        assert_eq!(best.as_slice(), &[0.0, 0.0]);
+        assert_eq!(val, 1.0);
+    }
+
+    #[test]
+    fn finds_shifted_minimum() {
+        let space = lattice_space(0, 60);
+        let mut opt = SroOptimizer::with_defaults(space);
+        drive(
+            &mut opt,
+            |p| (p[0] - 41.0).abs() + (p[1] - 8.0).abs(),
+            10_000,
+        );
+        assert!(opt.converged());
+        assert_eq!(opt.best().unwrap().0.as_slice(), &[41.0, 8.0]);
+    }
+
+    #[test]
+    fn sequential_uses_more_batches_than_pro() {
+        // the motivation for PRO: same family, but SRO needs ~n times
+        // more cluster time steps per iteration
+        let space = lattice_space(-30, 30);
+        let f = |p: &Point| (p[0] - 5.0).powi(2) + (p[1] + 9.0).powi(2);
+        let mut sro = SroOptimizer::with_defaults(space.clone());
+        let mut sro_batches = 0;
+        while sro_batches < 100_000 {
+            let b = sro.propose();
+            if b.is_empty() {
+                break;
+            }
+            sro_batches += 1;
+            sro.observe(&[f(&b[0])]);
+        }
+        let mut pro = crate::pro::ProOptimizer::with_defaults(space);
+        let mut pro_batches = 0;
+        loop {
+            let b = pro.propose();
+            if b.is_empty() {
+                break;
+            }
+            pro_batches += 1;
+            let vals: Vec<f64> = b.iter().map(f).collect();
+            pro.observe(&vals);
+        }
+        assert!(
+            sro_batches > 2 * pro_batches,
+            "sro={sro_batches} pro={pro_batches}"
+        );
+    }
+
+    #[test]
+    fn all_proposals_admissible() {
+        let space = ParamSpace::new(vec![
+            ParamDef::integer("x", 0, 40, 4).unwrap(),
+            ParamDef::levels("y", vec![1.0, 3.0, 7.0]).unwrap(),
+        ])
+        .unwrap();
+        let mut opt = SroOptimizer::with_defaults(space.clone());
+        for _ in 0..2_000 {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            assert!(space.is_admissible(&batch[0]));
+            opt.observe(&[(batch[0][0] - 20.0).powi(2) + batch[0][1]]);
+        }
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let space = ParamSpace::new(vec![ParamDef::integer("x", -50, 50, 1).unwrap()]).unwrap();
+        let mut opt = SroOptimizer::with_defaults(space);
+        drive(&mut opt, |p| (p[0] + 17.0).powi(2), 10_000);
+        assert!(opt.converged());
+        assert_eq!(opt.best().unwrap().0.as_slice(), &[-17.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one point at a time")]
+    fn multi_observation_rejected() {
+        let space = lattice_space(-5, 5);
+        let mut opt = SroOptimizer::with_defaults(space);
+        let _ = opt.propose();
+        opt.observe(&[1.0, 2.0]);
+    }
+}

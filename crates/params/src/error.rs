@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// Errors produced while constructing parameter definitions, spaces, or
+/// simplices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// A parameter range is empty or inverted (`lo > hi`), or a step is
+    /// non-positive.
+    InvalidRange {
+        /// Name of the offending parameter.
+        name: String,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An explicit level list is empty, unsorted, or contains NaN.
+    InvalidLevels {
+        /// Name of the offending parameter.
+        name: String,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A point has the wrong number of coordinates for the space.
+    DimensionMismatch {
+        /// Dimensionality expected by the space.
+        expected: usize,
+        /// Dimensionality actually supplied.
+        actual: usize,
+    },
+    /// A simplex was constructed with no vertices or with vertices of
+    /// differing dimensionality.
+    InvalidSimplex(
+        /// Human-readable description of the problem.
+        String,
+    ),
+    /// A parameter space with zero parameters was requested.
+    EmptySpace,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::InvalidRange { name, reason } => {
+                write!(f, "invalid range for parameter `{name}`: {reason}")
+            }
+            ParamError::InvalidLevels { name, reason } => {
+                write!(f, "invalid levels for parameter `{name}`: {reason}")
+            }
+            ParamError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            ParamError::InvalidSimplex(reason) => write!(f, "invalid simplex: {reason}"),
+            ParamError::EmptySpace => write!(f, "parameter space has no parameters"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = ParamError::InvalidRange {
+            name: "ntheta".into(),
+            reason: "lo (10) > hi (2)".into(),
+        };
+        assert!(e.to_string().contains("ntheta"));
+        assert!(e.to_string().contains("lo (10) > hi (2)"));
+
+        let e = ParamError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 3, got 2");
+
+        let e = ParamError::EmptySpace;
+        assert!(e.to_string().contains("no parameters"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(ParamError::EmptySpace);
+    }
+}

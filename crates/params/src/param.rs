@@ -1,0 +1,467 @@
+use crate::ParamError;
+
+/// The admissible-value structure of a single tunable parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamKind {
+    /// A real-valued parameter admissible anywhere in `[lo, hi]`.
+    Continuous {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// An integer-stepped parameter with admissible values
+    /// `lo, lo+step, lo+2·step, …` up to `hi` (inclusive when aligned).
+    Integer {
+        /// Lowest admissible value.
+        lo: i64,
+        /// Highest candidate value (the last admissible value is the
+        /// largest `lo + k·step ≤ hi`).
+        hi: i64,
+        /// Positive step between admissible values.
+        step: i64,
+    },
+    /// An explicit ascending list of admissible levels (e.g. the node
+    /// counts a batch scheduler will actually grant).
+    Levels(
+        /// Ascending, finite, non-empty admissible values.
+        Vec<f64>,
+    ),
+}
+
+/// A named tunable parameter: what the user hands to the tuning system
+/// ("a list of the tunable parameters, and their type and range", §1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDef {
+    name: String,
+    kind: ParamKind,
+}
+
+impl ParamDef {
+    /// A continuous parameter on `[lo, hi]`.
+    pub fn continuous(name: impl Into<String>, lo: f64, hi: f64) -> Result<Self, ParamError> {
+        let name = name.into();
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(ParamError::InvalidRange {
+                reason: format!("continuous range [{lo}, {hi}] is empty or non-finite"),
+                name,
+            });
+        }
+        Ok(ParamDef {
+            name,
+            kind: ParamKind::Continuous { lo, hi },
+        })
+    }
+
+    /// An integer parameter on `{lo, lo+step, …} ∩ [lo, hi]`.
+    pub fn integer(
+        name: impl Into<String>,
+        lo: i64,
+        hi: i64,
+        step: i64,
+    ) -> Result<Self, ParamError> {
+        let name = name.into();
+        if lo > hi {
+            return Err(ParamError::InvalidRange {
+                reason: format!("integer range [{lo}, {hi}] is empty"),
+                name,
+            });
+        }
+        if step <= 0 {
+            return Err(ParamError::InvalidRange {
+                reason: format!("step {step} must be positive"),
+                name,
+            });
+        }
+        Ok(ParamDef {
+            name,
+            kind: ParamKind::Integer { lo, hi, step },
+        })
+    }
+
+    /// A parameter restricted to an explicit ascending list of levels.
+    pub fn levels(name: impl Into<String>, values: Vec<f64>) -> Result<Self, ParamError> {
+        let name = name.into();
+        if values.is_empty() {
+            return Err(ParamError::InvalidLevels {
+                reason: "level list is empty".into(),
+                name,
+            });
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(ParamError::InvalidLevels {
+                reason: "level list contains non-finite values".into(),
+                name,
+            });
+        }
+        if values.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(ParamError::InvalidLevels {
+                reason: "level list must be strictly ascending".into(),
+                name,
+            });
+        }
+        Ok(ParamDef {
+            name,
+            kind: ParamKind::Levels(values),
+        })
+    }
+
+    /// Parameter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Admissible-value structure.
+    pub fn kind(&self) -> &ParamKind {
+        &self.kind
+    }
+
+    /// Lowest admissible value `l(i)`.
+    pub fn lower(&self) -> f64 {
+        match &self.kind {
+            ParamKind::Continuous { lo, .. } => *lo,
+            ParamKind::Integer { lo, .. } => *lo as f64,
+            ParamKind::Levels(v) => v[0],
+        }
+    }
+
+    /// Highest admissible value `u(i)`.
+    pub fn upper(&self) -> f64 {
+        match &self.kind {
+            ParamKind::Continuous { hi, .. } => *hi,
+            ParamKind::Integer { lo, hi, step } => {
+                let k = (hi - lo) / step;
+                (lo + k * step) as f64
+            }
+            ParamKind::Levels(v) => *v.last().expect("levels non-empty"),
+        }
+    }
+
+    /// Range width `u(i) − l(i)` used to scale initial simplex offsets
+    /// (`bᵢ = r·(u(i) − l(i))/2`, §3.2.3 / §6.1).
+    pub fn width(&self) -> f64 {
+        self.upper() - self.lower()
+    }
+
+    /// True when the parameter is continuous (no discreteness constraint).
+    pub fn is_continuous(&self) -> bool {
+        matches!(self.kind, ParamKind::Continuous { .. })
+    }
+
+    /// Number of admissible values, or `None` for a continuous parameter.
+    pub fn cardinality(&self) -> Option<usize> {
+        match &self.kind {
+            ParamKind::Continuous { .. } => None,
+            ParamKind::Integer { lo, hi, step } => Some(((hi - lo) / step + 1) as usize),
+            ParamKind::Levels(v) => Some(v.len()),
+        }
+    }
+
+    /// The `idx`-th admissible value of a discrete parameter (ascending).
+    ///
+    /// # Panics
+    /// Panics if the parameter is continuous or `idx` is out of range.
+    pub fn level(&self, idx: usize) -> f64 {
+        match &self.kind {
+            ParamKind::Continuous { .. } => panic!("level() on continuous parameter"),
+            ParamKind::Integer { lo, step, .. } => {
+                let card = self.cardinality().expect("integer is discrete");
+                assert!(idx < card, "level index {idx} out of range {card}");
+                (lo + idx as i64 * step) as f64
+            }
+            ParamKind::Levels(v) => v[idx],
+        }
+    }
+
+    /// True when `x` is an admissible value for this parameter.
+    pub fn is_admissible(&self, x: f64) -> bool {
+        if !x.is_finite() {
+            return false;
+        }
+        match &self.kind {
+            ParamKind::Continuous { lo, hi } => (*lo..=*hi).contains(&x),
+            ParamKind::Integer { lo, hi, step } => {
+                if x < *lo as f64 || x > *hi as f64 || x.fract() != 0.0 {
+                    return false;
+                }
+                let xi = x as i64;
+                (xi - lo) % step == 0
+            }
+            ParamKind::Levels(v) => v.contains(&x),
+        }
+    }
+
+    /// Clamps `x` to `[l(i), u(i)]` (boundary constraints of §3.2.1).
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lower(), self.upper())
+    }
+
+    /// The bracketing admissible values `(l, u)` with `l ≤ x ≤ u` for a
+    /// clamped coordinate; `l == u` iff `x` is itself admissible (or the
+    /// parameter is continuous).
+    pub fn bracket(&self, x: f64) -> (f64, f64) {
+        let x = self.clamp(x);
+        match &self.kind {
+            ParamKind::Continuous { .. } => (x, x),
+            ParamKind::Integer { lo, step, .. } => {
+                let k = ((x - *lo as f64) / *step as f64).floor() as i64;
+                let l = (*lo + k * step) as f64;
+                if l == x {
+                    (x, x)
+                } else {
+                    (l, (*lo + (k + 1) * step) as f64)
+                }
+            }
+            ParamKind::Levels(v) => {
+                // partition_point: count of levels <= x
+                let n_le = v.partition_point(|&l| l <= x);
+                if n_le > 0 && v[n_le - 1] == x {
+                    (x, x)
+                } else if n_le == 0 {
+                    (v[0], v[0])
+                } else if n_le == v.len() {
+                    let last = v[v.len() - 1];
+                    (last, last)
+                } else {
+                    (v[n_le - 1], v[n_le])
+                }
+            }
+        }
+    }
+
+    /// Projects `x` onto an admissible value, rounding discrete values
+    /// toward `center` — the paper's `Π(·)` per-coordinate rule (§3.2.1):
+    /// round to the bracketing value on the same side as the
+    /// transformation center, so repeated shrinks collapse onto the
+    /// center exactly.
+    pub fn project_toward(&self, x: f64, center: f64) -> f64 {
+        let x = self.clamp(x);
+        let (l, u) = self.bracket(x);
+        if l == u {
+            return l;
+        }
+        if center < x {
+            l
+        } else if center > x {
+            u
+        } else {
+            // Center coincides with the inadmissible coordinate (cannot
+            // happen when the center is itself admissible); fall back to
+            // nearest rounding.
+            if x - l <= u - x {
+                l
+            } else {
+                u
+            }
+        }
+    }
+
+    /// Projects `x` onto the nearest admissible value (plain rounding;
+    /// used as an ablation alternative to [`ParamDef::project_toward`]).
+    pub fn project_nearest(&self, x: f64) -> f64 {
+        let x = self.clamp(x);
+        let (l, u) = self.bracket(x);
+        if l == u {
+            return l;
+        }
+        if x - l <= u - x {
+            l
+        } else {
+            u
+        }
+    }
+
+    /// The admissible neighbours `(below, above)` of an admissible value,
+    /// as used by the stopping-criterion probe simplex (§3.2.2):
+    /// `None` on the respective side when `x` sits on a boundary. For a
+    /// continuous parameter the neighbours are `x ∓ eps·width`.
+    pub fn neighbors(&self, x: f64, eps: f64) -> (Option<f64>, Option<f64>) {
+        match &self.kind {
+            ParamKind::Continuous { lo, hi } => {
+                let h = eps * self.width();
+                let below = if x - h >= *lo { Some(x - h) } else { None };
+                let above = if x + h <= *hi { Some(x + h) } else { None };
+                (below, above)
+            }
+            ParamKind::Integer { lo, step, .. } => {
+                let upper = self.upper();
+                let below = if x - *step as f64 >= *lo as f64 {
+                    Some(x - *step as f64)
+                } else {
+                    None
+                };
+                let above = if x + *step as f64 <= upper {
+                    Some(x + *step as f64)
+                } else {
+                    None
+                };
+                (below, above)
+            }
+            ParamKind::Levels(v) => {
+                let i = v.iter().position(|&l| l == x);
+                match i {
+                    Some(i) => (
+                        if i > 0 { Some(v[i - 1]) } else { None },
+                        if i + 1 < v.len() {
+                            Some(v[i + 1])
+                        } else {
+                            None
+                        },
+                    ),
+                    None => (None, None),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(ParamDef::continuous("x", 0.0, 1.0).is_ok());
+        assert!(ParamDef::continuous("x", 1.0, 0.0).is_err());
+        assert!(ParamDef::continuous("x", 0.0, f64::NAN).is_err());
+        assert!(ParamDef::integer("n", 1, 10, 2).is_ok());
+        assert!(ParamDef::integer("n", 10, 1, 1).is_err());
+        assert!(ParamDef::integer("n", 1, 10, 0).is_err());
+        assert!(ParamDef::levels("l", vec![1.0, 2.0, 4.0]).is_ok());
+        assert!(ParamDef::levels("l", vec![]).is_err());
+        assert!(ParamDef::levels("l", vec![2.0, 1.0]).is_err());
+        assert!(ParamDef::levels("l", vec![1.0, 1.0]).is_err());
+        assert!(ParamDef::levels("l", vec![1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn integer_upper_respects_step_alignment() {
+        // admissible: 2, 5, 8 (11 > 10)
+        let p = ParamDef::integer("n", 2, 10, 3).unwrap();
+        assert_eq!(p.lower(), 2.0);
+        assert_eq!(p.upper(), 8.0);
+        assert_eq!(p.cardinality(), Some(3));
+        assert_eq!(p.level(0), 2.0);
+        assert_eq!(p.level(2), 8.0);
+    }
+
+    #[test]
+    fn admissibility() {
+        let c = ParamDef::continuous("c", 0.0, 1.0).unwrap();
+        assert!(c.is_admissible(0.5));
+        assert!(c.is_admissible(0.0));
+        assert!(!c.is_admissible(1.5));
+        assert!(!c.is_admissible(f64::NAN));
+
+        let i = ParamDef::integer("i", 2, 10, 3).unwrap();
+        assert!(i.is_admissible(2.0));
+        assert!(i.is_admissible(5.0));
+        assert!(i.is_admissible(8.0));
+        assert!(!i.is_admissible(3.0));
+        assert!(!i.is_admissible(11.0));
+        assert!(!i.is_admissible(4.5));
+
+        let l = ParamDef::levels("l", vec![1.0, 2.0, 4.0]).unwrap();
+        assert!(l.is_admissible(2.0));
+        assert!(!l.is_admissible(3.0));
+    }
+
+    #[test]
+    fn bracket_integer() {
+        let i = ParamDef::integer("i", 0, 10, 2).unwrap();
+        assert_eq!(i.bracket(3.0), (2.0, 4.0));
+        assert_eq!(i.bracket(4.0), (4.0, 4.0));
+        assert_eq!(i.bracket(-5.0), (0.0, 0.0)); // clamped to boundary
+        assert_eq!(i.bracket(99.0), (10.0, 10.0));
+        assert_eq!(i.bracket(0.1), (0.0, 2.0));
+        assert_eq!(i.bracket(9.9), (8.0, 10.0));
+    }
+
+    #[test]
+    fn bracket_levels() {
+        let l = ParamDef::levels("l", vec![1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(l.bracket(3.0), (2.0, 4.0));
+        assert_eq!(l.bracket(2.0), (2.0, 2.0));
+        assert_eq!(l.bracket(0.0), (1.0, 1.0));
+        assert_eq!(l.bracket(9.0), (4.0, 4.0));
+        assert_eq!(l.bracket(1.5), (1.0, 2.0));
+    }
+
+    #[test]
+    fn projection_rounds_toward_center() {
+        let i = ParamDef::integer("i", 0, 10, 2).unwrap();
+        // x = 5 (inadmissible), center below x -> round down to 4
+        assert_eq!(i.project_toward(5.0, 2.0), 4.0);
+        // center above x -> round up to 6
+        assert_eq!(i.project_toward(5.0, 8.0), 6.0);
+        // admissible values pass through unchanged
+        assert_eq!(i.project_toward(6.0, 0.0), 6.0);
+        // out-of-bounds clamps first
+        assert_eq!(i.project_toward(-3.0, 10.0), 0.0);
+        assert_eq!(i.project_toward(15.0, 0.0), 10.0);
+    }
+
+    #[test]
+    fn projection_nearest() {
+        let i = ParamDef::integer("i", 0, 10, 4); // 0,4,8
+        let i = i.unwrap();
+        assert_eq!(i.project_nearest(1.0), 0.0);
+        assert_eq!(i.project_nearest(3.0), 4.0);
+        assert_eq!(i.project_nearest(2.0), 0.0); // ties round down
+        assert_eq!(i.project_nearest(7.9), 8.0);
+    }
+
+    #[test]
+    fn continuous_projection_is_clamp_only() {
+        let c = ParamDef::continuous("c", 0.0, 1.0).unwrap();
+        assert_eq!(c.project_toward(0.25, 0.9), 0.25);
+        assert_eq!(c.project_toward(-2.0, 0.5), 0.0);
+        assert_eq!(c.project_toward(7.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn shrink_converges_to_center_under_projection() {
+        // §3.2.1: "after a finite number of consecutive shrinking
+        // transformations, all discrete parameters become equal to the
+        // center". Simulate repeated x <- Π(0.5(x + c)).
+        let i = ParamDef::integer("i", 0, 100, 1).unwrap();
+        let c = 37.0;
+        let mut x = 93.0;
+        for _ in 0..64 {
+            if x == c {
+                break;
+            }
+            x = i.project_toward(0.5 * (x + c), c);
+        }
+        assert_eq!(x, c);
+    }
+
+    #[test]
+    fn neighbors_integer() {
+        let i = ParamDef::integer("i", 0, 10, 2).unwrap();
+        assert_eq!(i.neighbors(4.0, 0.0), (Some(2.0), Some(6.0)));
+        assert_eq!(i.neighbors(0.0, 0.0), (None, Some(2.0)));
+        assert_eq!(i.neighbors(10.0, 0.0), (Some(8.0), None));
+    }
+
+    #[test]
+    fn neighbors_levels_and_continuous() {
+        let l = ParamDef::levels("l", vec![1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(l.neighbors(2.0, 0.0), (Some(1.0), Some(4.0)));
+        assert_eq!(l.neighbors(1.0, 0.0), (None, Some(2.0)));
+        assert_eq!(l.neighbors(3.0, 0.0), (None, None)); // not admissible
+
+        let c = ParamDef::continuous("c", 0.0, 10.0).unwrap();
+        let (b, a) = c.neighbors(5.0, 0.01);
+        assert_eq!(b, Some(5.0 - 0.1));
+        assert_eq!(a, Some(5.0 + 0.1));
+        let (b, _) = c.neighbors(0.0, 0.01);
+        assert_eq!(b, None);
+    }
+
+    #[test]
+    fn width() {
+        let i = ParamDef::integer("i", 2, 10, 3).unwrap(); // 2..8
+        assert_eq!(i.width(), 6.0);
+    }
+}

@@ -1,0 +1,262 @@
+use std::fmt;
+use std::ops::Index;
+
+/// A point in `R^N`.
+///
+/// Direct-search transforms are affine combinations of simplex vertices;
+/// [`Point::affine`] and the named helpers ([`Point::reflect_through`],
+/// [`Point::expand_through`], [`Point::shrink_toward`]) implement exactly
+/// the combinations used by the rank-ordering algorithms of the paper:
+///
+/// * reflection: `2·v⁰ − vʲ`
+/// * expansion:  `3·v⁰ − 2·vʲ`
+/// * shrink:     `½·v⁰ + ½·vʲ`
+///
+/// (Algorithm 1 lines 9/11/13; the same formulas are used per-vertex by
+/// the parallel variant, Algorithm 2.)
+#[derive(Clone, PartialEq)]
+pub struct Point {
+    coords: Vec<f64>,
+}
+
+impl Point {
+    /// Creates a point from raw coordinates.
+    pub fn new(coords: Vec<f64>) -> Self {
+        Point { coords }
+    }
+
+    /// The origin of `R^n`.
+    pub fn zeros(n: usize) -> Self {
+        Point {
+            coords: vec![0.0; n],
+        }
+    }
+
+    /// Number of coordinates.
+    pub fn dims(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinates as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Mutable coordinates.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.coords
+    }
+
+    /// Consumes the point, returning its coordinate vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.coords
+    }
+
+    /// Iterator over coordinates.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.coords.iter().copied()
+    }
+
+    /// General affine combination `Σ wᵢ·pᵢ` of points of equal dimension.
+    ///
+    /// # Panics
+    /// Panics if `terms` is empty or dimensions differ; transform inputs
+    /// always come from one simplex, so a mismatch is a programming error.
+    pub fn affine(terms: &[(f64, &Point)]) -> Point {
+        let n = terms
+            .first()
+            .expect("affine combination of zero points")
+            .1
+            .dims();
+        let mut out = vec![0.0; n];
+        for (w, p) in terms {
+            assert_eq!(p.dims(), n, "affine combination dimension mismatch");
+            for (o, c) in out.iter_mut().zip(p.iter()) {
+                *o += w * c;
+            }
+        }
+        Point::new(out)
+    }
+
+    /// Reflection of `self` through `center`: `2·center − self`.
+    pub fn reflect_through(&self, center: &Point) -> Point {
+        Point::affine(&[(2.0, center), (-1.0, self)])
+    }
+
+    /// Expansion of `self` through `center`: `3·center − 2·self`
+    /// (the reflected point pushed twice as far from the center).
+    pub fn expand_through(&self, center: &Point) -> Point {
+        Point::affine(&[(3.0, center), (-2.0, self)])
+    }
+
+    /// Shrink of `self` toward `center`: the midpoint `½(center + self)`.
+    pub fn shrink_toward(&self, center: &Point) -> Point {
+        Point::affine(&[(0.5, center), (0.5, self)])
+    }
+
+    /// Euclidean distance to another point.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn distance(&self, other: &Point) -> f64 {
+        assert_eq!(self.dims(), other.dims(), "distance dimension mismatch");
+        self.iter()
+            .zip(other.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Chebyshev (max-coordinate) distance to another point.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn chebyshev(&self, other: &Point) -> f64 {
+        assert_eq!(self.dims(), other.dims(), "chebyshev dimension mismatch");
+        self.iter()
+            .zip(other.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when every coordinate differs by at most `tol`.
+    pub fn approx_eq(&self, other: &Point, tol: f64) -> bool {
+        self.dims() == other.dims() && self.chebyshev(other) <= tol
+    }
+
+    /// True when any coordinate is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.iter().any(|c| !c.is_finite())
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(coords: Vec<f64>) -> Self {
+        Point::new(coords)
+    }
+}
+
+impl From<&[f64]> for Point {
+    fn from(coords: &[f64]) -> Self {
+        Point::new(coords.to_vec())
+    }
+}
+
+impl Index<usize> for Point {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.coords[i]
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{:?}", self.coords)
+    }
+}
+
+/// `Display` prints coordinates comma-separated in parentheses,
+/// e.g. `(1, 2.5)`.
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(c: &[f64]) -> Point {
+        Point::from(c)
+    }
+
+    #[test]
+    fn reflection_matches_paper_formula() {
+        let v0 = p(&[1.0, 1.0]);
+        let vj = p(&[3.0, 0.0]);
+        // 2*v0 - vj = (-1, 2)
+        assert_eq!(vj.reflect_through(&v0), p(&[-1.0, 2.0]));
+    }
+
+    #[test]
+    fn expansion_matches_paper_formula() {
+        let v0 = p(&[1.0, 1.0]);
+        let vj = p(&[3.0, 0.0]);
+        // 3*v0 - 2*vj = (-3, 3)
+        assert_eq!(vj.expand_through(&v0), p(&[-3.0, 3.0]));
+    }
+
+    #[test]
+    fn shrink_is_midpoint() {
+        let v0 = p(&[1.0, 1.0]);
+        let vj = p(&[3.0, 0.0]);
+        assert_eq!(vj.shrink_toward(&v0), p(&[2.0, 0.5]));
+    }
+
+    #[test]
+    fn expansion_is_reflection_applied_to_reflection_midstep() {
+        // e = 3v0 - 2vj is the reflection r = 2v0 - vj moved one more
+        // (v0 - vj) step: e = r + (v0 - vj).
+        let v0 = p(&[0.5, -2.0, 7.0]);
+        let vj = p(&[1.5, 4.0, -1.0]);
+        let r = vj.reflect_through(&v0);
+        let e = vj.expand_through(&v0);
+        let step = Point::affine(&[(1.0, &v0), (-1.0, &vj)]);
+        let expected = Point::affine(&[(1.0, &r), (1.0, &step)]);
+        assert!(e.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn reflecting_center_is_identity() {
+        let v0 = p(&[2.0, -3.0]);
+        assert_eq!(v0.reflect_through(&v0), v0);
+        assert_eq!(v0.expand_through(&v0), v0);
+        assert_eq!(v0.shrink_toward(&v0), v0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = p(&[0.0, 0.0]);
+        let b = p(&[3.0, 4.0]);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.chebyshev(&b), 4.0);
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        let a = p(&[1.0, 2.0]);
+        let b = p(&[1.0 + 1e-9, 2.0 - 1e-9]);
+        assert!(a.approx_eq(&b, 1e-8));
+        assert!(!a.approx_eq(&b, 1e-10));
+        // dimension mismatch is never approximately equal
+        assert!(!a.approx_eq(&p(&[1.0]), 1.0));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(!p(&[1.0, 2.0]).has_non_finite());
+        assert!(p(&[1.0, f64::NAN]).has_non_finite());
+        assert!(p(&[f64::INFINITY]).has_non_finite());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let a = p(&[1.0, 2.5]);
+        assert_eq!(format!("{a}"), "(1, 2.5)");
+        assert_eq!(format!("{a:?}"), "Point[1.0, 2.5]");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn affine_rejects_mixed_dims() {
+        let _ = Point::affine(&[(1.0, &p(&[1.0])), (1.0, &p(&[1.0, 2.0]))]);
+    }
+}

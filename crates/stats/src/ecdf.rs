@@ -1,0 +1,156 @@
+//! Empirical cumulative distribution and survival functions.
+//!
+//! The survival function `Q(x) = P[X > x] = 1 − F(x)` is the object of
+//! eq. 10; its log-log plot (Fig. 5/7) is the paper's heavy-tail
+//! diagnostic — "for the heavy tail r.v., tail of the log-log plot
+//! should be approximately linear".
+
+/// Empirical distribution built from a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ecdf from a sample.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty or contains non-finite values.
+    pub fn new(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "ecdf of empty sample");
+        assert!(
+            xs.iter().all(|x| x.is_finite()),
+            "ecdf of non-finite sample"
+        );
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ecdf { sorted }
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Empirical cdf `F̂(x) = #{xᵢ ≤ x}/n`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let le = self.sorted.partition_point(|&v| v <= x);
+        le as f64 / self.n() as f64
+    }
+
+    /// Empirical survival function `Q̂(x) = #{xᵢ > x}/n` (eq. 10).
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Empirical quantile (inverse cdf), `p ∈ [0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile requires p in [0,1]");
+        let idx = ((p * self.n() as f64).ceil() as usize).clamp(1, self.n()) - 1;
+        self.sorted[idx]
+    }
+
+    /// The `(x, Q̂(x))` series evaluated at each distinct sample value,
+    /// dropping points with `Q̂ = 0` (the largest sample) so a log-log
+    /// plot is well defined. This is exactly the "1-cdf" series of
+    /// Fig. 5/7.
+    pub fn survival_series(&self) -> Vec<(f64, f64)> {
+        let n = self.n() as f64;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let x = self.sorted[i];
+            // advance over ties
+            let mut j = i;
+            while j < self.sorted.len() && self.sorted[j] == x {
+                j += 1;
+            }
+            let q = (self.sorted.len() - j) as f64 / n;
+            if q > 0.0 {
+                out.push((x, q));
+            }
+            i = j;
+        }
+        out
+    }
+
+    /// The log-log survival series `(ln x, ln Q̂(x))`, restricted to
+    /// strictly positive `x` — the coordinates actually plotted in
+    /// Fig. 5/7 and fed to the tail-slope regression.
+    pub fn loglog_survival(&self) -> Vec<(f64, f64)> {
+        self.survival_series()
+            .into_iter()
+            .filter(|&(x, _)| x > 0.0)
+            .map(|(x, q)| (x.ln(), q.ln()))
+            .collect()
+    }
+
+    /// The sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_steps() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.cdf(3.0), 0.75);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.survival(2.0), 0.25);
+    }
+
+    #[test]
+    fn quantile_matches_order_stats() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0]);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.34), 2.0);
+        assert_eq!(e.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    fn survival_series_handles_ties_and_drops_zero() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 4.0]);
+        let s = e.survival_series();
+        assert_eq!(s, vec![(1.0, 0.75), (2.0, 0.25)]);
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive_x() {
+        let e = Ecdf::new(&[-1.0, 1.0, 2.0, 4.0]);
+        let ll = e.loglog_survival();
+        assert!(ll.iter().all(|&(lx, lq)| lx.is_finite() && lq.is_finite()));
+    }
+
+    #[test]
+    fn pareto_tail_is_linear_in_loglog() {
+        // deterministic Pareto "sample" via quantiles: x_i = Q^{-1}(u_i)
+        let alpha = 1.5;
+        let n = 1_000;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                (1.0 - u).powf(-1.0 / alpha)
+            })
+            .collect();
+        let e = Ecdf::new(&xs);
+        let ll = e.loglog_survival();
+        // slope between two tail points ≈ -alpha
+        let (x1, y1) = ll[ll.len() / 2];
+        let (x2, y2) = ll[ll.len() - 2];
+        let slope = (y2 - y1) / (x2 - x1);
+        assert!((slope + alpha).abs() < 0.1, "slope={slope}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        Ecdf::new(&[]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Equal-width histograms (the pdf bar plots of Fig. 4 and Fig. 6).
+
+/// An equal-width histogram over `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Bins `xs` into `bins` equal-width cells spanning the sample range.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty, non-finite, or `bins == 0`.
+    pub fn from_samples(xs: &[f64], bins: usize) -> Self {
+        assert!(!xs.is_empty(), "histogram of empty sample");
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            xs.iter().all(|x| x.is_finite()),
+            "histogram of non-finite sample"
+        );
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self::with_range(xs, bins, lo, hi)
+    }
+
+    /// Bins `xs` into `bins` cells over an explicit `[lo, hi]`; samples
+    /// outside the range are clamped into the edge bins (so truncated
+    /// and untruncated plots share axes, as in Fig. 4 vs Fig. 6).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `bins == 0` or `xs` is empty/non-finite.
+    pub fn with_range(xs: &[f64], bins: usize, lo: f64, hi: f64) -> Self {
+        assert!(!xs.is_empty(), "histogram of empty sample");
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo <= hi, "histogram range inverted");
+        let mut counts = vec![0usize; bins];
+        let width = (hi - lo) / bins as f64;
+        for &x in xs {
+            assert!(x.is_finite(), "histogram of non-finite sample");
+            let idx = if width == 0.0 {
+                0
+            } else {
+                (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize
+            };
+            counts[idx] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            total: xs.len(),
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins() as f64
+    }
+
+    /// Center of bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width()
+    }
+
+    /// Probability mass per bin (sums to 1).
+    pub fn mass(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Density estimate per bin (mass / width) — the pdf bars of
+    /// Fig. 4/6.
+    pub fn density(&self) -> Vec<f64> {
+        let w = self.width();
+        self.mass().into_iter().map(|m| m / w).collect()
+    }
+
+    /// `(center, density)` pairs ready for plotting/CSV.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.density()
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (self.center(i), d))
+            .collect()
+    }
+
+    /// Fraction of mass in the top `tail_bins` bins — the "last three
+    /// bars are not negligible" heavy-tail eyeball test of Fig. 4.
+    pub fn tail_mass(&self, tail_bins: usize) -> f64 {
+        let start = self.bins().saturating_sub(tail_bins);
+        self.counts[start..]
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_mass() {
+        let h = Histogram::with_range(&[0.5, 1.5, 1.6, 2.5], 3, 0.0, 3.0);
+        assert_eq!(h.counts(), &[1, 2, 1]);
+        assert_eq!(h.mass(), vec![0.25, 0.5, 0.25]);
+        assert_eq!(h.total(), 4);
+        assert!((h.width() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let h = Histogram::from_samples(&xs, 7);
+        let integral: f64 = h.density().iter().map(|d| d * h.width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        // -5 clamps into the first bin; 0.5 sits on the boundary and
+        // lands in the upper bin; 99 clamps into the last bin
+        let h = Histogram::with_range(&[-5.0, 0.5, 99.0], 2, 0.0, 1.0);
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn max_sample_lands_in_last_bin() {
+        // 1.0 sits exactly on the bin boundary and belongs to the upper
+        // bin; the max (2.0) clamps back into the last bin
+        let h = Histogram::from_samples(&[0.0, 1.0, 2.0], 2);
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn centers() {
+        let h = Histogram::with_range(&[0.0], 4, 0.0, 4.0);
+        assert_eq!(h.center(0), 0.5);
+        assert_eq!(h.center(3), 3.5);
+    }
+
+    #[test]
+    fn tail_mass_detects_spikes() {
+        // 95 near zero, 5 in the far tail
+        let mut xs = vec![0.1; 95];
+        xs.extend(vec![9.9; 5]);
+        let h = Histogram::with_range(&xs, 10, 0.0, 10.0);
+        assert!((h.tail_mass(3) - 0.05).abs() < 1e-12);
+        assert_eq!(h.tail_mass(0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_range() {
+        let h = Histogram::from_samples(&[2.0, 2.0], 3);
+        assert_eq!(h.counts().iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::from_samples(&[1.0], 0);
+    }
+}

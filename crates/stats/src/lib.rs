@@ -1,0 +1,41 @@
+//! Measurement statistics and heavy-tail diagnostics (§4.2–4.3).
+//!
+//! The paper decides whether performance variability is heavy tailed by
+//! inspecting (a) the histogram / pdf of the measurements (Fig. 4, 6) and
+//! (b) the log-log plot of the survival function `1 − cdf` (Fig. 5, 7),
+//! whose tail "should be approximately linear" for a hyperbolic
+//! (`P[X > x] ~ x^{−α}`) tail. This crate provides those tools plus the
+//! estimators needed to quantify the tail:
+//!
+//! * [`summary`] — mean / variance / quantiles / extremes,
+//! * [`ecdf`] — empirical cdf and survival function with log-log series
+//!   export,
+//! * [`histogram`] — equal-width binning with density normalisation,
+//! * [`tail`] — the Hill tail-index estimator, log-log tail-slope
+//!   regression, and the Fig. 6/7 truncation helper,
+//! * [`resample`] — bootstrap confidence intervals, the two-sample
+//!   Kolmogorov–Smirnov statistic, and autocorrelation for burstiness,
+//! * [`streaming`] — constant-memory accumulators (Welford moments,
+//!   running minimum, P² quantiles) for servers that cannot store
+//!   samples,
+//! * [`minop`] — closed-form properties of the min-of-K operator on
+//!   Pareto noise (eq. 19–22): the min of K Pareto(α) samples is
+//!   Pareto(Kα), the tail bound `P[L > β + ε] = (β/(β+ε))^{Kα}`, and the
+//!   sample-size rule solving eq. 22 for `K₀`.
+//!
+//! The crate is dependency-free and purely numeric.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecdf;
+pub mod histogram;
+pub mod minop;
+pub mod resample;
+pub mod streaming;
+pub mod summary;
+pub mod tail;
+
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use summary::Summary;

@@ -1,0 +1,157 @@
+//! Closed-form properties of the min-of-K estimator on Pareto noise
+//! (§5.1, eq. 16–22).
+//!
+//! For i.i.d. samples `y = f(v) + n`, `n ~ Pareto(α, β)`:
+//!
+//! * `P[min_K > z] = (β/(z − f))^{Kα}` — the min of K samples is Pareto
+//!   with index `Kα` (eq. 19), so it has a finite mean once `Kα > 1` and
+//!   finite variance once `Kα > 2`, **even when a single sample has
+//!   neither**;
+//! * the overshoot bound `P[min_K > f + β + ε] = (β/(β+ε))^{Kα}`
+//!   (eq. 20) satisfies eq. 14;
+//! * given a separation `λ` and error budget `ε`, eq. 22 solves for the
+//!   number of samples `K₀`.
+
+/// Survival function of the minimum of `k` observations
+/// `y = f + Pareto(α, β)` evaluated at `z` (eq. 19).
+///
+/// # Panics
+/// Panics for non-positive `α`, `β` or `k == 0`.
+pub fn min_survival(alpha: f64, beta: f64, k: usize, f: f64, z: f64) -> f64 {
+    assert!(alpha > 0.0 && beta > 0.0, "alpha, beta must be positive");
+    assert!(k >= 1, "k must be at least 1");
+    if z <= f + beta {
+        1.0
+    } else {
+        (beta / (z - f)).powf(k as f64 * alpha)
+    }
+}
+
+/// The eq. 20 overshoot probability `P[min_K > f + n_min + ε]` with
+/// `n_min = β`.
+pub fn overshoot_probability(alpha: f64, beta: f64, k: usize, eps: f64) -> f64 {
+    assert!(eps >= 0.0, "eps must be non-negative");
+    min_survival(alpha, beta, k, 0.0, beta + eps)
+}
+
+/// Mean of the min-of-K estimator: Pareto(Kα, β) mean `Kαβ/(Kα−1)` plus
+/// `f`, infinite when `Kα ≤ 1`.
+pub fn min_mean(alpha: f64, beta: f64, k: usize, f: f64) -> f64 {
+    let ka = k as f64 * alpha;
+    if ka > 1.0 {
+        f + ka * beta / (ka - 1.0)
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Variance of the min-of-K estimator, infinite when `Kα ≤ 2`.
+pub fn min_variance(alpha: f64, beta: f64, k: usize) -> f64 {
+    let ka = k as f64 * alpha;
+    if ka > 2.0 {
+        beta * beta * ka / ((ka - 1.0) * (ka - 1.0) * (ka - 2.0))
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// The smallest `K` making the min-of-K estimator non-heavy-tailed
+/// (`Kα > 2`); the paper highlights `K > α⁻¹` for a finite mean — this
+/// returns the stronger finite-variance threshold.
+pub fn k_for_finite_variance(alpha: f64) -> usize {
+    assert!(alpha > 0.0, "alpha must be positive");
+    (2.0 / alpha).floor() as usize + 1
+}
+
+/// Solves eq. 22 for the number of samples `K₀` such that
+/// `P[min_K > f + n_min + λ] < ε`:
+/// `K₀ = ⌈ ln ε / (α · ln(β/(β+λ))) ⌉`.
+///
+/// # Panics
+/// Panics unless `0 < eps < 1` and `lambda > 0`.
+pub fn required_samples(alpha: f64, beta: f64, lambda: f64, eps: f64) -> usize {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    assert!(lambda > 0.0, "lambda must be positive");
+    assert!(alpha > 0.0 && beta > 0.0, "alpha, beta must be positive");
+    let per_sample = alpha * (beta / (beta + lambda)).ln(); // negative
+    (eps.ln() / per_sample).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_is_one_below_support() {
+        assert_eq!(min_survival(1.7, 2.0, 3, 5.0, 6.9), 1.0);
+        assert_eq!(min_survival(1.7, 2.0, 3, 5.0, 7.0), 1.0);
+    }
+
+    #[test]
+    fn survival_decays_with_k() {
+        let z = 8.0;
+        let s1 = min_survival(1.7, 2.0, 1, 5.0, z);
+        let s3 = min_survival(1.7, 2.0, 3, 5.0, z);
+        assert!((s3 - s1.powi(3)).abs() < 1e-12); // eq. 11
+        assert!(s3 < s1);
+    }
+
+    #[test]
+    fn overshoot_matches_eq20() {
+        let (alpha, beta, eps) = (1.7, 2.0, 0.5);
+        for k in 1..6 {
+            let p = overshoot_probability(alpha, beta, k, eps);
+            let expect = (beta / (beta + eps)).powf(k as f64 * alpha);
+            assert!((p - expect).abs() < 1e-12);
+        }
+        // eq. 14: goes to zero as K grows
+        assert!(overshoot_probability(alpha, beta, 50, eps) < 1e-4);
+    }
+
+    #[test]
+    fn min_de_heavy_tails() {
+        // single sample: alpha = 0.9 -> infinite mean and variance
+        assert_eq!(min_mean(0.9, 1.0, 1, 0.0), f64::INFINITY);
+        assert_eq!(min_variance(0.9, 1.0, 1), f64::INFINITY);
+        // K = 2: K*alpha = 1.8 -> finite mean, infinite variance
+        assert!(min_mean(0.9, 1.0, 2, 0.0).is_finite());
+        assert_eq!(min_variance(0.9, 1.0, 2), f64::INFINITY);
+        // K = 3: K*alpha = 2.7 -> both finite
+        assert!(min_variance(0.9, 1.0, 3).is_finite());
+    }
+
+    #[test]
+    fn k_thresholds() {
+        assert_eq!(k_for_finite_variance(1.7), 2); // 2/1.7 = 1.18 -> 2
+        assert_eq!(k_for_finite_variance(0.5), 5);
+        assert_eq!(k_for_finite_variance(2.5), 1);
+    }
+
+    #[test]
+    fn required_samples_satisfies_bound() {
+        let (alpha, beta, lambda, eps) = (1.7, 2.0, 0.4, 0.01);
+        let k0 = required_samples(alpha, beta, lambda, eps);
+        assert!(overshoot_probability(alpha, beta, k0, lambda) < eps);
+        if k0 > 1 {
+            assert!(overshoot_probability(alpha, beta, k0 - 1, lambda) >= eps);
+        }
+    }
+
+    #[test]
+    fn required_samples_grows_with_tighter_eps() {
+        let k_loose = required_samples(1.7, 2.0, 0.4, 0.1);
+        let k_tight = required_samples(1.7, 2.0, 0.4, 0.001);
+        assert!(k_tight > k_loose);
+    }
+
+    #[test]
+    fn min_mean_decreases_toward_floor() {
+        // as K grows the estimator's mean approaches f + beta
+        let (alpha, beta, f) = (1.7, 2.0, 5.0);
+        let m1 = min_mean(alpha, beta, 1, f);
+        let m5 = min_mean(alpha, beta, 5, f);
+        let m50 = min_mean(alpha, beta, 50, f);
+        assert!(m1 > m5 && m5 > m50);
+        assert!(m50 - (f + beta) < 0.03 * beta);
+    }
+}

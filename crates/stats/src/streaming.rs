@@ -1,0 +1,371 @@
+//! Streaming (single-pass, constant-memory) statistics.
+//!
+//! An on-line tuning server watches measurements arrive one at a time
+//! and cannot afford to store every sample per configuration. This
+//! module provides the classical constant-memory estimators:
+//!
+//! * [`Welford`] — numerically stable running mean/variance,
+//! * [`RunningMin`] — the paper's min-of-K estimator in streaming form,
+//!   with the count needed to apply the eq. 20/22 bounds,
+//! * [`P2Quantile`] — the Jain–Chlamtac P² algorithm for a single
+//!   quantile without storing observations.
+
+/// Welford's online mean/variance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Consumes one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "streaming stats need finite observations");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observations consumed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased running variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Running standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the running mean.
+    pub fn sem(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sd() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+/// Streaming minimum with sample count — `L_y^{(K)}` (eq. 13) as an
+/// accumulator, so eq. 20's overshoot bound can be applied with the
+/// observed `K`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningMin {
+    n: u64,
+    min: Option<f64>,
+}
+
+impl RunningMin {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningMin::default()
+    }
+
+    /// Consumes one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "streaming stats need finite observations");
+        self.n += 1;
+        self.min = Some(match self.min {
+            Some(m) => m.min(x),
+            None => x,
+        });
+    }
+
+    /// Observations consumed (`K`).
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current minimum estimate.
+    pub fn get(&self) -> Option<f64> {
+        self.min
+    }
+}
+
+/// The P² (piecewise-parabolic) single-quantile estimator of Jain &
+/// Chlamtac (1985): tracks five markers, adjusting their heights with a
+/// parabolic prediction — O(1) memory, no stored samples.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    n_desired: [f64; 5],
+    /// Increments of the desired positions per observation.
+    dn: [f64; 5],
+    /// Observations seen during the warm-up (< 5) phase.
+    warmup: Vec<f64>,
+    /// Total observations consumed.
+    seen: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics when `p` is outside `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            n_desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            warmup: Vec::with_capacity(5),
+            seen: 0,
+        }
+    }
+
+    /// Observations consumed.
+    pub fn count(&self) -> u64 {
+        self.seen
+    }
+
+    /// Consumes one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "streaming stats need finite observations");
+        self.seen += 1;
+        if self.warmup.len() < 5 {
+            self.warmup.push(x);
+            if self.warmup.len() == 5 {
+                self.warmup
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                for (i, &v) in self.warmup.iter().enumerate() {
+                    self.q[i] = v;
+                }
+            }
+            return;
+        }
+        // locate the cell and update extreme markers
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.n_desired[i] += self.dn[i];
+        }
+        // adjust interior markers
+        for i in 1..4 {
+            let d = self.n_desired[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    self.q[i] = parabolic;
+                } else {
+                    self.q[i] = self.linear(i, d);
+                }
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// The current quantile estimate (exact order statistic during the
+    /// first five observations).
+    ///
+    /// # Panics
+    /// Panics when no observation has been consumed.
+    pub fn get(&self) -> f64 {
+        if self.warmup.len() < 5 {
+            assert!(!self.warmup.is_empty(), "quantile of empty stream");
+            let mut s = self.warmup.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            let idx = ((self.p * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
+            s[idx]
+        } else {
+            self.q[2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_batch_moments() {
+        let xs: Vec<f64> = (0..1_000)
+            .map(|i| (i as f64 * 0.7).sin() * 3.0 + 1.0)
+            .collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert_eq!(w.count(), 1_000);
+        assert!((w.mean() - mean).abs() < 1e-10);
+        assert!((w.variance() - var).abs() < 1e-10);
+        assert!((w.sem() - w.sd() / (1_000f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| i as f64 * 1.3 - 100.0).collect();
+        let mut whole = Welford::new();
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.push(x);
+            if i < 200 {
+                left.push(x);
+            } else {
+                right.push(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        // merging an empty accumulator is a no-op
+        let before = left.clone();
+        left.merge(&Welford::new());
+        assert_eq!(left, before);
+    }
+
+    #[test]
+    fn running_min() {
+        let mut m = RunningMin::new();
+        assert_eq!(m.get(), None);
+        for x in [5.0, 3.0, 7.0, 3.5] {
+            m.push(x);
+        }
+        assert_eq!(m.get(), Some(3.0));
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn p2_median_of_uniform_ramp() {
+        let mut q = P2Quantile::new(0.5);
+        for i in 0..10_001 {
+            q.push(i as f64 / 10_000.0);
+        }
+        assert!((q.get() - 0.5).abs() < 0.01, "median={}", q.get());
+    }
+
+    #[test]
+    fn p2_tail_quantile_of_pareto_stream() {
+        // deterministic Pareto(1.7) stream via shuffled quantile spacing
+        let n = 20_000;
+        let mut xs: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                (1.0 - u).powf(-1.0 / 1.7)
+            })
+            .collect();
+        // simple deterministic shuffle
+        let mut state = 12345u64;
+        for i in (1..xs.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            xs.swap(i, j);
+        }
+        let mut q = P2Quantile::new(0.9);
+        for &x in &xs {
+            q.push(x);
+        }
+        let exact = (1.0f64 - 0.9).powf(-1.0 / 1.7);
+        assert!(
+            (q.get() - exact).abs() / exact < 0.05,
+            "p90={} exact={exact}",
+            q.get()
+        );
+    }
+
+    #[test]
+    fn p2_warmup_returns_order_statistics() {
+        let mut q = P2Quantile::new(0.5);
+        q.push(3.0);
+        assert_eq!(q.get(), 3.0);
+        q.push(1.0);
+        q.push(2.0);
+        assert_eq!(q.get(), 2.0); // median of {1,2,3}
+        assert_eq!(q.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn p2_empty_rejected() {
+        P2Quantile::new(0.5).get();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite observations")]
+    fn streaming_rejects_nan() {
+        Welford::new().push(f64::NAN);
+    }
+}

@@ -1,0 +1,197 @@
+//! Scalar summary statistics.
+
+/// Moments, quantiles, and extremes of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    variance: f64,
+    min: f64,
+    max: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Computes a summary of the sample.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty or contains non-finite values.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "summary of empty sample");
+        assert!(
+            xs.iter().all(|x| x.is_finite()),
+            "summary of non-finite sample"
+        );
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Summary {
+            n,
+            mean,
+            variance,
+            min: sorted[0],
+            max: sorted[n - 1],
+            sorted,
+        }
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for a single observation).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        self.sd() / (self.n as f64).sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Linear-interpolated quantile, `q ∈ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1]");
+        if self.n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (self.n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let frac = pos - lo as f64;
+        if lo + 1 < self.n {
+            self.sorted[lo] * (1.0 - frac) + self.sorted[lo + 1] * frac
+        } else {
+            self.sorted[lo]
+        }
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Coefficient of variation `sd/mean` (NaN when the mean is zero).
+    pub fn cv(&self) -> f64 {
+        self.sd() / self.mean
+    }
+
+    /// The sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Mean of a slice (convenience for hot paths that do not need a full
+/// [`Summary`]).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty sample");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Minimum of a slice.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "min of empty sample");
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a slice.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "max of empty sample");
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.sem() - s.sd() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+        assert_eq!(s.median(), 2.5);
+        assert!((s.quantile(0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.median(), 7.0);
+        assert_eq!(s.quantile(0.9), 7.0);
+    }
+
+    #[test]
+    fn helpers() {
+        let xs = [3.0, -1.0, 5.0];
+        assert_eq!(mean(&xs), 7.0 / 3.0);
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&xs), 5.0);
+    }
+
+    #[test]
+    fn cv_scales_out_units() {
+        let a = Summary::of(&[1.0, 2.0, 3.0]);
+        let b = Summary::of(&[10.0, 20.0, 30.0]);
+        assert!((a.cv() - b.cv()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_rejected() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,332 @@
+//! A sparse performance database with nearest-neighbour interpolation.
+//!
+//! §6 of the paper: *"we used a data base that contains the performance
+//! of the GS2 application for different parameter values … the data base
+//! does not contain all possible combinations. If a point is not in the
+//! data base, we use weighted average of its closest neighbors
+//! performance values to estimate its performance."*
+//!
+//! [`PerfDatabase`] reproduces that exactly: it stores measured values at
+//! a subset of lattice points and answers missing points with an
+//! inverse-distance-weighted average of the `k` nearest stored
+//! neighbours (coordinates normalised by parameter width so unlike units
+//! mix sensibly).
+
+use crate::objective::Objective;
+use harmony_params::{ParamSpace, Point};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A recorded `parameter-point → running-time` table over a discrete
+/// space, usable as an [`Objective`].
+///
+/// # Example
+///
+/// ```
+/// use harmony_params::{ParamDef, ParamSpace, Point};
+/// use harmony_surface::PerfDatabase;
+///
+/// let space = ParamSpace::new(vec![ParamDef::integer("n", 0, 10, 1).unwrap()]).unwrap();
+/// let mut db = PerfDatabase::new(space, 2);
+/// db.insert(Point::from(&[0.0][..]), 10.0);
+/// db.insert(Point::from(&[10.0][..]), 20.0);
+/// // exact hit
+/// assert_eq!(db.interpolate(&Point::from(&[0.0][..])), 10.0);
+/// // missing point: inverse-distance-weighted neighbours
+/// let mid = db.interpolate(&Point::from(&[5.0][..]));
+/// assert!((mid - 15.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfDatabase {
+    space: ParamSpace,
+    exact: HashMap<Vec<u64>, f64>,
+    entries: Vec<(Point, f64)>,
+    /// Inverse coordinate scales (1/width per parameter) for distance.
+    inv_scale: Vec<f64>,
+    /// Number of neighbours used for interpolation.
+    pub k_neighbors: usize,
+    name: String,
+}
+
+fn key_of(p: &Point) -> Vec<u64> {
+    p.iter().map(f64::to_bits).collect()
+}
+
+impl PerfDatabase {
+    /// Builds an empty database over `space` interpolating with
+    /// `k_neighbors` neighbours.
+    pub fn new(space: ParamSpace, k_neighbors: usize) -> Self {
+        assert!(k_neighbors >= 1, "need at least one neighbour");
+        let inv_scale = space
+            .params()
+            .iter()
+            .map(|p| {
+                let w = p.width();
+                if w > 0.0 {
+                    1.0 / w
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        PerfDatabase {
+            space,
+            exact: HashMap::new(),
+            entries: Vec::new(),
+            inv_scale,
+            k_neighbors,
+            name: "perf-database".into(),
+        }
+    }
+
+    /// Records one measurement (replacing any previous value at the same
+    /// point).
+    pub fn insert(&mut self, point: Point, value: f64) {
+        assert!(
+            self.space.is_admissible(&point),
+            "database point must be admissible: {point:?}"
+        );
+        assert!(value.is_finite(), "database value must be finite");
+        let k = key_of(&point);
+        if let Some(v) = self.exact.get_mut(&k) {
+            *v = value;
+            if let Some(e) = self.entries.iter_mut().find(|(p, _)| key_of(p) == k) {
+                e.1 = value;
+            }
+        } else {
+            self.exact.insert(k, value);
+            self.entries.push((point, value));
+        }
+    }
+
+    /// Samples `source` on its lattice, keeping each point independently
+    /// with probability `keep_fraction` (the paper's database "does not
+    /// contain all possible combinations"). The lattice must be finite.
+    pub fn from_objective<O: Objective + ?Sized, R: Rng + ?Sized>(
+        source: &O,
+        keep_fraction: f64,
+        k_neighbors: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&keep_fraction) && keep_fraction > 0.0,
+            "keep_fraction must be in (0, 1]"
+        );
+        assert!(
+            source.space().lattice_size().is_some(),
+            "database source must be a discrete objective"
+        );
+        let mut db = PerfDatabase::new(source.space().clone(), k_neighbors);
+        db.name = format!("{}-db", source.name());
+        for p in source.space().lattice() {
+            if keep_fraction >= 1.0 || rng.random::<f64>() < keep_fraction {
+                let v = source.eval(&p);
+                db.insert(p, v);
+            }
+        }
+        assert!(
+            db.len() >= k_neighbors,
+            "database too sparse: {} entries for k={k_neighbors}",
+            db.len()
+        );
+        db
+    }
+
+    /// Number of stored measurements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no measurements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fraction of the lattice covered by exact entries.
+    pub fn coverage(&self) -> f64 {
+        match self.space.lattice_size() {
+            Some(n) if n > 0 => self.len() as f64 / n as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// True when the point has an exact entry.
+    pub fn contains(&self, point: &Point) -> bool {
+        self.exact.contains_key(&key_of(point))
+    }
+
+    fn scaled_dist2(&self, a: &Point, b: &Point) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .zip(self.inv_scale.iter())
+            .map(|((x, y), s)| {
+                let d = (x - y) * s;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Inverse-distance-weighted average of the `k` nearest stored
+    /// neighbours (exact hit returns the stored value).
+    pub fn interpolate(&self, point: &Point) -> f64 {
+        assert!(!self.entries.is_empty(), "interpolating an empty database");
+        if let Some(&v) = self.exact.get(&key_of(point)) {
+            return v;
+        }
+        // partial selection of k nearest by linear scan
+        let k = self.k_neighbors.min(self.entries.len());
+        let mut nearest: Vec<(f64, f64)> = Vec::with_capacity(k + 1); // (dist2, value)
+        for (p, v) in &self.entries {
+            let d2 = self.scaled_dist2(point, p);
+            if nearest.len() < k {
+                nearest.push((d2, *v));
+                nearest.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            } else if d2 < nearest[k - 1].0 {
+                nearest[k - 1] = (d2, *v);
+                nearest.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            }
+        }
+        let mut wsum = 0.0;
+        let mut vsum = 0.0;
+        for &(d2, v) in &nearest {
+            let w = 1.0 / d2.sqrt().max(1e-12);
+            wsum += w;
+            vsum += w * v;
+        }
+        vsum / wsum
+    }
+}
+
+impl Objective for PerfDatabase {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn eval(&self, x: &Point) -> f64 {
+        self.interpolate(x)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use harmony_params::ParamDef;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::integer("a", 0, 10, 1).unwrap(),
+            ParamDef::integer("b", 0, 10, 1).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn plane() -> FnObjective<impl Fn(&Point) -> f64> {
+        FnObjective::new("plane", space(), |p| 2.0 * p[0] + 3.0 * p[1] + 1.0)
+    }
+
+    #[test]
+    fn exact_hits_return_stored_values() {
+        let mut db = PerfDatabase::new(space(), 3);
+        let p = Point::from(&[2.0, 3.0][..]);
+        db.insert(p.clone(), 42.0);
+        assert!(db.contains(&p));
+        assert_eq!(db.interpolate(&p), 42.0);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut db = PerfDatabase::new(space(), 1);
+        let p = Point::from(&[1.0, 1.0][..]);
+        db.insert(p.clone(), 1.0);
+        db.insert(p.clone(), 2.0);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.interpolate(&p), 2.0);
+    }
+
+    #[test]
+    fn interpolation_is_convex_combination() {
+        let mut db = PerfDatabase::new(space(), 4);
+        db.insert(Point::from(&[0.0, 0.0][..]), 10.0);
+        db.insert(Point::from(&[10.0, 0.0][..]), 20.0);
+        db.insert(Point::from(&[0.0, 10.0][..]), 30.0);
+        db.insert(Point::from(&[10.0, 10.0][..]), 40.0);
+        let v = db.interpolate(&Point::from(&[5.0, 5.0][..]));
+        assert!((10.0..=40.0).contains(&v), "v={v}");
+        // symmetric center: equal weights -> exact average
+        assert!((v - 25.0).abs() < 1e-9, "v={v}");
+    }
+
+    #[test]
+    fn nearer_neighbors_dominate() {
+        let mut db = PerfDatabase::new(space(), 2);
+        db.insert(Point::from(&[0.0, 0.0][..]), 10.0);
+        db.insert(Point::from(&[10.0, 0.0][..]), 50.0);
+        let near_left = db.interpolate(&Point::from(&[1.0, 0.0][..]));
+        assert!(near_left < 20.0, "near_left={near_left}");
+    }
+
+    #[test]
+    fn from_objective_full_coverage_is_exact() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let db = PerfDatabase::from_objective(&plane(), 1.0, 3, &mut rng);
+        assert_eq!(db.coverage(), 1.0);
+        for p in space().lattice() {
+            assert_eq!(db.eval(&p), plane().eval(&p));
+        }
+    }
+
+    #[test]
+    fn sparse_database_approximates_smooth_objective() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let db = PerfDatabase::from_objective(&plane(), 0.5, 4, &mut rng);
+        assert!(db.coverage() > 0.3 && db.coverage() < 0.75);
+        let mut worst: f64 = 0.0;
+        for p in space().lattice() {
+            let err = (db.eval(&p) - plane().eval(&p)).abs();
+            worst = worst.max(err);
+        }
+        // plane ranges over [1, 51]; kNN interpolation error stays
+        // bounded (corners with one-sided neighbours are the worst case)
+        assert!(worst < 12.0, "worst={worst}");
+    }
+
+    #[test]
+    fn interpolation_respects_anisotropic_scaling() {
+        // parameter "a" spans 0..100, "b" spans 0..1; distances must be
+        // normalised or "b" would be ignored
+        let sp = ParamSpace::new(vec![
+            ParamDef::integer("a", 0, 100, 1).unwrap(),
+            ParamDef::levels("b", vec![0.0, 1.0]).unwrap(),
+        ])
+        .unwrap();
+        let mut db = PerfDatabase::new(sp, 1);
+        db.insert(Point::from(&[50.0, 0.0][..]), 100.0);
+        db.insert(Point::from(&[40.0, 1.0][..]), 200.0);
+        // query at (49, 1): normalised distance to the b=1 entry is
+        // smaller than to the b=0 entry
+        let v = db.interpolate(&Point::from(&[49.0, 1.0][..]));
+        assert_eq!(v, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "admissible")]
+    fn inadmissible_insert_rejected() {
+        let mut db = PerfDatabase::new(space(), 1);
+        db.insert(Point::from(&[0.5, 0.0][..]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn empty_interpolation_rejected() {
+        let db = PerfDatabase::new(space(), 1);
+        db.interpolate(&Point::from(&[1.0, 1.0][..]));
+    }
+}

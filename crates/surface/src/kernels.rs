@@ -1,0 +1,253 @@
+//! Additional application cost models: the workloads the paper's
+//! introduction motivates ("libraries that are hard to tune to specific
+//! application requirements") beyond the GS2 case study.
+//!
+//! Both models are deterministic per-iteration costs with the structure
+//! on-line tuners actually face — plateaus, cliffs at cache boundaries,
+//! and parameter interactions:
+//!
+//! * [`TiledMatMul`] — cache-blocked matrix multiply: tile sizes trade
+//!   reuse against loop overhead, with sharp penalties when a tile
+//!   spills a cache level (the classic ATLAS-style tuning problem the
+//!   paper contrasts with on-line tuning),
+//! * [`StencilHalo`] — an iterative halo-exchange stencil: block
+//!   decomposition trades surface-to-volume communication against
+//!   per-message latency, the canonical SPMD tuning problem.
+
+use crate::objective::Objective;
+use harmony_params::{ParamDef, ParamSpace, Point};
+
+/// Cache-blocked GEMM: tunables are the three tile sizes `(ti, tj, tk)`.
+#[derive(Debug, Clone)]
+pub struct TiledMatMul {
+    space: ParamSpace,
+    /// Problem size `n` (multiplies an `n×n` by an `n×n` matrix).
+    pub n: f64,
+    /// Seconds per fused multiply-add at full cache reuse.
+    pub flop_cost: f64,
+    /// L1 capacity in elements (a tile working set beyond this pays).
+    pub l1_elems: f64,
+    /// L2 capacity in elements.
+    pub l2_elems: f64,
+    /// Multiplicative penalty per cache level spilled.
+    pub spill_penalty: f64,
+    /// Per-tile loop/bookkeeping overhead in seconds.
+    pub loop_overhead: f64,
+}
+
+impl TiledMatMul {
+    /// A laptop-scale instance: `n = 1024`, tiles 8..256.
+    pub fn default_scale() -> Self {
+        let space = ParamSpace::new(vec![
+            ParamDef::integer("ti", 8, 256, 8).expect("valid ti range"),
+            ParamDef::integer("tj", 8, 256, 8).expect("valid tj range"),
+            ParamDef::integer("tk", 8, 256, 8).expect("valid tk range"),
+        ])
+        .expect("non-empty space");
+        TiledMatMul {
+            space,
+            n: 1024.0,
+            flop_cost: 0.4e-9,
+            l1_elems: 4_096.0,
+            l2_elems: 65_536.0,
+            spill_penalty: 2.2,
+            loop_overhead: 25e-9,
+        }
+    }
+
+    /// The working set of one `(ti × tk) + (tk × tj) + (ti × tj)` tile
+    /// triple, in elements.
+    pub fn working_set(&self, ti: f64, tj: f64, tk: f64) -> f64 {
+        ti * tk + tk * tj + ti * tj
+    }
+}
+
+impl Objective for TiledMatMul {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn eval(&self, x: &Point) -> f64 {
+        let (ti, tj, tk) = (x[0], x[1], x[2]);
+        let flops = self.n * self.n * self.n;
+        let ws = self.working_set(ti, tj, tk);
+        // cache behaviour: fits L1 -> 1.0; fits L2 -> penalty; else
+        // penalty^2 (streaming from memory)
+        let cache_factor = if ws <= self.l1_elems {
+            1.0
+        } else if ws <= self.l2_elems {
+            self.spill_penalty
+        } else {
+            self.spill_penalty * self.spill_penalty
+        };
+        // reuse: A/B panels are re-read n/tj (resp. n/ti) times and the
+        // C tile is re-loaded once per k-tile (n/tk passes); larger
+        // tiles amortise all three until they spill
+        let reuse = 1.0 + 4.0 * (1.0 / ti + 1.0 / tj + 1.0 / tk);
+        let tiles = (self.n / ti).ceil() * (self.n / tj).ceil() * (self.n / tk).ceil();
+        self.flop_cost * flops * cache_factor * reuse + self.loop_overhead * tiles
+    }
+
+    fn name(&self) -> &str {
+        "tiled-matmul"
+    }
+}
+
+/// Iterative 3-D stencil with halo exchange on `P` processors: tunables
+/// are the process-grid factors `(px, py)` (with `pz = P/(px·py)`
+/// implied when integral; inadmissible grids pay a load-imbalance
+/// penalty) and the halo ghost depth.
+#[derive(Debug, Clone)]
+pub struct StencilHalo {
+    space: ParamSpace,
+    /// Global grid points per dimension.
+    pub n: f64,
+    /// Processor count.
+    pub procs: f64,
+    /// Seconds per point update.
+    pub update_cost: f64,
+    /// Per-message latency (seconds).
+    pub latency: f64,
+    /// Seconds per exchanged halo element.
+    pub byte_cost: f64,
+}
+
+impl StencilHalo {
+    /// A 64-process, `512³` instance; `px, py ∈ {1,2,4,8,16,32,64}`,
+    /// ghost depth 1..4.
+    pub fn default_scale() -> Self {
+        let levels = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+        let space = ParamSpace::new(vec![
+            ParamDef::levels("px", levels.clone()).expect("valid px levels"),
+            ParamDef::levels("py", levels).expect("valid py levels"),
+            ParamDef::integer("ghost", 1, 4, 1).expect("valid ghost range"),
+        ])
+        .expect("non-empty space");
+        StencilHalo {
+            space,
+            n: 512.0,
+            procs: 64.0,
+            update_cost: 2.0e-9,
+            latency: 20e-6,
+            byte_cost: 1.0e-9,
+        }
+    }
+}
+
+impl Objective for StencilHalo {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn eval(&self, x: &Point) -> f64 {
+        let (px, py, ghost) = (x[0], x[1], x[2]);
+        let pz = self.procs / (px * py);
+        // grids that do not divide the processor count either leave
+        // processors idle (ranks < procs: larger blocks, implicit cost)
+        // or oversubscribe them (ranks > procs: each processor time-
+        // slices several ranks)
+        let (pz, imbalance) = if pz >= 1.0 && pz.fract() == 0.0 {
+            (pz, 1.0)
+        } else {
+            let pz_whole = pz.floor().max(1.0);
+            let ranks = px * py * pz_whole;
+            let ratio = ranks / self.procs;
+            (pz_whole, ratio.max(1.0 / ratio))
+        };
+        let (lx, ly, lz) = (self.n / px, self.n / py, self.n / pz);
+        // ghost depth g lets g updates run per exchange, but widens the
+        // halo and duplicates g-1 layers of computation
+        let updates = lx * ly * lz * (1.0 + 0.15 * (ghost - 1.0));
+        let compute = self.update_cost * updates * imbalance;
+        let halo_elems = 2.0 * ghost * (lx * ly + ly * lz + lx * lz);
+        // oversubscribed processors serialise every hosted rank's
+        // messages too
+        let comm = imbalance * (6.0 * self.latency + self.byte_cost * halo_elems) / ghost;
+        compute + comm
+    }
+
+    fn name(&self) -> &str {
+        "stencil-halo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::best_on_lattice;
+
+    #[test]
+    fn matmul_costs_positive_and_finite() {
+        let m = TiledMatMul::default_scale();
+        for p in m.space().lattice() {
+            let v = m.eval(&p);
+            assert!(v > 0.0 && v.is_finite(), "f({p:?}) = {v}");
+        }
+    }
+
+    #[test]
+    fn matmul_optimum_is_interior() {
+        // the best tile neither the smallest (loop overhead) nor the
+        // largest (cache spill)
+        let m = TiledMatMul::default_scale();
+        let (argmin, _) = best_on_lattice(&m).unwrap();
+        for d in 0..3 {
+            assert!(argmin[d] > 8.0, "tile dim {d} collapsed: {argmin:?}");
+            assert!(argmin[d] < 256.0, "tile dim {d} maximal: {argmin:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_cache_cliff_exists() {
+        let m = TiledMatMul::default_scale();
+        // small tile fits L1; big tile spills to memory
+        let fits = m.eval(&Point::from(&[32.0, 32.0, 32.0][..]));
+        let spills = m.eval(&Point::from(&[256.0, 256.0, 256.0][..]));
+        assert!(spills > 2.0 * fits, "fits={fits} spills={spills}");
+    }
+
+    #[test]
+    fn stencil_costs_positive() {
+        let s = StencilHalo::default_scale();
+        for p in s.space().lattice() {
+            let v = s.eval(&p);
+            assert!(v > 0.0 && v.is_finite(), "f({p:?}) = {v}");
+        }
+    }
+
+    #[test]
+    fn stencil_prefers_balanced_grids() {
+        let s = StencilHalo::default_scale();
+        // 4x4 (pz=4) balanced vs 64x1 (pz=1) pencil: balanced has less
+        // surface per volume
+        let balanced = s.eval(&Point::from(&[4.0, 4.0, 1.0][..]));
+        let pencil = s.eval(&Point::from(&[64.0, 1.0, 1.0][..]));
+        assert!(balanced < pencil, "balanced={balanced} pencil={pencil}");
+    }
+
+    #[test]
+    fn stencil_invalid_grids_pay_imbalance() {
+        let s = StencilHalo::default_scale();
+        // px*py = 32*4 = 128 > 64 procs: pz < 1, heavy imbalance
+        let invalid = s.eval(&Point::from(&[32.0, 4.0, 1.0][..]));
+        let valid = s.eval(&Point::from(&[8.0, 4.0, 1.0][..]));
+        assert!(invalid > valid);
+    }
+
+    #[test]
+    fn both_tunable_by_pro() {
+        use harmony_params::init::InitialShape;
+        // sanity: the surfaces are searchable (this is a smoke test, the
+        // optimizers live in harmony-core which depends on this crate, so
+        // we just walk the lattice greedily here)
+        for obj in [
+            &TiledMatMul::default_scale() as &dyn Objective,
+            &StencilHalo::default_scale(),
+        ] {
+            let (argmin, best) = best_on_lattice(obj).unwrap();
+            assert!(obj.space().is_admissible(&argmin));
+            assert!(best > 0.0);
+        }
+        let _ = InitialShape::Symmetric; // keep the import honest
+    }
+}

@@ -1,0 +1,37 @@
+//! Objective surfaces for tuning experiments.
+//!
+//! The paper's controlled studies (§6) do not run GS2 live; they evaluate
+//! optimizers against *"a data base that contains the performance of the
+//! GS2 application for different parameter values"*, interpolating
+//! missing lattice points by a weighted average of their closest
+//! neighbours. This crate rebuilds that methodology:
+//!
+//! * [`Objective`] — the deterministic "true cost" `f(v)` interface
+//!   (noise is layered on top by the cluster/optimizer crates),
+//! * [`gs2`] — a synthetic GS2-like cost model over the paper's three
+//!   parameters (`ntheta`, `negrid`, `nodes`): compute + communication +
+//!   cache/topology ripple, producing the rugged multi-minimum surface of
+//!   Fig. 8,
+//! * [`database`] — a sparse performance database with inverse-distance
+//!   weighted nearest-neighbour interpolation (§6), wrapping any
+//!   objective,
+//! * [`kernels`] — further application models: cache-blocked matrix
+//!   multiply (the ATLAS-style problem) and a halo-exchange stencil
+//!   (the canonical SPMD decomposition trade-off),
+//! * [`testfns`] — standard optimization test functions (sphere,
+//!   Rosenbrock, Rastrigin, Ackley, Griewank) on boxes or lattices, for
+//!   unit tests and algorithm ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod gs2;
+pub mod kernels;
+pub mod objective;
+pub mod testfns;
+
+pub use database::PerfDatabase;
+pub use gs2::Gs2Model;
+pub use kernels::{StencilHalo, TiledMatMul};
+pub use objective::{best_on_lattice, Objective};

@@ -1,0 +1,128 @@
+//! The deterministic objective interface.
+
+use harmony_params::{ParamSpace, Point};
+
+/// A deterministic "true cost" function `f(v)` over a parameter space —
+/// for on-line tuning, the per-iteration running time the application
+/// would exhibit with parameters `v` on an otherwise idle system.
+///
+/// Implementations must be deterministic; stochastic measurement noise
+/// `n(v)` is layered on top by the cluster simulator via
+/// `harmony_variability::noise::NoiseModel` (eq. 5 of the paper).
+///
+/// Object safe: optimizers and harnesses hold `&dyn Objective`.
+pub trait Objective {
+    /// The admissible region.
+    fn space(&self) -> &ParamSpace;
+
+    /// Evaluates the true cost at an admissible point.
+    ///
+    /// Implementations may project or panic on inadmissible input; the
+    /// optimizers in this workspace only evaluate projected points.
+    fn eval(&self, x: &Point) -> f64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "objective"
+    }
+}
+
+impl<T: Objective + ?Sized> Objective for &T {
+    fn space(&self) -> &ParamSpace {
+        (**self).space()
+    }
+    fn eval(&self, x: &Point) -> f64 {
+        (**self).eval(x)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Exhaustively evaluates a fully discrete objective and returns the
+/// global optimum `(argmin, min)`; `None` when the space is continuous.
+/// Used as ground truth in tests and experiment reports.
+pub fn best_on_lattice<O: Objective + ?Sized>(obj: &O) -> Option<(Point, f64)> {
+    obj.space().lattice_size()?;
+    let mut best: Option<(Point, f64)> = None;
+    for p in obj.space().lattice() {
+        let v = obj.eval(&p);
+        if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
+            best = Some((p, v));
+        }
+    }
+    best
+}
+
+/// A closure-backed objective, convenient for tests.
+pub struct FnObjective<F: Fn(&Point) -> f64> {
+    space: ParamSpace,
+    f: F,
+    name: String,
+}
+
+impl<F: Fn(&Point) -> f64> FnObjective<F> {
+    /// Wraps a closure over a space.
+    pub fn new(name: impl Into<String>, space: ParamSpace, f: F) -> Self {
+        FnObjective {
+            space,
+            f,
+            name: name.into(),
+        }
+    }
+}
+
+impl<F: Fn(&Point) -> f64> Objective for FnObjective<F> {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+    fn eval(&self, x: &Point) -> f64 {
+        (self.f)(x)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_params::ParamDef;
+
+    fn lattice_space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::integer("a", -3, 3, 1).unwrap(),
+            ParamDef::integer("b", -2, 2, 1).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn best_on_lattice_finds_global_min() {
+        let obj = FnObjective::new("bowl", lattice_space(), |p| {
+            (p[0] - 1.0).powi(2) + (p[1] + 1.0).powi(2) + 5.0
+        });
+        let (argmin, min) = best_on_lattice(&obj).unwrap();
+        assert_eq!(argmin.as_slice(), &[1.0, -1.0]);
+        assert_eq!(min, 5.0);
+    }
+
+    #[test]
+    fn best_on_lattice_none_for_continuous() {
+        let space = ParamSpace::new(vec![ParamDef::continuous("x", 0.0, 1.0).unwrap()]).unwrap();
+        let obj = FnObjective::new("id", space, |p| p[0]);
+        assert!(best_on_lattice(&obj).is_none());
+    }
+
+    #[test]
+    fn trait_object_and_reference_impls() {
+        let obj = FnObjective::new("f", lattice_space(), |p| p[0] + p[1]);
+        let dyn_obj: &dyn Objective = &obj;
+        assert_eq!(dyn_obj.name(), "f");
+        let p = Point::from(&[1.0, 2.0][..]);
+        assert_eq!(dyn_obj.eval(&p), 3.0);
+        // &T forwards
+        let by_ref = &obj;
+        assert_eq!(Objective::eval(&by_ref, &p), 3.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Arrival processes for the first-priority (interference) stream.
+//!
+//! §4.1 models first-priority arrivals only as "a random process". The
+//! DES defaults to Poisson, but real interference is richer: OS
+//! housekeeping is *periodic* (the daemons behind Petrini et al.'s
+//! missing-performance study — the paper's \[15\] — woke on fixed
+//! schedules), and network/IO interference is *bursty* (arrivals cluster
+//! in time, which is also what makes the Fig. 3 spikes cluster). This
+//! module provides those processes behind one trait so the queue model
+//! can be driven by any of them:
+//!
+//! * [`PoissonArrivals`] — the memoryless baseline,
+//! * [`PeriodicArrivals`] — fixed period with optional phase jitter,
+//! * [`MmppArrivals`] — a two-state Markov-modulated Poisson process
+//!   (quiet/bursty), the standard minimal model for correlated traffic.
+
+use rand::Rng;
+
+/// A point process generating successive inter-arrival times.
+///
+/// Implementations may carry state (phase, modulation state); one
+/// instance describes one realisation stream.
+pub trait ArrivalProcess {
+    /// Time from the previous arrival to the next.
+    fn next_interarrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64;
+
+    /// Long-run average arrival rate (arrivals per unit time).
+    fn rate(&self) -> f64;
+}
+
+/// Memoryless Poisson arrivals at a fixed rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonArrivals {
+    /// Arrival rate `λ > 0`.
+    pub lambda: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates the process.
+    ///
+    /// # Panics
+    /// Panics unless `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "Poisson rate must be positive");
+        PoissonArrivals { lambda }
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_interarrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+
+    fn rate(&self) -> f64 {
+        self.lambda
+    }
+}
+
+/// Periodic arrivals (period `T`) with uniform jitter of half-width
+/// `jitter ≤ T/2` — cron-style housekeeping daemons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicArrivals {
+    /// Base period between arrivals.
+    pub period: f64,
+    /// Uniform jitter half-width added to each gap.
+    pub jitter: f64,
+}
+
+impl PeriodicArrivals {
+    /// Creates the process.
+    ///
+    /// # Panics
+    /// Panics unless `period > 0` and `0 ≤ jitter ≤ period/2`.
+    pub fn new(period: f64, jitter: f64) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        assert!(
+            (0.0..=period / 2.0).contains(&jitter),
+            "jitter must be in [0, period/2]"
+        );
+        PeriodicArrivals { period, jitter }
+    }
+}
+
+impl ArrivalProcess for PeriodicArrivals {
+    fn next_interarrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if self.jitter == 0.0 {
+            self.period
+        } else {
+            self.period + self.jitter * (2.0 * rng.random::<f64>() - 1.0)
+        }
+    }
+
+    fn rate(&self) -> f64 {
+        1.0 / self.period
+    }
+}
+
+/// A two-state Markov-modulated Poisson process: arrivals come at
+/// `lambda_quiet` in the quiet state and `lambda_burst` in the bursty
+/// state; the state flips after exponential holding times. Produces
+/// positively correlated (clustered) arrivals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmppArrivals {
+    /// Arrival rate in the quiet state.
+    pub lambda_quiet: f64,
+    /// Arrival rate in the bursty state.
+    pub lambda_burst: f64,
+    /// Mean holding time of the quiet state.
+    pub hold_quiet: f64,
+    /// Mean holding time of the bursty state.
+    pub hold_burst: f64,
+    in_burst: bool,
+    /// Time left in the current state.
+    remaining: f64,
+}
+
+impl MmppArrivals {
+    /// Creates the process starting in the quiet state.
+    ///
+    /// # Panics
+    /// Panics unless all rates/holding times are positive and
+    /// `lambda_burst > lambda_quiet`.
+    pub fn new(lambda_quiet: f64, lambda_burst: f64, hold_quiet: f64, hold_burst: f64) -> Self {
+        assert!(
+            lambda_quiet > 0.0 && lambda_burst > 0.0 && hold_quiet > 0.0 && hold_burst > 0.0,
+            "MMPP parameters must be positive"
+        );
+        assert!(
+            lambda_burst > lambda_quiet,
+            "the bursty state must be busier than the quiet one"
+        );
+        MmppArrivals {
+            lambda_quiet,
+            lambda_burst,
+            hold_quiet,
+            hold_burst,
+            in_burst: false,
+            remaining: 0.0,
+        }
+    }
+
+    /// True while the process is in its bursty state.
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+
+    fn draw_exp<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() * mean
+    }
+}
+
+impl ArrivalProcess for MmppArrivals {
+    fn next_interarrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let mut elapsed = 0.0;
+        loop {
+            if self.remaining <= 0.0 {
+                self.remaining = Self::draw_exp(
+                    rng,
+                    if self.in_burst {
+                        self.hold_burst
+                    } else {
+                        self.hold_quiet
+                    },
+                );
+            }
+            let lambda = if self.in_burst {
+                self.lambda_burst
+            } else {
+                self.lambda_quiet
+            };
+            let gap = Self::draw_exp(rng, 1.0 / lambda);
+            if gap <= self.remaining {
+                self.remaining -= gap;
+                return elapsed + gap;
+            }
+            // no arrival before the state flips: consume the remainder
+            // and switch (memorylessness makes the re-draw exact)
+            elapsed += self.remaining;
+            self.remaining = 0.0;
+            self.in_burst = !self.in_burst;
+        }
+    }
+
+    fn rate(&self) -> f64 {
+        // stationary state probabilities proportional to holding times
+        let p_burst = self.hold_burst / (self.hold_quiet + self.hold_burst);
+        self.lambda_burst * p_burst + self.lambda_quiet * (1.0 - p_burst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    fn empirical_rate<A: ArrivalProcess>(proc_: &mut A, n: usize, seed: u64) -> f64 {
+        let mut rng = seeded_rng(seed);
+        let total: f64 = (0..n).map(|_| proc_.next_interarrival(&mut rng)).sum();
+        n as f64 / total
+    }
+
+    #[test]
+    fn poisson_rate_matches() {
+        let mut p = PoissonArrivals::new(2.5);
+        let r = empirical_rate(&mut p, 100_000, 1);
+        assert!((r - 2.5).abs() / 2.5 < 0.02, "r={r}");
+        assert_eq!(p.rate(), 2.5);
+    }
+
+    #[test]
+    fn periodic_without_jitter_is_exact() {
+        let mut p = PeriodicArrivals::new(0.5, 0.0);
+        let mut rng = seeded_rng(2);
+        for _ in 0..100 {
+            assert_eq!(p.next_interarrival(&mut rng), 0.5);
+        }
+    }
+
+    #[test]
+    fn periodic_jitter_stays_bounded_and_unbiased() {
+        let mut p = PeriodicArrivals::new(1.0, 0.25);
+        let mut rng = seeded_rng(3);
+        let gaps: Vec<f64> = (0..50_000).map(|_| p.next_interarrival(&mut rng)).collect();
+        assert!(gaps.iter().all(|&g| (0.75..=1.25).contains(&g)));
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn mmpp_long_run_rate_matches_stationary_mix() {
+        let mut p = MmppArrivals::new(0.5, 8.0, 10.0, 2.0);
+        let expect = p.rate();
+        let r = empirical_rate(&mut p, 200_000, 4);
+        assert!((r - expect).abs() / expect < 0.05, "r={r} expect={expect}");
+    }
+
+    #[test]
+    fn mmpp_arrivals_cluster() {
+        // burstiness: the coefficient of variation of inter-arrival
+        // times exceeds 1 (Poisson has exactly 1)
+        let mut p = MmppArrivals::new(0.2, 10.0, 20.0, 2.0);
+        let mut rng = seeded_rng(5);
+        let gaps: Vec<f64> = (0..100_000)
+            .map(|_| p.next_interarrival(&mut rng))
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.2, "cv={cv} should exceed Poisson's 1.0");
+    }
+
+    #[test]
+    fn mmpp_visits_both_states() {
+        let mut p = MmppArrivals::new(0.5, 5.0, 1.0, 1.0);
+        let mut rng = seeded_rng(6);
+        let mut seen_burst = false;
+        let mut seen_quiet = false;
+        for _ in 0..10_000 {
+            p.next_interarrival(&mut rng);
+            if p.in_burst() {
+                seen_burst = true;
+            } else {
+                seen_quiet = true;
+            }
+        }
+        assert!(seen_burst && seen_quiet);
+    }
+
+    #[test]
+    #[should_panic(expected = "busier")]
+    fn mmpp_rejects_inverted_states() {
+        MmppArrivals::new(5.0, 1.0, 1.0, 1.0);
+    }
+}

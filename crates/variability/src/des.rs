@@ -1,0 +1,390 @@
+//! Discrete-event simulation of the two-priority machine model (§4.1).
+//!
+//! A single work-conserving server runs under strict priority with
+//! preemptive resume. First-priority jobs arrive as a Poisson process of
+//! rate `λ` with i.i.d. service demands of mean `E[S]`; the idle
+//! throughput is `ρ = λ·E[S]`. The tunable application is a single
+//! second-priority job of demand `f(v)` arriving at time 0 to an empty
+//! system.
+//!
+//! Under work conservation the application's finishing time is the
+//! smallest `y` with `y = f(v) + W(y)`, where `W(t)` is the total
+//! first-priority work arriving in `[0, t)` — computed exactly by the
+//! cascade in [`TwoPriorityDes::finishing_time`] without an event heap.
+//! A full event-driven simulator ([`TwoPriorityDes::run_trace`]) is also
+//! provided for queue-state statistics; both agree (tested), and both
+//! validate the paper's eq. 6: `E[y] = f(v)/(1−ρ)`.
+
+use crate::dist::Distribution;
+use rand::Rng;
+
+/// The two-priority preemptive-resume queue of §4.1.
+///
+/// # Example
+///
+/// ```
+/// use harmony_variability::des::TwoPriorityDes;
+/// use harmony_variability::dist::Exponential;
+/// use harmony_variability::seeded_rng;
+///
+/// let queue = TwoPriorityDes::with_rho(0.25, Exponential::with_mean(0.2));
+/// let mut rng = seeded_rng(1);
+/// let (mean, _se) = queue.mean_finishing_time(3.0, 20_000, &mut rng);
+/// // eq. 6: E[y] = f / (1 - rho) = 4.0
+/// assert!((mean - 4.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoPriorityDes<D: Distribution> {
+    /// Poisson arrival rate `λ` of first-priority jobs.
+    pub arrival_rate: f64,
+    /// Service-demand distribution of first-priority jobs.
+    pub service: D,
+}
+
+impl<D: Distribution> TwoPriorityDes<D> {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    /// Panics if `arrival_rate` is negative or the implied utilisation
+    /// `ρ = λ·E[S]` is ≥ 1 (the application would never finish).
+    pub fn new(arrival_rate: f64, service: D) -> Self {
+        assert!(arrival_rate >= 0.0, "arrival rate must be non-negative");
+        let rho = arrival_rate * service.mean();
+        assert!(
+            rho < 1.0,
+            "idle throughput rho = {rho} must be < 1 for stability"
+        );
+        TwoPriorityDes {
+            arrival_rate,
+            service,
+        }
+    }
+
+    /// The idle throughput `ρ = λ·E[S]` — the fraction of capacity the
+    /// first-priority stream consumes.
+    pub fn rho(&self) -> f64 {
+        self.arrival_rate * self.service.mean()
+    }
+
+    /// Builds a simulator achieving a target `ρ` with unit-mean scaling
+    /// of the given service distribution's rate: `λ = ρ / E[S]`.
+    pub fn with_rho(rho: f64, service: D) -> Self {
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0,1)");
+        let lambda = rho / service.mean();
+        TwoPriorityDes::new(lambda, service)
+    }
+
+    /// Finishing time of a second-priority job of demand `f` arriving at
+    /// `t = 0` to an empty system (one sample of `y` in eq. 5).
+    ///
+    /// Exact under work conservation: starting from `y₀ = f`, repeatedly
+    /// add the service demands of first-priority arrivals landing before
+    /// the current completion estimate until no new arrival does.
+    pub fn finishing_time<R: Rng + ?Sized>(&self, f: f64, rng: &mut R) -> f64 {
+        assert!(f >= 0.0, "job demand must be non-negative");
+        if f == 0.0 || self.arrival_rate == 0.0 {
+            return f;
+        }
+        let mut total = f;
+        let mut t_arr = self.next_interarrival(rng);
+        while t_arr < total {
+            total += self.service.sample(rng);
+            t_arr += self.next_interarrival(rng);
+        }
+        total
+    }
+
+    fn next_interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.arrival_rate
+    }
+
+    /// Monte-Carlo estimate of `E[y]` over `n` replications, returned
+    /// with its standard error.
+    pub fn mean_finishing_time<R: Rng + ?Sized>(
+        &self,
+        f: f64,
+        n: usize,
+        rng: &mut R,
+    ) -> (f64, f64) {
+        assert!(n >= 2, "need at least 2 replications");
+        let samples: Vec<f64> = (0..n).map(|_| self.finishing_time(f, rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / (n as f64 - 1.0);
+        (mean, (var / n as f64).sqrt())
+    }
+
+    /// Full event-driven simulation over `[0, horizon]`, returning the
+    /// [`QueueTrace`] of busy/idle structure. Used to cross-validate the
+    /// cascade shortcut and to measure the empirical utilisation.
+    pub fn run_trace<R: Rng + ?Sized>(&self, horizon: f64, rng: &mut R) -> QueueTrace {
+        let mut arrivals: Vec<(f64, f64)> = Vec::new(); // (time, demand)
+        let mut t = 0.0;
+        if self.arrival_rate > 0.0 {
+            loop {
+                t += self.next_interarrival(rng);
+                if t >= horizon {
+                    break;
+                }
+                arrivals.push((t, self.service.sample(rng)));
+            }
+        }
+        // Sweep: the server works FCFS within priority 1; track backlog.
+        let mut backlog = 0.0f64;
+        let mut busy_time = 0.0f64;
+        let mut clock = 0.0f64;
+        let mut max_backlog = 0.0f64;
+        for &(at, demand) in &arrivals {
+            let gap = at - clock;
+            let drained = gap.min(backlog);
+            busy_time += drained;
+            backlog -= drained;
+            clock = at;
+            backlog += demand;
+            max_backlog = max_backlog.max(backlog);
+        }
+        let gap = horizon - clock;
+        busy_time += gap.min(backlog);
+        QueueTrace {
+            horizon,
+            n_arrivals: arrivals.len(),
+            busy_time,
+            max_backlog,
+        }
+    }
+}
+
+/// The two-priority queue with an arbitrary first-priority arrival
+/// process (Poisson, periodic housekeeping, Markov-modulated bursts —
+/// see [`crate::arrivals`]). The cascade computation is identical to
+/// [`TwoPriorityDes::finishing_time`]; only the arrival stream differs.
+#[derive(Debug, Clone)]
+pub struct GeneralDes<A, D> {
+    /// First-priority arrival process.
+    pub arrivals: A,
+    /// First-priority service-demand distribution.
+    pub service: D,
+}
+
+impl<A: crate::arrivals::ArrivalProcess, D: Distribution> GeneralDes<A, D> {
+    /// Creates the simulator.
+    ///
+    /// # Panics
+    /// Panics when the implied utilisation `rho = rate * E[S]` is >= 1.
+    pub fn new(arrivals: A, service: D) -> Self {
+        let rho = arrivals.rate() * service.mean();
+        assert!(rho < 1.0, "idle throughput rho = {rho} must be < 1");
+        GeneralDes { arrivals, service }
+    }
+
+    /// Long-run idle throughput `rho`.
+    pub fn rho(&self) -> f64 {
+        self.arrivals.rate() * self.service.mean()
+    }
+
+    /// Finishing time of one second-priority job of demand `f`
+    /// (stateful: successive calls continue the arrival stream, so
+    /// bursts straddle job boundaries the way they do on a real node).
+    pub fn finishing_time<R: Rng + ?Sized>(&mut self, f: f64, rng: &mut R) -> f64 {
+        assert!(f >= 0.0, "job demand must be non-negative");
+        if f == 0.0 {
+            return 0.0;
+        }
+        let mut total = f;
+        let mut t_arr = self.arrivals.next_interarrival(rng);
+        while t_arr < total {
+            total += self.service.sample(rng);
+            t_arr += self.arrivals.next_interarrival(rng);
+        }
+        total
+    }
+}
+
+/// Summary of an event-driven queue run (first-priority stream only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueTrace {
+    /// Simulated horizon.
+    pub horizon: f64,
+    /// Number of first-priority arrivals.
+    pub n_arrivals: usize,
+    /// Total time the server spent on first-priority work.
+    pub busy_time: f64,
+    /// Largest instantaneous first-priority backlog observed.
+    pub max_backlog: f64,
+}
+
+impl QueueTrace {
+    /// Empirical utilisation `busy_time / horizon` — converges to `ρ`.
+    pub fn utilisation(&self) -> f64 {
+        self.busy_time / self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, Pareto};
+    use crate::seeded_rng;
+
+    #[test]
+    fn rho_zero_is_noise_free() {
+        let q = TwoPriorityDes::new(0.0, Exponential::with_mean(1.0));
+        let mut rng = seeded_rng(1);
+        assert_eq!(q.finishing_time(3.0, &mut rng), 3.0);
+        assert_eq!(q.rho(), 0.0);
+    }
+
+    #[test]
+    fn finishing_time_at_least_f() {
+        let q = TwoPriorityDes::with_rho(0.3, Exponential::with_mean(0.5));
+        let mut rng = seeded_rng(2);
+        for _ in 0..1_000 {
+            assert!(q.finishing_time(2.0, &mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn mean_matches_eq6_exponential_service() {
+        // E[y] = f / (1 - rho), eq. 6
+        for rho in [0.1, 0.25, 0.4] {
+            let q = TwoPriorityDes::with_rho(rho, Exponential::with_mean(0.2));
+            let mut rng = seeded_rng(3);
+            let f = 5.0;
+            let (mean, se) = q.mean_finishing_time(f, 40_000, &mut rng);
+            let expect = f / (1.0 - rho);
+            assert!(
+                (mean - expect).abs() < 4.0 * se + 0.02 * expect,
+                "rho={rho}: mean={mean} expect={expect} se={se}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_matches_eq6_heavy_tailed_service() {
+        // eq. 6 holds for any service distribution with finite mean —
+        // including Pareto bursts (finite mean needs alpha > 1)
+        let service = Pareto::new(2.2, 0.1); // mean ≈ 0.1833
+        let q = TwoPriorityDes::with_rho(0.2, service);
+        let mut rng = seeded_rng(4);
+        let f = 3.0;
+        let (mean, _) = q.mean_finishing_time(f, 60_000, &mut rng);
+        let expect = f / 0.8;
+        assert!((mean - expect).abs() / expect < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn with_rho_sets_utilisation() {
+        let q = TwoPriorityDes::with_rho(0.35, Exponential::with_mean(0.7));
+        assert!((q.rho() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_utilisation_converges_to_rho() {
+        let q = TwoPriorityDes::with_rho(0.3, Exponential::with_mean(0.5));
+        let mut rng = seeded_rng(5);
+        let trace = q.run_trace(200_000.0, &mut rng);
+        assert!(
+            (trace.utilisation() - 0.3).abs() < 0.01,
+            "{}",
+            trace.utilisation()
+        );
+        // Poisson count sanity: n ≈ λ·horizon
+        let expect_n = q.arrival_rate * trace.horizon;
+        assert!((trace.n_arrivals as f64 - expect_n).abs() / expect_n < 0.02);
+    }
+
+    #[test]
+    fn trace_with_no_arrivals() {
+        let q = TwoPriorityDes::new(0.0, Exponential::with_mean(1.0));
+        let mut rng = seeded_rng(6);
+        let trace = q.run_trace(100.0, &mut rng);
+        assert_eq!(trace.n_arrivals, 0);
+        assert_eq!(trace.busy_time, 0.0);
+        assert_eq!(trace.utilisation(), 0.0);
+    }
+
+    #[test]
+    fn heavier_load_means_longer_sojourns() {
+        let mut rng = seeded_rng(7);
+        let lo = TwoPriorityDes::with_rho(0.1, Exponential::with_mean(0.3))
+            .mean_finishing_time(4.0, 20_000, &mut rng)
+            .0;
+        let hi = TwoPriorityDes::with_rho(0.45, Exponential::with_mean(0.3))
+            .mean_finishing_time(4.0, 20_000, &mut rng)
+            .0;
+        assert!(hi > lo * 1.3, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn general_des_poisson_matches_specialised() {
+        use crate::arrivals::PoissonArrivals;
+        // same model, same eq. 6 expectation
+        let rho = 0.3;
+        let service = Exponential::with_mean(0.2);
+        let lambda = rho / service.mean();
+        let mut q = GeneralDes::new(PoissonArrivals::new(lambda), service);
+        assert!((q.rho() - rho).abs() < 1e-12);
+        let mut rng = seeded_rng(20);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| q.finishing_time(5.0, &mut rng)).sum::<f64>() / n as f64;
+        let expect = 5.0 / (1.0 - rho);
+        assert!((mean - expect).abs() / expect < 0.03, "mean={mean}");
+    }
+
+    #[test]
+    fn general_des_periodic_housekeeping() {
+        use crate::arrivals::PeriodicArrivals;
+        // daemons every 2s costing 0.5s: rho = 0.25; eq. 6 still holds
+        // in the long run for jobs long relative to the period
+        let mut q = GeneralDes::new(
+            PeriodicArrivals::new(2.0, 0.5),
+            crate::dist::Degenerate { value: 0.5 },
+        );
+        assert!((q.rho() - 0.25).abs() < 1e-12);
+        let mut rng = seeded_rng(21);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| q.finishing_time(10.0, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        let expect = 10.0 / 0.75;
+        assert!((mean - expect).abs() / expect < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn general_des_mmpp_is_noisier_than_poisson() {
+        use crate::arrivals::{ArrivalProcess, MmppArrivals, PoissonArrivals};
+        let service = Exponential::with_mean(0.05);
+        let mmpp = MmppArrivals::new(1.0, 30.0, 10.0, 2.0);
+        let rate = mmpp.rate();
+        let mut bursty = GeneralDes::new(mmpp, service);
+        let mut poisson = GeneralDes::new(PoissonArrivals::new(rate), service);
+        let mut rng = seeded_rng(22);
+        let n = 30_000;
+        let var = |q: &mut dyn FnMut(&mut rand::rngs::SmallRng) -> f64,
+                   rng: &mut rand::rngs::SmallRng| {
+            let xs: Vec<f64> = (0..n).map(|_| q(rng)).collect();
+            let m = xs.iter().sum::<f64>() / n as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64
+        };
+        let v_burst = var(&mut |r| bursty.finishing_time(2.0, r), &mut rng);
+        let v_poisson = var(&mut |r| poisson.finishing_time(2.0, r), &mut rng);
+        assert!(
+            v_burst > 1.5 * v_poisson,
+            "bursty var {v_burst} should exceed Poisson var {v_poisson}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < 1")]
+    fn unstable_load_rejected() {
+        TwoPriorityDes::new(3.0, Exponential::with_mean(0.5));
+    }
+
+    #[test]
+    fn zero_demand_finishes_instantly() {
+        let q = TwoPriorityDes::with_rho(0.4, Exponential::with_mean(0.5));
+        let mut rng = seeded_rng(8);
+        assert_eq!(q.finishing_time(0.0, &mut rng), 0.0);
+    }
+}

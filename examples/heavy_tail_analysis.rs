@@ -1,0 +1,89 @@
+//! The §4 measurement study as a library consumer would run it: generate
+//! a cluster trace, test it for heavy tails (histogram mass, log-log
+//! survival linearity, Hill estimator), and validate the two-job queue
+//! model against its closed form.
+//!
+//! ```text
+//! cargo run --release --example heavy_tail_analysis
+//! ```
+
+use harmony::prelude::*;
+use harmony::stats::tail::{classify_tail, hill_estimate, truncate};
+use harmony::variability::des::TwoPriorityDes;
+use harmony::variability::dist::Exponential;
+use harmony::variability::trace::ClusterTraceModel;
+
+fn main() {
+    // --- 1. a GS2-like 64-processor, 800-iteration trace (Fig. 3) ---
+    let trace = ClusterTraceModel::gs2_like(64, 800).generate(2005);
+    let samples = trace.flatten();
+    let summary = Summary::of(&samples);
+    println!("trace: {} samples", summary.n());
+    println!(
+        "  mean {:.2}s  median {:.2}s  max {:.2}s",
+        summary.mean(),
+        summary.median(),
+        summary.max()
+    );
+    println!(
+        "  cross-processor correlation (p0,p1): {:.2}",
+        trace.pearson(0, 1)
+    );
+
+    // --- 2. heavy-tail diagnostics (Fig. 4/5) ---
+    let hist = Histogram::from_samples(&samples, 20);
+    println!(
+        "  top-3-bin mass: {:.4} (non-negligible => spikes)",
+        hist.tail_mass(3)
+    );
+    let verdict = classify_tail(&samples, 0.2);
+    println!(
+        "  log-log tail fit: alpha={:.2} r2={:.3} heavy={}",
+        verdict.alpha, verdict.r2, verdict.heavy
+    );
+    let hill = hill_estimate(&samples, samples.len() / 20);
+    println!("  Hill estimator:   alpha={hill:.2}");
+
+    // --- 3. the small-spike component (Fig. 6/7) ---
+    let small = truncate(&samples, 5.0);
+    let v2 = classify_tail(&small, 0.3);
+    println!(
+        "  truncated (<=5s): {} samples, tail slope alpha={:.2}",
+        small.len(),
+        v2.alpha
+    );
+
+    // --- 4. two-job queue model vs eq. 6 ---
+    println!("\ntwo-priority queue: E[y] vs f/(1-rho)  (f = 5s)");
+    let mut rng = seeded_rng(9);
+    for rho in [0.1, 0.2, 0.3, 0.4] {
+        let q = TwoPriorityDes::with_rho(rho, Exponential::with_mean(0.2));
+        let (mean, se) = q.mean_finishing_time(5.0, 50_000, &mut rng);
+        let analytic = 5.0 / (1.0 - rho);
+        println!(
+            "  rho={rho:.2}  des={mean:.3} (+/-{se:.3})  analytic={analytic:.3}  rel_err={:.2}%",
+            100.0 * (mean - analytic).abs() / analytic
+        );
+    }
+
+    // --- 5. why the min operator works (eq. 19) ---
+    println!("\nmin-of-K de-heavy-tails Pareto(alpha=0.9) noise (infinite mean!):");
+    let noise = Pareto::new(0.9, 1.0);
+    for k in [1usize, 2, 3, 5] {
+        let n = 100_000;
+        let mut mins = Vec::with_capacity(n);
+        for _ in 0..n {
+            let m = (0..k)
+                .map(|_| noise.sample(&mut rng))
+                .fold(f64::INFINITY, f64::min);
+            mins.push(m);
+        }
+        let s = Summary::of(&mins);
+        println!(
+            "  K={k}: sample mean {:>8.2}  p99 {:>8.2}  (K*alpha = {:.1}, finite mean needs > 1)",
+            s.mean(),
+            s.quantile(0.99),
+            k as f64 * 0.9
+        );
+    }
+}

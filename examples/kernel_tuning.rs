@@ -1,0 +1,87 @@
+//! Tuning classic HPC kernels: cache-blocked matrix multiply (the
+//! ATLAS-style problem the paper contrasts with on-line tuning) and a
+//! halo-exchange stencil decomposition — both under heavy-tailed
+//! measurement noise, with exhaustive ground truth for reference.
+//!
+//! ```text
+//! cargo run --release --example kernel_tuning
+//! ```
+
+use harmony::core::baselines::GeneticAlgorithm;
+use harmony::prelude::*;
+use harmony::surface::{StencilHalo, TiledMatMul};
+
+fn tune(obj: &dyn Objective, rho: f64, r: f64, seed: u64) -> TuningOutcome {
+    let noise = if rho == 0.0 {
+        Noise::None
+    } else {
+        Noise::paper_default(rho)
+    };
+    let tuner = OnlineTuner::new(TunerConfig {
+        full_occupancy: false,
+        ..TunerConfig::paper_default(150, Estimator::MinOfK(3), seed)
+    });
+    let mut pro = ProOptimizer::new(
+        obj.space().clone(),
+        ProConfig {
+            relative_size: r,
+            ..ProConfig::default()
+        },
+    );
+    tuner.run(obj, &noise, &mut pro)
+}
+
+fn report(name: &str, obj: &dyn Objective) {
+    let (opt_point, opt_val) = best_on_lattice(obj).expect("discrete space");
+    println!("== {name} ==");
+    println!(
+        "  exhaustive optimum {:?} -> {:.4e} s/iter ({} lattice points)",
+        opt_point.as_slice(),
+        opt_val,
+        obj.space().lattice_size().expect("finite lattice"),
+    );
+    for (rho, r) in [(0.0, 0.2), (0.3, 0.2)] {
+        let out = tune(obj, rho, r, 7);
+        println!(
+            "  PRO rho={rho:<4} r={r} -> {:?} = {:.4e} s/iter ({:.2}x optimum, {} evals)",
+            out.best_point.as_slice(),
+            out.best_true_cost,
+            out.best_true_cost / opt_val,
+            out.evaluations,
+        );
+    }
+    // a population method for contrast (the paper's §2 trade-off: better
+    // final points, more expensive transient)
+    let tuner = OnlineTuner::new(TunerConfig {
+        full_occupancy: false,
+        ..TunerConfig::paper_default(150, Estimator::Single, 7)
+    });
+    let mut ga = GeneticAlgorithm::new(obj.space().clone(), 16, 0.4, 7);
+    let out = tuner.run(obj, &Noise::None, &mut ga);
+    println!(
+        "  GA  (pop 16)      -> {:?} = {:.4e} s/iter ({:.2}x optimum, {} evals)",
+        out.best_point.as_slice(),
+        out.best_true_cost,
+        out.best_true_cost / opt_val,
+        out.evaluations,
+    );
+    println!();
+}
+
+fn main() {
+    report(
+        "tiled matrix multiply (ti, tj, tk)",
+        &TiledMatMul::default_scale(),
+    );
+    report(
+        "halo-exchange stencil (px, py, ghost)",
+        &StencilHalo::default_scale(),
+    );
+    println!("Two morals. The stencil surface is local-search friendly: PRO");
+    println!("walks to the optimal decomposition in a handful of batches. The");
+    println!("matmul surface is deceptive — the cache-reuse gradient points");
+    println!("*away* from the distant L1 basin, so PRO settles for the best");
+    println!("L2-resident tiling while the population-based GA eventually digs");
+    println!("out the deeper basin at a higher exploration cost: exactly the");
+    println!("on-line-vs-final-quality trade-off of the paper's Section 2.");
+}

@@ -1,0 +1,113 @@
+//! The whole paper in one run: each section's claim, verified live at
+//! reduced scale. A narrative companion to the full-scale
+//! `harmony-bench` harness (see EXPERIMENTS.md for paper-scale numbers).
+//!
+//! ```text
+//! cargo run --release --example paper_tour
+//! ```
+
+use harmony::analysis::TraceReport;
+use harmony::core::nelder_mead::NelderMead;
+use harmony::core::sro::SroOptimizer;
+use harmony::prelude::*;
+use harmony::stats::minop;
+use harmony::variability::des::TwoPriorityDes;
+use harmony::variability::dist::Exponential;
+use harmony::variability::trace::ClusterTraceModel;
+
+fn session(
+    obj: &dyn Objective,
+    opt: &mut dyn Optimizer,
+    noise: &Noise,
+    steps: usize,
+    seed: u64,
+) -> TuningOutcome {
+    OnlineTuner::new(TunerConfig {
+        full_occupancy: false,
+        ..TunerConfig::paper_default(steps, Estimator::Single, seed)
+    })
+    .run(obj, noise, opt)
+}
+
+fn main() {
+    let gs2 = Gs2Model::paper_scale();
+    let noise = Noise::paper_default(0.1);
+
+    println!("== Section 2: the on-line metric ==");
+    println!("Total_Time integrates every visited configuration, so the");
+    println!("algorithm with the best final configuration need not win it:\n");
+    let mut results = Vec::new();
+    for (name, opt) in [
+        (
+            "nelder-mead",
+            &mut NelderMead::with_defaults(gs2.space().clone()) as &mut dyn Optimizer,
+        ),
+        ("sro", &mut SroOptimizer::with_defaults(gs2.space().clone())),
+        ("pro", &mut ProOptimizer::with_defaults(gs2.space().clone())),
+    ] {
+        let out = session(&gs2, opt, &noise, 300, 7);
+        println!(
+            "  {name:<12} deployed cost {:.2}s/iter   Total_Time(300) = {:.0}s",
+            out.best_true_cost,
+            out.total_time()
+        );
+        results.push((name, out));
+    }
+
+    println!("\n== Section 4: performance variability is heavy tailed ==");
+    let trace = ClusterTraceModel::gs2_like(32, 800).generate(2005);
+    println!("{}", TraceReport::analyze(&trace));
+
+    println!("\n== Section 4.1: the two-job model (eq. 6) ==");
+    let queue = TwoPriorityDes::with_rho(0.3, Exponential::with_mean(0.2));
+    let mut rng = seeded_rng(1);
+    let (mean, _) = queue.mean_finishing_time(5.0, 30_000, &mut rng);
+    println!(
+        "  DES E[y] = {mean:.3} vs closed form f/(1-rho) = {:.3}",
+        5.0 / 0.7
+    );
+
+    println!("\n== Section 5.1: the min operator de-heavy-tails (eq. 19) ==");
+    for k in [1usize, 2, 3] {
+        println!(
+            "  K={k}: min of K Pareto(1.7) samples has tail index {:.1} -> variance {}",
+            1.7 * k as f64,
+            if minop::min_variance(1.7, 1.0, k).is_finite() {
+                "finite"
+            } else {
+                "INFINITE"
+            }
+        );
+    }
+    println!(
+        "  eq. 22: to order two points separated by lambda=0.4 with error < 1%,\n  K0 = {} samples suffice",
+        minop::required_samples(1.7, 2.0, 0.4, 0.01)
+    );
+
+    println!("\n== Section 6.2: multi-sampling in the tuning loop ==");
+    for (est, label) in [
+        (Estimator::Single, "single"),
+        (Estimator::MinOfK(3), "min-of-3"),
+        (Estimator::MeanOfK(3), "mean-of-3"),
+    ] {
+        let heavy = Noise::Pareto {
+            alpha: 1.1,
+            rho: 0.3,
+        };
+        let reps = 20;
+        let avg: f64 = (0..reps)
+            .map(|r| {
+                let tuner = OnlineTuner::new(TunerConfig {
+                    full_occupancy: false,
+                    ..TunerConfig::paper_default(100, est, stream_seed(9, r))
+                });
+                let mut pro = ProOptimizer::with_defaults(gs2.space().clone());
+                tuner.run(&gs2, &heavy, &mut pro).best_true_cost
+            })
+            .sum::<f64>()
+            / reps as f64;
+        println!("  {label:<10} avg deployed true cost: {avg:.3} s/iter");
+    }
+    println!("\n(min-of-3 <= single <= mean-of-3 under infinite-variance noise;");
+    println!(" full-scale sweeps: cargo run --release -p harmony-bench --bin run_all -- --full)");
+}

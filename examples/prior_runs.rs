@@ -1,0 +1,69 @@
+//! Prior-run reuse (the paper's reference [3], Chung & Hollingsworth
+//! SC'04): log everything a tuning session measures, export it as a
+//! performance database, and warm-start the next session from the
+//! prior best.
+//!
+//! ```text
+//! cargo run --release --example prior_runs
+//! ```
+
+use harmony::core::Logged;
+use harmony::prelude::*;
+
+fn config(seed: u64) -> TunerConfig {
+    TunerConfig {
+        full_occupancy: false,
+        ..TunerConfig::paper_default(120, Estimator::MinOfK(2), seed)
+    }
+}
+
+fn main() {
+    let gs2 = Gs2Model::paper_scale();
+    let noise = Noise::paper_default(0.2);
+
+    // --- run 1: cold start, with logging ---
+    let mut cold = Logged::new(ProOptimizer::with_defaults(gs2.space().clone()));
+    let cold_out = OnlineTuner::new(config(1)).run(&gs2, &noise, &mut cold);
+    let log = cold.log().clone();
+    println!(
+        "cold run:  best {} -> {:.3} s/iter  ({} configs measured, {} estimates)",
+        gs2.space().describe(&cold_out.best_point),
+        cold_out.best_true_cost,
+        log.len(),
+        log.total_visits(),
+    );
+
+    // --- the log is itself a performance database (§6 shape) ---
+    let db = log.into_database(gs2.space().clone(), 4);
+    println!(
+        "exported:  prior-run database with {} entries ({:.1}% of the lattice)",
+        db.len(),
+        100.0 * db.coverage()
+    );
+
+    // --- run 2: warm start at the prior best ---
+    let prior_best = log
+        .best()
+        .expect("cold run measured something")
+        .point
+        .clone();
+    let mut warm_inner = ProOptimizer::with_defaults(gs2.space().clone());
+    warm_inner.recenter(&prior_best);
+    let mut warm = Logged::new(warm_inner);
+    let warm_out = OnlineTuner::new(config(2)).run(&gs2, &noise, &mut warm);
+    println!(
+        "warm run:  best {} -> {:.3} s/iter",
+        gs2.space().describe(&warm_out.best_point),
+        warm_out.best_true_cost,
+    );
+
+    let optimum = best_on_lattice(&gs2).expect("finite lattice").1;
+    println!(
+        "optimality: cold {:.2}x, warm {:.2}x of the global optimum ({optimum:.3})",
+        cold_out.best_true_cost / optimum,
+        warm_out.best_true_cost / optimum,
+    );
+    println!("\nthe warm session starts its simplex where the cold one ended, so");
+    println!("its budget refines the prior basin instead of rediscovering it");
+    println!("(single instances are noisy; average with e.g. harmony-tune --reps).");
+}

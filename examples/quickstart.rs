@@ -1,0 +1,58 @@
+//! Quickstart: tune a 2-parameter application with PRO in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The "application" is a synthetic kernel whose per-iteration time
+//! depends on a tile size and a thread count; measurements are disturbed
+//! by heavy-tailed (Pareto) noise from the two-job model, and PRO with
+//! min-of-2 sampling tunes it on-line.
+
+use harmony::prelude::*;
+
+fn main() {
+    // 1. describe the tunable parameters (what a user hands Harmony)
+    let space = ParamSpace::new(vec![
+        ParamDef::integer("tile", 8, 512, 8).expect("valid tile range"),
+        ParamDef::integer("threads", 1, 64, 1).expect("valid thread range"),
+    ])
+    .expect("non-empty space");
+
+    // 2. the application: true per-iteration seconds (unknown to PRO)
+    let app = harmony::surface::objective::FnObjective::new("kernel", space.clone(), |p| {
+        let (tile, threads) = (p[0], p[1]);
+        let compute = 4096.0 / (tile * threads); // parallel work
+        let overhead = 0.004 * threads + 0.02 * (tile / 64.0 - 1.0).abs(); // sync + cache
+        0.2 + compute + overhead
+    });
+
+    // 3. heavy-tailed measurement noise: Pareto alpha=1.7, rho=0.2
+    let noise = Noise::paper_default(0.2);
+
+    // 4. run the on-line tuning session: 200 time steps on 64 processors
+    let tuner = OnlineTuner::new(TunerConfig::paper_default(200, Estimator::MinOfK(2), 7));
+    let mut pro = ProOptimizer::with_defaults(space);
+    let outcome = tuner.run(&app, &noise, &mut pro);
+
+    println!("converged:        {}", outcome.converged);
+    println!(
+        "best parameters:  tile={} threads={}",
+        outcome.best_point[0], outcome.best_point[1]
+    );
+    println!("true cost:        {:.4} s/iter", outcome.best_true_cost);
+    println!("Total_Time(200):  {:.2} s", outcome.total_time());
+    println!("NTT:              {:.2} s", outcome.ntt(0.2));
+    println!("evaluations used: {}", outcome.evaluations);
+
+    // compare against the true optimum (exhaustive — the space is small)
+    let (opt_point, opt_val) = best_on_lattice(&app).expect("discrete space");
+    println!(
+        "global optimum:   tile={} threads={} -> {:.4} s/iter",
+        opt_point[0], opt_point[1], opt_val
+    );
+    assert!(
+        outcome.best_true_cost <= 2.0 * opt_val,
+        "tuning went badly wrong"
+    );
+}

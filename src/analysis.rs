@@ -1,0 +1,300 @@
+//! High-level trace analysis: the complete §4 measurement study as one
+//! call.
+//!
+//! Combines the cluster-trace substrate (`harmony-variability`) with the
+//! tail diagnostics (`harmony-stats`) into a single [`TraceReport`] —
+//! everything the paper's Figures 3–7 read off a measured trace: base
+//! behaviour, spike structure, cross-processor correlation, heavy-tail
+//! verdicts before and after truncation, and temporal burstiness.
+
+use crate::core::TuningOutcome;
+use crate::stats::resample::{autocorrelation, bootstrap_mean_ci, BootstrapCi};
+use crate::stats::tail::{classify_tail, hill_estimate, truncate, TailVerdict};
+use crate::stats::{Histogram, Summary};
+use crate::surface::Objective;
+use crate::variability::trace::ClusterTrace;
+use std::fmt;
+
+/// The distilled §4 measurement study of one cluster trace.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Total samples analysed (procs × iterations).
+    pub n: usize,
+    /// Sample mean (seconds).
+    pub mean: f64,
+    /// Sample median — with heavy tails, far below the mean.
+    pub median: f64,
+    /// Largest observed iteration time.
+    pub max: f64,
+    /// Mass in the top 3 of 20 histogram bins (the Fig. 4 eyeball test).
+    pub top_bin_mass: f64,
+    /// Hill tail-index estimate at `k = n/50`.
+    pub hill_alpha: f64,
+    /// Log-log survival-slope verdict on the asymptotic tail (top 5 %).
+    pub tail: TailVerdict,
+    /// The same verdict after truncating at `cutoff` (Fig. 6/7).
+    pub truncated_tail: TailVerdict,
+    /// Truncation cutoff used.
+    pub cutoff: f64,
+    /// Fraction of samples surviving truncation.
+    pub kept_fraction: f64,
+    /// Mean pairwise Pearson correlation across the first four
+    /// processors (Fig. 3's "high correlation" observation).
+    pub mean_correlation: f64,
+    /// Lag-1 autocorrelation of processor 0's series (burstiness).
+    pub lag1_autocorrelation: f64,
+}
+
+impl TraceReport {
+    /// Runs the full analysis with the paper's 5-second truncation.
+    pub fn analyze(trace: &ClusterTrace) -> Self {
+        TraceReport::analyze_with_cutoff(trace, 5.0)
+    }
+
+    /// Runs the full analysis with an explicit truncation cutoff.
+    ///
+    /// # Panics
+    /// Panics on an empty trace or a cutoff below every sample.
+    pub fn analyze_with_cutoff(trace: &ClusterTrace, cutoff: f64) -> Self {
+        let samples = trace.flatten();
+        assert!(!samples.is_empty(), "analysis of an empty trace");
+        let summary = Summary::of(&samples);
+        let hist = Histogram::from_samples(&samples, 20);
+        let kept = truncate(&samples, cutoff);
+        assert!(
+            kept.len() >= 100,
+            "cutoff {cutoff} keeps too few samples for tail analysis"
+        );
+        let procs = trace.procs().min(4);
+        let mut corr_sum = 0.0;
+        let mut corr_n = 0usize;
+        for a in 0..procs {
+            for b in (a + 1)..procs {
+                corr_sum += trace.pearson(a, b);
+                corr_n += 1;
+            }
+        }
+        TraceReport {
+            n: samples.len(),
+            mean: summary.mean(),
+            median: summary.median(),
+            max: summary.max(),
+            top_bin_mass: hist.tail_mass(3),
+            hill_alpha: hill_estimate(&samples, (samples.len() / 50).max(10)),
+            tail: classify_tail(&samples, 0.05),
+            truncated_tail: classify_tail(&kept, 0.05),
+            cutoff,
+            kept_fraction: kept.len() as f64 / samples.len() as f64,
+            mean_correlation: if corr_n > 0 {
+                corr_sum / corr_n as f64
+            } else {
+                0.0
+            },
+            lag1_autocorrelation: autocorrelation(trace.proc(0), 1),
+        }
+    }
+
+    /// The paper's bottom line: is the variability heavy tailed?
+    pub fn is_heavy_tailed(&self) -> bool {
+        self.tail.heavy || (self.hill_alpha > 0.0 && self.hill_alpha < 2.0)
+    }
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace analysis ({} samples)", self.n)?;
+        writeln!(
+            f,
+            "  mean {:.2}s  median {:.2}s  max {:.2}s",
+            self.mean, self.median, self.max
+        )?;
+        writeln!(f, "  top-3-bin mass: {:.4}", self.top_bin_mass)?;
+        writeln!(
+            f,
+            "  tail: hill alpha {:.2}; log-log slope alpha {:.2} (r2 {:.3}) -> heavy: {}",
+            self.hill_alpha,
+            self.tail.alpha,
+            self.tail.r2,
+            self.is_heavy_tailed()
+        )?;
+        writeln!(
+            f,
+            "  truncated at {:.1}s (kept {:.1}%): slope alpha {:.2} (r2 {:.3})",
+            self.cutoff,
+            100.0 * self.kept_fraction,
+            self.truncated_tail.alpha,
+            self.truncated_tail.r2
+        )?;
+        write!(
+            f,
+            "  cross-proc correlation {:.2}; lag-1 autocorrelation {:.2}",
+            self.mean_correlation, self.lag1_autocorrelation
+        )
+    }
+}
+
+/// The distilled record of one tuning session: Total_Time/NTT, descent
+/// speed, and the gap to ground truth (when the objective's lattice is
+/// exhaustively searchable).
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// `Total_Time(K)` over the charged budget (eq. 2).
+    pub total_time: f64,
+    /// Normalised total time (eq. 23).
+    pub ntt: f64,
+    /// True cost of the deployed configuration.
+    pub deployed_cost: f64,
+    /// Global optimum of the objective, when computable.
+    pub global_optimum: Option<f64>,
+    /// `deployed_cost / global_optimum`, when computable.
+    pub optimality_ratio: Option<f64>,
+    /// Steps until the deployed configuration was within 25 % of the
+    /// optimum, when computable and reached.
+    pub steps_to_125: Option<usize>,
+    /// Whether the optimizer's stopping criterion fired in budget.
+    pub converged: bool,
+    /// Objective evaluations consumed.
+    pub evaluations: usize,
+    /// Bootstrap 95 % CI of the per-step time (heavy-tailed steps make
+    /// normal-theory intervals unreliable).
+    pub step_time_ci: BootstrapCi,
+}
+
+impl SessionReport {
+    /// Summarises a finished session against its objective.
+    pub fn of<O: Objective + ?Sized>(outcome: &TuningOutcome, objective: &O, rho: f64) -> Self {
+        let global = crate::surface::best_on_lattice(objective).map(|(_, v)| v);
+        let steps_to_125 = global.and_then(|g| outcome.steps_to_quality(1.25 * g));
+        SessionReport {
+            total_time: outcome.total_time(),
+            ntt: outcome.ntt(rho),
+            deployed_cost: outcome.best_true_cost,
+            global_optimum: global,
+            optimality_ratio: global.map(|g| outcome.best_true_cost / g),
+            steps_to_125,
+            converged: outcome.converged,
+            evaluations: outcome.evaluations,
+            step_time_ci: bootstrap_mean_ci(outcome.trace.step_times(), 1_000, 0.95, 7),
+        }
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "session: Total_Time {:.1}  NTT {:.1}  ({} evals, converged: {})",
+            self.total_time, self.ntt, self.evaluations, self.converged
+        )?;
+        writeln!(
+            f,
+            "  deployed cost {:.4}{}",
+            self.deployed_cost,
+            match self.optimality_ratio {
+                Some(r) => format!("  ({r:.2}x of optimum)"),
+                None => String::new(),
+            }
+        )?;
+        if let Some(steps) = self.steps_to_125 {
+            writeln!(f, "  reached 1.25x of optimum after {steps} steps")?;
+        }
+        write!(
+            f,
+            "  mean step time {:.3}s  (95% bootstrap CI {:.3}..{:.3})",
+            self.step_time_ci.estimate, self.step_time_ci.lo, self.step_time_ci.hi
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variability::trace::ClusterTraceModel;
+
+    fn report() -> TraceReport {
+        let trace = ClusterTraceModel::gs2_like(16, 800).generate(2005);
+        TraceReport::analyze(&trace)
+    }
+
+    #[test]
+    fn detects_the_papers_signatures() {
+        let r = report();
+        assert_eq!(r.n, 16 * 800);
+        assert!(r.mean > r.median, "heavy tails pull the mean up");
+        assert!(r.max > 6.0);
+        assert!(r.top_bin_mass > 0.0);
+        assert!(r.is_heavy_tailed(), "{r}");
+        assert!(r.mean_correlation > 0.5);
+        assert!(r.kept_fraction > 0.9);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let text = report().to_string();
+        for needle in ["trace analysis", "tail:", "truncated at", "correlation"] {
+            assert!(text.contains(needle), "missing `{needle}` in\n{text}");
+        }
+    }
+
+    #[test]
+    fn quiet_trace_is_not_heavy() {
+        let mut model = ClusterTraceModel::gs2_like(8, 800);
+        model.big_prob = 0.0;
+        model.small_prob = 0.0;
+        model.jitter_sd = 0.05;
+        let r = TraceReport::analyze(&model.generate(3));
+        assert!(!r.is_heavy_tailed(), "{r}");
+        assert!(r.max < 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keeps too few samples")]
+    fn absurd_cutoff_rejected() {
+        let trace = ClusterTraceModel::gs2_like(4, 100).generate(1);
+        TraceReport::analyze_with_cutoff(&trace, 0.01);
+    }
+
+    #[test]
+    fn session_report_summarises_a_run() {
+        use crate::prelude::*;
+        let gs2 = Gs2Model::paper_scale();
+        let tuner = OnlineTuner::new(TunerConfig {
+            full_occupancy: false,
+            ..TunerConfig::paper_default(80, Estimator::MinOfK(2), 3)
+        });
+        let mut pro = ProOptimizer::with_defaults(gs2.space().clone());
+        let rho = 0.2;
+        let out = tuner.run(&gs2, &Noise::paper_default(rho), &mut pro);
+        let report = SessionReport::of(&out, &gs2, rho);
+        assert_eq!(report.total_time, out.total_time());
+        assert!((report.ntt - 0.8 * report.total_time).abs() < 1e-9);
+        let ratio = report.optimality_ratio.expect("lattice is finite");
+        assert!((1.0..3.0).contains(&ratio), "ratio={ratio}");
+        assert!(report.step_time_ci.lo <= report.step_time_ci.estimate);
+        assert!(report.step_time_ci.estimate <= report.step_time_ci.hi);
+        let text = report.to_string();
+        assert!(text.contains("deployed cost"), "{text}");
+        assert!(text.contains("bootstrap CI"), "{text}");
+    }
+
+    #[test]
+    fn session_report_without_ground_truth() {
+        use crate::prelude::*;
+        use crate::surface::objective::FnObjective;
+        let space = ParamSpace::new(vec![
+            harmony_params::ParamDef::continuous("x", -1.0, 1.0).unwrap()
+        ])
+        .unwrap();
+        let obj = FnObjective::new("cont", space.clone(), |p| 1.0 + p[0] * p[0]);
+        let tuner = OnlineTuner::new(TunerConfig {
+            full_occupancy: false,
+            ..TunerConfig::paper_default(40, Estimator::Single, 1)
+        });
+        let mut pro = ProOptimizer::with_defaults(space);
+        let out = tuner.run(&obj, &Noise::None, &mut pro);
+        let report = SessionReport::of(&out, &obj, 0.0);
+        assert!(report.global_optimum.is_none());
+        assert!(report.optimality_ratio.is_none());
+        assert!(report.steps_to_125.is_none());
+    }
+}

@@ -1,0 +1,18 @@
+//! `harmony-tune` — run one on-line tuning session from the command
+//! line. See `harmony::cli::USAGE` (or `--help`).
+
+use harmony::cli::CliConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match CliConfig::parse(&args).and_then(|cfg| cfg.run()) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => {
+            eprint!("{msg}");
+            if !msg.ends_with('\n') {
+                eprintln!();
+            }
+            std::process::exit(2);
+        }
+    }
+}

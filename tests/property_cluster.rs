@@ -1,0 +1,158 @@
+//! Property-based tests of the cluster layer (scheduling, execution,
+//! heterogeneity) and of the parameter-spec parser round-trip.
+
+use harmony::cluster::pool::par_map_indexed;
+use harmony::cluster::{Cluster, Heterogeneity, SamplingMode, Schedule, TuningTrace};
+use harmony::params::spec::{format_space, parse_space};
+use harmony::params::{ParamDef, ParamSpace};
+use harmony::prelude::*;
+use proptest::prelude::*;
+
+fn arb_mode() -> impl Strategy<Value = SamplingMode> {
+    prop_oneof![
+        Just(SamplingMode::SequentialSteps),
+        Just(SamplingMode::Packed)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn schedule_covers_every_pair_exactly_once(
+        n in 1usize..20,
+        k in 1usize..8,
+        procs in 1usize..70,
+        mode in arb_mode(),
+    ) {
+        let s = Schedule::plan(n, k, procs, mode);
+        prop_assert_eq!(s.n_evals(), n * k);
+        let mut seen = std::collections::HashSet::new();
+        for step in &s.steps {
+            prop_assert!(step.len() <= procs, "step exceeds processor count");
+            prop_assert!(!step.is_empty(), "empty step scheduled");
+            for slot in step {
+                prop_assert!(slot.point < n && slot.sample < k);
+                prop_assert!(seen.insert((slot.point, slot.sample)), "duplicate slot");
+            }
+        }
+        prop_assert_eq!(seen.len(), n * k);
+    }
+
+    #[test]
+    fn schedule_step_counts_match_closed_forms(
+        n in 1usize..20,
+        k in 1usize..8,
+        procs in 1usize..70,
+    ) {
+        let seq = Schedule::plan(n, k, procs, SamplingMode::SequentialSteps);
+        prop_assert_eq!(seq.n_steps(), k * n.div_ceil(procs));
+        let packed = Schedule::plan(n, k, procs, SamplingMode::Packed);
+        prop_assert_eq!(packed.n_steps(), (n * k).div_ceil(procs));
+    }
+
+    #[test]
+    fn sequential_never_mixes_samples_of_one_point_in_a_step(
+        n in 1usize..20,
+        k in 2usize..6,
+        procs in 1usize..40,
+    ) {
+        let s = Schedule::plan(n, k, procs, SamplingMode::SequentialSteps);
+        for step in &s.steps {
+            let mut points = std::collections::HashSet::new();
+            for slot in step {
+                prop_assert!(points.insert(slot.point), "point repeated within a step");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_returns_k_samples_per_point(
+        costs in prop::collection::vec(0.1f64..50.0, 1..10),
+        k in 1usize..5,
+        procs in 1usize..20,
+        mode in arb_mode(),
+        seed in 0u64..500,
+    ) {
+        let cluster = Cluster::new(procs);
+        let mut rng = seeded_rng(seed);
+        let mut trace = TuningTrace::new();
+        let samples = cluster.run_batch(&costs, k, mode, &Noise::None, &mut rng, &mut trace);
+        prop_assert_eq!(samples.len(), costs.len());
+        for (i, s) in samples.iter().enumerate() {
+            prop_assert_eq!(s.len(), k);
+            // no noise: every sample is the true cost
+            prop_assert!(s.iter().all(|&x| x == costs[i]));
+        }
+        // total time = sum over steps of per-step maxima: bounded below
+        // by the dearest single evaluation and by steps x cheapest cost
+        let max_cost = costs.iter().copied().fold(0.0, f64::max);
+        let min_cost = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        let n_steps = Schedule::plan(costs.len(), k, procs, mode).n_steps();
+        prop_assert_eq!(trace.len(), n_steps);
+        prop_assert!(trace.total_time() >= max_cost - 1e-9);
+        prop_assert!(trace.total_time() >= n_steps as f64 * min_cost - 1e-9);
+    }
+
+    #[test]
+    fn noisy_steps_dominate_true_costs(
+        costs in prop::collection::vec(0.1f64..20.0, 1..8),
+        rho in 0.05f64..0.6,
+        seed in 0u64..300,
+    ) {
+        let cluster = Cluster::new(8);
+        let mut rng = seeded_rng(seed);
+        let noise = Noise::Pareto { alpha: 1.7, rho };
+        let out = cluster.execute_step(&costs[..costs.len().min(8)], &noise, &mut rng);
+        let max_cost = costs[..costs.len().min(8)].iter().copied().fold(0.0, f64::max);
+        prop_assert!(out.t_k >= max_cost);
+    }
+
+    #[test]
+    fn heterogeneity_barrier_is_the_worst_factor(
+        factors in prop::collection::vec(1.0f64..5.0, 1..16),
+    ) {
+        let h = Heterogeneity::from_factors(factors.clone());
+        let max = factors.iter().copied().fold(1.0, f64::max);
+        prop_assert!((h.barrier_factor() - max).abs() < 1e-12);
+        prop_assert!(h.imbalance() >= -1e-12);
+    }
+
+    #[test]
+    fn par_map_matches_serial_map(n in 0usize..200, mult in 1u64..100) {
+        let parallel = par_map_indexed(n, |i| i as u64 * mult);
+        let serial: Vec<u64> = (0..n).map(|i| i as u64 * mult).collect();
+        prop_assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn spec_round_trips_arbitrary_spaces(defs in prop::collection::vec(arb_def(), 1..5)) {
+        let space = ParamSpace::new(defs).unwrap();
+        let spec = format_space(&space);
+        let reparsed = parse_space(&spec).unwrap_or_else(|e| panic!("`{spec}`: {e}"));
+        prop_assert_eq!(space, reparsed);
+    }
+
+    #[test]
+    fn spec_parser_never_panics_on_garbage(input in "[ -~]{0,60}") {
+        // arbitrary printable ASCII: must return Ok or Err, never panic
+        let _ = parse_space(&input);
+    }
+}
+
+fn arb_def() -> impl Strategy<Value = ParamDef> {
+    prop_oneof![
+        ("[a-z]{1,8}", -100i64..100, 1i64..50, 1i64..9).prop_map(|(name, lo, span, step)| {
+            ParamDef::integer(name, lo, lo + span, step).unwrap()
+        }),
+        ("[a-z]{1,8}", -100i64..100, 1i64..200).prop_map(|(name, lo, span)| {
+            ParamDef::continuous(name, lo as f64, (lo + span) as f64).unwrap()
+        }),
+        (
+            "[a-z]{1,8}",
+            prop::collection::btree_set(-500i64..500, 2..6)
+        )
+            .prop_map(|(name, set)| {
+                let levels: Vec<f64> = set.into_iter().map(|v| v as f64).collect();
+                ParamDef::levels(name, levels).unwrap()
+            }),
+    ]
+}

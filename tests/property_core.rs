@@ -1,0 +1,217 @@
+//! Property-based tests of the optimizer layer: PRO must behave (only
+//! admissible proposals, monotone incumbent, bounded batch sizes,
+//! termination) under *adversarial* objective values, not just smooth
+//! functions.
+
+use harmony::core::nelder_mead::NelderMead;
+use harmony::core::restart::restarting_pro;
+use harmony::core::sro::SroOptimizer;
+use harmony::prelude::*;
+use proptest::prelude::*;
+
+fn arb_space() -> impl Strategy<Value = ParamSpace> {
+    prop::collection::vec(
+        (0i64..20, 1i64..30, 1i64..4).prop_map(|(lo, span, step)| {
+            ParamDef::integer("p", lo, lo + span, step).expect("valid integer param")
+        }),
+        1..=3,
+    )
+    .prop_map(|defs| ParamSpace::new(defs).expect("valid space"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pro_proposals_admissible_under_adversarial_values(
+        space in arb_space(),
+        values in prop::collection::vec(0.1f64..1e6, 400),
+        r in 0.05f64..1.0,
+    ) {
+        let cfg = ProConfig { relative_size: r, ..ProConfig::default() };
+        let mut opt = ProOptimizer::new(space.clone(), cfg);
+        let mut cursor = 0usize;
+        let mut batches = 0usize;
+        while batches < 200 {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            for p in &batch {
+                prop_assert!(space.is_admissible(p), "inadmissible proposal {p:?}");
+            }
+            let vals: Vec<f64> = batch
+                .iter()
+                .map(|_| {
+                    let v = values[cursor % values.len()];
+                    cursor += 1;
+                    v
+                })
+                .collect();
+            opt.observe(&vals);
+            batches += 1;
+        }
+        // an incumbent always exists after the first observation
+        prop_assert!(opt.best().is_some());
+    }
+
+    #[test]
+    fn pro_incumbent_is_monotone(
+        space in arb_space(),
+        values in prop::collection::vec(0.1f64..1e3, 300),
+    ) {
+        let mut opt = ProOptimizer::with_defaults(space);
+        let mut cursor = 0usize;
+        let mut best_so_far = f64::INFINITY;
+        for _ in 0..100 {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            let vals: Vec<f64> = batch
+                .iter()
+                .map(|_| {
+                    let v = values[cursor % values.len()];
+                    cursor += 1;
+                    v
+                })
+                .collect();
+            best_so_far = best_so_far.min(vals.iter().copied().fold(f64::INFINITY, f64::min));
+            opt.observe(&vals);
+            let (_, cur) = opt.best().expect("incumbent exists");
+            prop_assert!((cur - best_so_far).abs() < 1e-12, "incumbent {cur} vs {best_so_far}");
+        }
+    }
+
+    #[test]
+    fn pro_terminates_on_deterministic_objectives(
+        space in arb_space(),
+        a in 0.0f64..5.0,
+        b in 0.0f64..5.0,
+        c in 0.0f64..5.0,
+    ) {
+        // arbitrary positive-definite-ish separable objective
+        let mut opt = ProOptimizer::with_defaults(space.clone());
+        let coefs = [a + 0.1, b + 0.1, c + 0.1];
+        let target = space.center();
+        let mut batches = 0;
+        loop {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            let vals: Vec<f64> = batch
+                .iter()
+                .map(|p| {
+                    (0..space.dims())
+                        .map(|d| coefs[d] * (p[d] - target[d]).powi(2))
+                        .sum::<f64>()
+                        + 1.0
+                })
+                .collect();
+            opt.observe(&vals);
+            batches += 1;
+            prop_assert!(batches < 3_000, "PRO failed to terminate");
+        }
+        prop_assert!(opt.converged());
+        // center of the space is a global minimum here
+        let (best, _) = opt.best().expect("incumbent exists");
+        prop_assert_eq!(best, target);
+    }
+
+    #[test]
+    fn sro_matches_pro_batch_semantics(
+        space in arb_space(),
+        values in prop::collection::vec(0.1f64..100.0, 200),
+    ) {
+        let mut opt = SroOptimizer::with_defaults(space.clone());
+        for cursor in 0..150 {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            prop_assert_eq!(batch.len(), 1);
+            prop_assert!(space.is_admissible(&batch[0]));
+            opt.observe(&[values[cursor % values.len()]]);
+        }
+    }
+
+    #[test]
+    fn nelder_mead_survives_adversarial_values(
+        space in arb_space(),
+        values in prop::collection::vec(0.1f64..1e5, 200),
+    ) {
+        let mut opt = NelderMead::with_defaults(space.clone());
+        let mut cursor = 0usize;
+        for _ in 0..150 {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            for p in &batch {
+                prop_assert!(space.is_admissible(p), "inadmissible NM proposal {p:?}");
+            }
+            let vals: Vec<f64> = batch
+                .iter()
+                .map(|_| {
+                    let v = values[cursor % values.len()];
+                    cursor += 1;
+                    v
+                })
+                .collect();
+            opt.observe(&vals);
+        }
+        prop_assert!(opt.best().is_some());
+    }
+
+    #[test]
+    fn restarting_pro_is_well_behaved(
+        space in arb_space(),
+        values in prop::collection::vec(0.1f64..1e3, 250),
+        starts in 1usize..4,
+    ) {
+        let mut opt = restarting_pro(space.clone(), harmony::core::ProConfig::default(), starts, 11);
+        let mut cursor = 0usize;
+        let mut batches = 0usize;
+        loop {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            for p in &batch {
+                prop_assert!(space.is_admissible(p));
+            }
+            let vals: Vec<f64> = batch
+                .iter()
+                .map(|_| {
+                    let v = values[cursor % values.len()];
+                    cursor += 1;
+                    v
+                })
+                .collect();
+            opt.observe(&vals);
+            batches += 1;
+            prop_assert!(batches < 5_000, "restarting PRO failed to terminate");
+        }
+        prop_assert!(opt.converged());
+        prop_assert!(opt.starts() <= starts);
+        // the recommendation never exceeds the incumbent estimate by
+        // more than noise-free bookkeeping allows
+        let (_, best) = opt.best().expect("incumbent exists");
+        let (_, rec) = opt.recommendation().expect("recommendation exists");
+        prop_assert!(rec >= best - 1e-12);
+    }
+
+    #[test]
+    fn estimator_reductions_are_order_statistics(samples in prop::collection::vec(0.0f64..1e4, 1..12)) {
+        let k = samples.len();
+        let min = Estimator::MinOfK(k).reduce(&samples);
+        let med = Estimator::MedianOfK(k).reduce(&samples);
+        let mean = Estimator::MeanOfK(k).reduce(&samples);
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(min, lo);
+        prop_assert!(med >= lo && med <= hi);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+}

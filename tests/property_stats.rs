@@ -1,0 +1,99 @@
+//! Property-based tests of the statistics layer.
+
+use harmony::prelude::*;
+use harmony::stats::tail::{linear_fit, truncate};
+use proptest::prelude::*;
+
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn summary_quantiles_bounded_by_extremes(xs in sample(), q in 0.0f64..=1.0) {
+        let s = Summary::of(&xs);
+        let v = s.quantile(q);
+        prop_assert!(v >= s.min() - 1e-9 && v <= s.max() + 1e-9);
+        prop_assert!(s.min() <= s.mean() && s.mean() <= s.max());
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    #[test]
+    fn summary_quantile_monotone(xs in sample(), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let s = Summary::of(&xs);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(s.quantile(lo) <= s.quantile(hi) + 1e-9);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_step_function(xs in sample(), probes in prop::collection::vec(-1e3f64..1e3, 2..20)) {
+        let e = Ecdf::new(&xs);
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for p in sorted_probes {
+            let c = e.cdf(p);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= prev - 1e-12);
+            prop_assert!((e.survival(p) - (1.0 - c)).abs() < 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn ecdf_at_extremes(xs in sample()) {
+        let e = Ecdf::new(&xs);
+        let s = Summary::of(&xs);
+        prop_assert_eq!(e.cdf(s.max()), 1.0);
+        prop_assert_eq!(e.cdf(s.min() - 1.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_mass_is_a_distribution(xs in sample(), bins in 1usize..30) {
+        let h = Histogram::from_samples(&xs, bins);
+        let mass = h.mass();
+        prop_assert!((mass.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(mass.iter().all(|&m| m >= 0.0));
+        prop_assert_eq!(h.counts().iter().sum::<usize>(), xs.len());
+    }
+
+    #[test]
+    fn truncation_is_a_filter(xs in sample(), cutoff in -1e3f64..1e3) {
+        let t = truncate(&xs, cutoff);
+        prop_assert!(t.iter().all(|&x| x <= cutoff));
+        prop_assert_eq!(t.len(), xs.iter().filter(|&&x| x <= cutoff).count());
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(slope in -100.0f64..100.0, intercept in -100.0f64..100.0,
+                                       n in 3usize..40) {
+        let pts: Vec<(f64, f64)> = (0..n).map(|i| {
+            let x = i as f64;
+            (x, slope * x + intercept)
+        }).collect();
+        let fit = linear_fit(&pts);
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn min_survival_decreases_in_k_and_z(alpha in 0.3f64..3.0, beta in 0.1f64..10.0,
+                                         k in 1usize..10, dz in 0.01f64..50.0) {
+        use harmony::stats::minop::min_survival;
+        let z = beta + dz;
+        let s_k = min_survival(alpha, beta, k, 0.0, z);
+        let s_k1 = min_survival(alpha, beta, k + 1, 0.0, z);
+        prop_assert!(s_k1 <= s_k + 1e-12);
+        let s_far = min_survival(alpha, beta, k, 0.0, z + 1.0);
+        prop_assert!(s_far <= s_k + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&s_k));
+    }
+
+    #[test]
+    fn required_samples_really_suffices(alpha in 0.5f64..3.0, beta in 0.1f64..10.0,
+                                        lambda in 0.01f64..5.0, eps in 0.001f64..0.5) {
+        use harmony::stats::minop::{overshoot_probability, required_samples};
+        let k0 = required_samples(alpha, beta, lambda, eps);
+        prop_assert!(overshoot_probability(alpha, beta, k0, lambda) < eps);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the objective layer: cost models must be
+//! positive, finite, and deterministic everywhere; the database
+//! interpolator must stay within the convex hull of its data; the
+//! measurement-band compression must never reorder configurations.
+
+use harmony::prelude::*;
+use harmony::surface::{PerfDatabase, StencilHalo, TiledMatMul};
+use proptest::prelude::*;
+
+fn unit_coords() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, 3)
+}
+
+proptest! {
+    #[test]
+    fn gs2_is_positive_finite_deterministic(u in unit_coords()) {
+        let m = Gs2Model::paper_scale();
+        let p = m.space().point_from_unit(&u);
+        let v = m.eval(&p);
+        prop_assert!(v.is_finite() && v > 0.0, "f({p:?}) = {v}");
+        prop_assert_eq!(v, m.eval(&p));
+    }
+
+    #[test]
+    fn kernel_models_are_positive_finite(u in unit_coords()) {
+        let mm = TiledMatMul::default_scale();
+        let p = mm.space().point_from_unit(&u);
+        let v = mm.eval(&p);
+        prop_assert!(v.is_finite() && v > 0.0);
+        let st = StencilHalo::default_scale();
+        let q = st.space().point_from_unit(&u);
+        let w = st.eval(&q);
+        prop_assert!(w.is_finite() && w > 0.0);
+    }
+
+    #[test]
+    fn compression_is_monotone(a in 0.01f64..300.0, b in 0.01f64..300.0) {
+        let m = Gs2Model::paper_scale();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.compress(lo) <= m.compress(hi) + 1e-12);
+        // and continuous across the knee
+        let eps = 1e-6;
+        let below = m.compress(m.compress_knee - eps);
+        let above = m.compress(m.compress_knee + eps);
+        prop_assert!((below - above).abs() < 1e-3);
+    }
+
+    #[test]
+    fn database_interpolation_stays_in_hull(
+        u in unit_coords(),
+        keep in 0.3f64..1.0,
+        seed in 0u64..200,
+    ) {
+        let gs2 = Gs2Model::paper_scale();
+        let mut rng = seeded_rng(seed);
+        let db = PerfDatabase::from_objective(&gs2, keep, 4, &mut rng);
+        let p = db.space().point_from_unit(&u);
+        let v = db.eval(&p);
+        // interpolation is a convex combination of stored values
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for q in gs2.space().lattice() {
+            let w = gs2.eval(&q);
+            lo = lo.min(w);
+            hi = hi.max(w);
+        }
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "v={v} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn full_database_is_exact(u in unit_coords()) {
+        let gs2 = Gs2Model::paper_scale();
+        let mut rng = seeded_rng(1);
+        let db = PerfDatabase::from_objective(&gs2, 1.0, 4, &mut rng);
+        let p = gs2.space().point_from_unit(&u);
+        prop_assert_eq!(db.eval(&p), gs2.eval(&p));
+    }
+
+    #[test]
+    fn subcycle_factor_decreases_with_resolution(
+        nt in 0usize..14,
+        ne in 0usize..11,
+    ) {
+        // finer grids never increase the sub-cycling factor
+        let m = Gs2Model::paper_scale();
+        let sp = m.space();
+        let p_coarse = Point::from(
+            &[sp.param(0).level(nt), sp.param(1).level(ne), 16.0][..],
+        );
+        let p_finer = Point::from(
+            &[sp.param(0).level(nt + 1), sp.param(1).level(ne + 1), 16.0][..],
+        );
+        prop_assert!(m.subcycle_factor(&p_finer) <= m.subcycle_factor(&p_coarse));
+    }
+}

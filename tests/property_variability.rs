@@ -1,0 +1,119 @@
+//! Property-based tests of the variability layer: distribution
+//! invariants, the eq. 5–7 noise contract, and min-operator algebra.
+
+use harmony::prelude::*;
+use harmony::variability::des::TwoPriorityDes;
+use harmony::variability::dist::{
+    BoundedPareto, Distribution, Exponential, Gaussian, LogNormal, Uniform, Weibull,
+};
+use harmony::variability::noise::{mean_of_k, min_of_k};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pareto_quantile_cdf_roundtrip(alpha in 0.3f64..4.0, beta in 0.01f64..100.0, p in 0.0f64..0.999) {
+        let d = Pareto::new(alpha, beta);
+        let x = d.quantile(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+        prop_assert!(x >= beta);
+    }
+
+    #[test]
+    fn pareto_samples_respect_support(alpha in 0.3f64..4.0, beta in 0.01f64..100.0, seed in 0u64..1000) {
+        let d = Pareto::new(alpha, beta);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..64 {
+            prop_assert!(d.sample(&mut rng) >= beta);
+        }
+    }
+
+    #[test]
+    fn survival_exponentiation_rule(alpha in 0.5f64..3.0, beta in 0.1f64..10.0, k in 1usize..8, z in 0.0f64..100.0) {
+        // eq. 11: Q_min(z) = Q(z)^k
+        let d = Pareto::new(alpha, beta);
+        let z = beta + z;
+        let single = d.survival(z);
+        let k_fold = harmony::stats::minop::min_survival(alpha, beta, k, 0.0, z);
+        prop_assert!((k_fold - single.powi(k as i32)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds(alpha in 0.3f64..3.0, lo in 0.01f64..5.0, w in 0.1f64..50.0, seed in 0u64..500) {
+        let d = BoundedPareto::new(alpha, lo, lo + w);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..64 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x <= lo + w, "x={x}");
+        }
+    }
+
+    #[test]
+    fn quantile_roundtrips_other_distributions(p in 0.001f64..0.999) {
+        fn roundtrip<D: Distribution>(d: &D, p: f64) -> f64 {
+            (d.cdf(d.quantile(p)) - p).abs()
+        }
+        prop_assert!(roundtrip(&Exponential::with_mean(2.0), p) < 1e-9);
+        prop_assert!(roundtrip(&Gaussian::new(3.0, 1.5), p) < 1e-5);
+        prop_assert!(roundtrip(&LogNormal::new(0.2, 0.7), p) < 1e-5);
+        prop_assert!(roundtrip(&Weibull::new(1.4, 2.0), p) < 1e-9);
+        prop_assert!(roundtrip(&Uniform::new(-2.0, 5.0), p) < 1e-9);
+    }
+
+    #[test]
+    fn noise_floor_contract(rho in 0.01f64..0.9, f_v in 0.01f64..100.0, seed in 0u64..500) {
+        // y >= f + n_min(f) for every model, every draw (eq. 5 with
+        // n >= n_min)
+        let mut rng = seeded_rng(seed);
+        for model in [
+            Noise::None,
+            Noise::Pareto { alpha: 1.7, rho },
+            Noise::Exponential { rho },
+            Noise::Gaussian { rho, cv: 0.4 },
+        ] {
+            let floor = f_v + model.n_min(f_v);
+            for _ in 0..16 {
+                let y = model.observe(f_v, &mut rng);
+                prop_assert!(y >= floor - 1e-12, "{model:?}: y={y} < floor={floor}");
+            }
+        }
+    }
+
+    #[test]
+    fn n_min_ordering_is_preserved(rho in 0.01f64..0.9, f1 in 0.01f64..50.0, gap in 0.01f64..50.0) {
+        // §5.1: f1 < f2  =>  f1 + n_min(f1) < f2 + n_min(f2)
+        let m = Noise::Pareto { alpha: 1.7, rho };
+        let f2 = f1 + gap;
+        prop_assert!(f1 + m.n_min(f1) < f2 + m.n_min(f2));
+    }
+
+    #[test]
+    fn min_of_k_never_exceeds_mean_of_k(k in 1usize..8, f_v in 0.1f64..20.0, rho in 0.0f64..0.8, seed in 0u64..500) {
+        let m = Noise::Pareto { alpha: 1.7, rho };
+        let mut rng_a = seeded_rng(seed);
+        let mut rng_b = seeded_rng(seed);
+        let mn = min_of_k(&m, f_v, k, &mut rng_a);
+        let mean = mean_of_k(&m, f_v, k, &mut rng_b);
+        // identical sample streams: min <= mean pointwise
+        prop_assert!(mn <= mean + 1e-12);
+    }
+
+    #[test]
+    fn des_finishing_time_at_least_demand(rho in 0.0f64..0.8, f in 0.0f64..20.0, seed in 0u64..300) {
+        let q = TwoPriorityDes::with_rho(rho, Exponential::with_mean(0.3));
+        let mut rng = seeded_rng(seed);
+        prop_assert!(q.finishing_time(f, &mut rng) >= f);
+    }
+
+    #[test]
+    fn expected_observation_matches_eq6(rho in 0.0f64..0.9, f in 0.0f64..100.0) {
+        let m = Noise::Pareto { alpha: 1.7, rho };
+        prop_assert!((m.expected(f) - f / (1.0 - rho)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_seeds_injective_within_block(base in 0u64..u64::MAX / 2, a in 0u64..10_000, b in 0u64..10_000) {
+        if a != b {
+            prop_assert_ne!(stream_seed(base, a), stream_seed(base, b));
+        }
+    }
+}
