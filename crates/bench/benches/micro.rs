@@ -110,6 +110,90 @@ fn bench_database(c: &mut Criterion) {
     });
 }
 
+/// A fully populated n×n integer lattice database plus off-lattice
+/// query points (half-integer coordinates never match an exact entry).
+fn grid_db(n: i64, k: usize) -> (PerfDatabase, Vec<Point>) {
+    let space = ParamSpace::new(vec![
+        ParamDef::integer("x", 0, n - 1, 1).unwrap(),
+        ParamDef::integer("y", 0, n - 1, 1).unwrap(),
+    ])
+    .unwrap();
+    let mut db = PerfDatabase::new(space, k);
+    for x in 0..n {
+        for y in 0..n {
+            db.insert(
+                Point::from(&[x as f64, y as f64][..]),
+                1.0 + (x * n + y) as f64 * 0.01,
+            );
+        }
+    }
+    let queries: Vec<Point> = (0..64)
+        .map(|i| {
+            let x = (i * 7) % (n - 1);
+            let y = (i * 13) % (n - 1);
+            Point::from(&[x as f64 + 0.5, y as f64 + 0.5][..])
+        })
+        .collect();
+    (db, queries)
+}
+
+fn bench_database_scaling(c: &mut Criterion) {
+    for (label, n) in [("1k", 32i64), ("10k", 100i64)] {
+        let (db, queries) = grid_db(n, 4);
+        let mut i = 0usize;
+        c.bench_function(&format!("database{label}/interpolate_scan"), |b| {
+            b.iter(|| {
+                i += 1;
+                db.interpolate_scan(black_box(&queries[i % queries.len()]))
+            })
+        });
+        let mut i = 0usize;
+        c.bench_function(&format!("database{label}/interpolate_indexed"), |b| {
+            b.iter(|| {
+                i += 1;
+                db.interpolate_indexed(black_box(&queries[i % queries.len()]))
+            })
+        });
+        let mut i = 0usize;
+        c.bench_function(&format!("database{label}/interpolate_memoized"), |b| {
+            b.iter(|| {
+                i += 1;
+                db.interpolate(black_box(&queries[i % queries.len()]))
+            })
+        });
+    }
+}
+
+fn bench_database_build(c: &mut Criterion) {
+    // the Fig. 8 database: every point of the GS2 paper-scale lattice
+    // (15 x 12 x 11 = 1980 entries); exercises the O(1) insert path
+    let gs2 = Gs2Model::paper_scale();
+    c.bench_function("database/build_gs2_full_lattice", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(8);
+            black_box(PerfDatabase::from_objective(&gs2, 1.0, 4, &mut rng))
+        })
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    use harmony_cluster::pool::{par_map_indexed, par_map_reduce};
+    c.bench_function("pool/par_map_1k", |b| {
+        b.iter(|| black_box(par_map_indexed(1_000, |i| (i as f64).sqrt())))
+    });
+    c.bench_function("pool/par_map_reduce_1k", |b| {
+        b.iter(|| {
+            black_box(par_map_reduce(
+                1_000,
+                |i| (i as f64).sqrt(),
+                0.0,
+                |a, x| a + x,
+                |a, b| a + b,
+            ))
+        })
+    });
+}
+
 fn bench_hetero(c: &mut Criterion) {
     use harmony_cluster::{Cluster, Heterogeneity, TuningTrace};
     let cluster = Cluster::new(64);
@@ -212,6 +296,9 @@ criterion_group!(
     bench_noise,
     bench_des,
     bench_database,
+    bench_database_scaling,
+    bench_database_build,
+    bench_pool,
     bench_hetero,
     bench_adaptive,
     bench_arrivals,

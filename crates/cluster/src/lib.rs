@@ -17,8 +17,8 @@
 //!   the paper's sequential-steps worst case (§6.2) or dense packing
 //!   (§5.2's "with 64 processors we can set K=10 with no additional
 //!   cost"),
-//! * [`pool`] — a crossbeam-based worker pool for running thousands of
-//!   independent replications in parallel on real threads,
+//! * [`pool`] — a scoped work-stealing worker pool for running thousands
+//!   of independent replications in parallel on real threads,
 //! * [`hetero`] — per-processor speed factors and straggler injection
 //!   (one slow node dominates every barrier, eq. 1).
 

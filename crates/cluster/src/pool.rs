@@ -1,13 +1,28 @@
-//! A scoped worker pool for embarrassingly parallel replications.
+//! A scoped, work-stealing worker pool for independent replications.
 //!
-//! The Fig. 9/10 experiments average 2 000 independent tuning runs per
-//! configuration; [`par_map_indexed`] fans those replications out over
-//! real threads with static chunking (replications are near-uniform in
-//! cost, so static assignment avoids coordination overhead) and returns
-//! results in input order. Determinism is preserved by seeding each
-//! replication from its index, never from thread identity.
+//! The Fig. 9/10 experiments average thousands of independent tuning
+//! runs per configuration. Replications are *not* uniform in cost — an
+//! early-converging session finishes its step budget in a fraction of
+//! the time of one that keeps exploring — so the old static chunking
+//! (worker `w` takes indices `w, w+W, ...`) left workers idle behind the
+//! slowest chunk. [`par_map_indexed`] instead dispatches indices through
+//! a shared atomic counter: every worker claims the next unclaimed index
+//! the moment it becomes free, so imbalance is bounded by a single job.
+//!
+//! Determinism is preserved by construction:
+//!
+//! * all randomness derives from the job *index* (via
+//!   `harmony_variability::stream_seed`), never from thread identity or
+//!   claim order;
+//! * each worker buffers `(index, value)` pairs locally and the buffers
+//!   are merged into index order after the scope joins — no lock is held
+//!   while jobs run, and the output is identical for any worker count;
+//! * [`par_map_reduce`] folds over *fixed-size index blocks* whose
+//!   layout depends only on `n`, then combines block partials in block
+//!   order, so even non-associative reductions (floating-point sums)
+//!   give bit-identical results for 1, 2, or `hw` workers.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use: the available parallelism, capped by
 /// the job count.
@@ -16,8 +31,8 @@ pub fn worker_count(jobs: usize) -> usize {
     hw.min(jobs).max(1)
 }
 
-/// Applies `f` to every index in `0..n` on a scoped thread pool and
-/// returns the results in index order.
+/// Applies `f` to every index in `0..n` on a scoped work-stealing pool
+/// and returns the results in index order.
 ///
 /// `f` must derive all randomness from the index (e.g. via
 /// `harmony_variability::stream_seed`) for reproducibility.
@@ -26,70 +41,152 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_indexed_in(worker_count(n), n, f)
+}
+
+/// [`par_map_indexed`] with an explicit worker count. The output is
+/// identical for every `workers ≥ 1`.
+pub fn par_map_indexed_in<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
-    let workers = worker_count(n);
+    let workers = workers.clamp(1, n);
     if workers == 1 {
         return (0..n).map(f).collect();
     }
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    // static chunking: worker w takes indices w, w+workers, ...
-    crossbeam::thread::scope(|scope| {
-        for w in 0..workers {
-            let f = &f;
-            let results = &results;
-            scope.spawn(move |_| {
-                let mut local: Vec<(usize, T)> = Vec::with_capacity(n / workers + 1);
-                let mut i = w;
-                while i < n {
-                    local.push((i, f(i)));
-                    i += workers;
-                }
-                let mut guard = results.lock();
-                for (i, v) in local {
-                    guard[i] = Some(v);
-                }
-            });
+    let next = AtomicUsize::new(0);
+    let buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::with_capacity(n / workers + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replication worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for buffer in buffers {
+        for (i, v) in buffer {
+            debug_assert!(slots[i].is_none(), "index claimed twice");
+            slots[i] = Some(v);
         }
-    })
-    .expect("replication worker panicked");
-    results
-        .into_inner()
+    }
+    slots
         .into_iter()
         .map(|v| v.expect("all indices filled"))
         .collect()
 }
 
-/// Parallel mean of `f(i)` over `0..n` — the common "average of 2 000
-/// replications" reduction, without materialising all results.
+/// The fixed reduction-block size for `n` jobs: depends only on `n`, so
+/// the combine order — and therefore the floating-point result — is
+/// independent of the worker count. Targets ~256 blocks for ample
+/// stealing granularity.
+fn reduce_block(n: usize) -> usize {
+    n.div_ceil(256).max(1)
+}
+
+/// Maps every index in `0..n` to a value and folds the values into one
+/// accumulator *without materialising the per-index vector* — the
+/// "average of 2 000 replications" reduction at O(blocks) memory.
+///
+/// Work is stolen in fixed blocks of indices; each block folds
+/// `init.clone()` over its indices in ascending order and the block
+/// partials are combined in block order, so the result is deterministic
+/// and identical across worker counts even for non-associative `fold`s
+/// (floating-point accumulation).
+pub fn par_map_reduce<T, A, F, G, H>(n: usize, map: F, init: A, fold: G, combine: H) -> A
+where
+    T: Send,
+    A: Clone + Send + Sync,
+    F: Fn(usize) -> T + Sync,
+    G: Fn(A, T) -> A + Sync,
+    H: Fn(A, A) -> A,
+{
+    par_map_reduce_in(worker_count(n), n, map, init, fold, combine)
+}
+
+/// [`par_map_reduce`] with an explicit worker count.
+pub fn par_map_reduce_in<T, A, F, G, H>(
+    workers: usize,
+    n: usize,
+    map: F,
+    init: A,
+    fold: G,
+    combine: H,
+) -> A
+where
+    T: Send,
+    A: Clone + Send + Sync,
+    F: Fn(usize) -> T + Sync,
+    G: Fn(A, T) -> A + Sync,
+    H: Fn(A, A) -> A,
+{
+    if n == 0 {
+        return init;
+    }
+    let block = reduce_block(n);
+    let n_blocks = n.div_ceil(block);
+    let fold_block = |b: usize| {
+        let lo = b * block;
+        let hi = (lo + block).min(n);
+        let mut acc = init.clone();
+        for i in lo..hi {
+            acc = fold(acc, map(i));
+        }
+        acc
+    };
+    let workers = workers.clamp(1, n_blocks);
+    let partials: Vec<A> = if workers == 1 {
+        (0..n_blocks).map(fold_block).collect()
+    } else {
+        par_map_indexed_in(workers, n_blocks, fold_block)
+    };
+    let mut iter = partials.into_iter();
+    let first = iter.next().expect("at least one block");
+    iter.fold(first, combine)
+}
+
+/// Parallel mean of `f(i)` over `0..n` — the common replication-average
+/// reduction, at O(blocks) memory.
+///
+/// # Panics
+/// Panics when `n == 0`.
 pub fn par_mean<F>(n: usize, f: F) -> f64
 where
     F: Fn(usize) -> f64 + Sync,
 {
+    par_mean_in(worker_count(n), n, f)
+}
+
+/// [`par_mean`] with an explicit worker count; the sum — and thus the
+/// mean — is bit-identical for every worker count.
+///
+/// # Panics
+/// Panics when `n == 0`.
+pub fn par_mean_in<F>(workers: usize, n: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
     assert!(n > 0, "mean over zero replications");
-    let workers = worker_count(n);
-    if workers == 1 {
-        return (0..n).map(f).sum::<f64>() / n as f64;
-    }
-    let partials: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(workers));
-    crossbeam::thread::scope(|scope| {
-        for w in 0..workers {
-            let f = &f;
-            let partials = &partials;
-            scope.spawn(move |_| {
-                let mut sum = 0.0;
-                let mut i = w;
-                while i < n {
-                    sum += f(i);
-                    i += workers;
-                }
-                partials.lock().push(sum);
-            });
-        }
-    })
-    .expect("replication worker panicked");
-    partials.into_inner().iter().sum::<f64>() / n as f64
+    par_map_reduce_in(workers, n, f, 0.0, |acc, x| acc + x, |a, b| a + b) / n as f64
 }
 
 #[cfg(test)]
@@ -128,6 +225,62 @@ mod tests {
         let a = par_map_indexed(500, |i| i as f64 * 1.5);
         let b = par_map_indexed(500, |i| i as f64 * 1.5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_across_worker_counts() {
+        let f = |i: usize| (i as f64).sin();
+        let expect: Vec<f64> = (0..333).map(f).collect();
+        for workers in [1, 2, 3, 8, worker_count(333)] {
+            assert_eq!(par_map_indexed_in(workers, 333, f), expect);
+        }
+    }
+
+    #[test]
+    fn mean_bit_identical_across_worker_counts() {
+        // non-associative float accumulation: only the fixed block
+        // structure makes these exactly equal
+        let f = |i: usize| 1.0 / (i as f64 + 1.0);
+        let m1 = par_mean_in(1, 10_001, f);
+        let m2 = par_mean_in(2, 10_001, f);
+        let mhw = par_mean_in(worker_count(10_001), 10_001, f);
+        assert_eq!(m1.to_bits(), m2.to_bits());
+        assert_eq!(m1.to_bits(), mhw.to_bits());
+    }
+
+    #[test]
+    fn map_reduce_counts_and_sums() {
+        let (count, sum) = par_map_reduce(
+            1_000,
+            |i| i as u64,
+            (0u64, 0u64),
+            |(c, s), x| (c + 1, s + x),
+            |(c1, s1), (c2, s2)| (c1 + c2, s1 + s2),
+        );
+        assert_eq!(count, 1_000);
+        assert_eq!(sum, 999 * 1_000 / 2);
+    }
+
+    #[test]
+    fn map_reduce_empty_returns_init() {
+        let out = par_map_reduce(0, |i| i, 42usize, |a, b| a + b, |a, b| a + b);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn uneven_job_costs_balance() {
+        // a deliberately skewed workload: early indices are cheap,
+        // the last one is expensive; work stealing must still return
+        // index-ordered results
+        let out = par_map_indexed(64, |i| {
+            if i == 63 {
+                (0..100_000).fold(0u64, |a, x| a.wrapping_add(x)) + i as u64
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out[0], 0);
+        assert_eq!(out[62], 62);
     }
 
     #[test]

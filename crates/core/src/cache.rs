@@ -1,0 +1,154 @@
+//! Transparent memoization of objective evaluations.
+//!
+//! The tuning driver evaluates the true objective far more often than
+//! the optimizer asks for *distinct* points: a converged simplex
+//! proposes the same vertices every batch, the quality curve re-probes
+//! the incumbent after every step, and the exploit phase pins one point
+//! for the rest of the budget. When the objective is itself expensive —
+//! a [`harmony_surface::PerfDatabase`] interpolation, or a user's real
+//! measurement replay — those repeats are pure waste.
+//!
+//! [`CachedObjective`] wraps any [`Objective`] with a lattice-keyed memo
+//! (points keyed by their exact `f64` bit patterns, so no tolerance is
+//! involved). Because the wrapped objective must be deterministic —
+//! everything in this workspace is; noise is applied *outside* the
+//! objective by the cluster layer — the memo returns exactly the value
+//! the inner objective would have, and tuning outcomes are unchanged
+//! bit for bit. [`OnlineTuner`](crate::tuner::OnlineTuner) wraps its
+//! objective automatically.
+
+use harmony_params::{ParamSpace, Point};
+use harmony_surface::Objective;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+/// A memoizing [`Objective`] wrapper. Evaluations at previously seen
+/// points are served from the memo; determinism of the inner objective
+/// makes the substitution exact.
+pub struct CachedObjective<'a, O: Objective + ?Sized> {
+    inner: &'a O,
+    memo: RwLock<HashMap<Vec<u64>, f64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+fn key_of(p: &Point) -> Vec<u64> {
+    p.iter().map(f64::to_bits).collect()
+}
+
+impl<'a, O: Objective + ?Sized> CachedObjective<'a, O> {
+    /// Wraps `inner` with an empty memo.
+    pub fn new(inner: &'a O) -> Self {
+        CachedObjective {
+            inner,
+            memo: RwLock::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped objective.
+    pub fn inner(&self) -> &'a O {
+        self.inner
+    }
+
+    /// Number of evaluations answered from the memo.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of evaluations that reached the inner objective.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct points memoized.
+    pub fn len(&self) -> usize {
+        self.memo.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<O: Objective + ?Sized> Objective for CachedObjective<'_, O> {
+    fn space(&self) -> &ParamSpace {
+        self.inner.space()
+    }
+
+    fn eval(&self, x: &Point) -> f64 {
+        let key = key_of(x);
+        if let Some(&v) = self
+            .memo
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        let v = self.inner.eval(x);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.memo
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, v);
+        v
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_params::ParamDef;
+    use harmony_surface::objective::FnObjective;
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![ParamDef::integer("x", -5, 5, 1).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn second_eval_is_a_hit_with_identical_value() {
+        let calls = Counter::new(0);
+        let obj = FnObjective::new("f", space(), |p| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            (p[0] * 0.3).exp()
+        });
+        let cached = CachedObjective::new(&obj);
+        let p = Point::from(&[2.0][..]);
+        let a = cached.eval(&p);
+        let b = cached.eval(&p);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!((cached.hits(), cached.misses()), (1, 1));
+        assert_eq!(cached.len(), 1);
+    }
+
+    #[test]
+    fn distinct_points_are_distinct_entries() {
+        let obj = FnObjective::new("f", space(), |p| p[0] * 2.0);
+        let cached = CachedObjective::new(&obj);
+        for x in -5..=5 {
+            cached.eval(&Point::from(&[x as f64][..]));
+        }
+        assert_eq!(cached.len(), 11);
+        assert_eq!(cached.hits(), 0);
+    }
+
+    #[test]
+    fn passes_through_space_and_name() {
+        let obj = FnObjective::new("passthrough", space(), |p| p[0]);
+        let cached = CachedObjective::new(&obj);
+        assert_eq!(cached.name(), "passthrough");
+        assert_eq!(cached.space(), obj.space());
+        assert!(cached.is_empty());
+    }
+}

@@ -24,6 +24,9 @@
 //!   on-line use),
 //! * [`sampling`] — the estimator layer: single sample, **min-of-K**
 //!   (§5), mean-of-K, median-of-K,
+//! * [`cache`] — transparent objective memoization ([`CachedObjective`]);
+//!   the tuner re-probes the same points constantly and the wrapped
+//!   objective is deterministic, so the memo is exact,
 //! * [`adaptive`] — the paper's future-work item: per-batch adaptive
 //!   sample counts that stop as soon as the pending decision is stable,
 //! * [`restart`] — multi-start wrapping for global coverage on deceptive
@@ -43,6 +46,7 @@
 
 pub mod adaptive;
 pub mod baselines;
+pub mod cache;
 pub mod logged;
 pub mod nelder_mead;
 pub mod optimizer;
@@ -54,6 +58,7 @@ pub mod sro;
 pub mod tuner;
 
 pub use adaptive::{AdaptiveSampling, AdaptiveTuner, AdaptiveTunerConfig};
+pub use cache::CachedObjective;
 pub use logged::{Logged, ObservationLog};
 pub use optimizer::Optimizer;
 pub use pro::{ProConfig, ProOptimizer};

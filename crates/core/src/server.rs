@@ -4,7 +4,7 @@
 //! the optimizer state while the application's SPMD processes fetch
 //! parameter assignments and report measured performance. This module
 //! reproduces that architecture in-process: one server (the calling
-//! thread) and `P` client threads exchanging messages over crossbeam
+//! thread) and `P` client threads exchanging messages over mpsc
 //! channels. Each barrier-synchronised time step the server hands every
 //! active client one `(point, sample)` evaluation slot, collects the
 //! reports, charges the step the worst observation (eq. 1), and advances
@@ -19,12 +19,12 @@
 use crate::optimizer::Optimizer;
 use crate::sampling::Estimator;
 use crate::tuner::TuningOutcome;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use harmony_cluster::TuningTrace;
 use harmony_params::Point;
 use harmony_surface::Objective;
 use harmony_variability::noise::NoiseModel;
 use harmony_variability::{seeded_rng, stream_seed};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Configuration of a distributed tuning session.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,14 +69,14 @@ where
     assert!(cfg.procs > 0, "server needs at least one client");
     assert!(cfg.max_steps > 0, "server needs a positive step budget");
 
-    crossbeam::thread::scope(|scope| {
-        let (report_tx, report_rx) = unbounded::<Report>();
+    std::thread::scope(|scope| {
+        let (report_tx, report_rx) = channel::<Report>();
         let mut client_txs: Vec<Sender<Task>> = Vec::with_capacity(cfg.procs);
         for c in 0..cfg.procs {
-            let (task_tx, task_rx) = unbounded::<Task>();
+            let (task_tx, task_rx) = channel::<Task>();
             client_txs.push(task_tx);
             let report_tx = report_tx.clone();
-            scope.spawn(move |_| client_loop(c, task_rx, report_tx, objective, noise, cfg.seed));
+            scope.spawn(move || client_loop(c, task_rx, report_tx, objective, noise, cfg.seed));
         }
         drop(report_tx);
 
@@ -86,7 +86,6 @@ where
         }
         outcome
     })
-    .expect("tuning client panicked")
 }
 
 /// One simulated SPMD process: fetch task, run (evaluate objective under

@@ -14,6 +14,7 @@
 //! [`Estimator`]/[`SamplingMode`] and only the reduced estimate reaches
 //! the optimizer.
 
+use crate::cache::CachedObjective;
 use crate::optimizer::Optimizer;
 use crate::sampling::Estimator;
 use harmony_cluster::{Cluster, SamplingMode, TuningTrace};
@@ -157,6 +158,10 @@ impl OnlineTuner {
         O: Objective + ?Sized,
         M: NoiseModel + ?Sized,
     {
+        // objectives are deterministic (noise is applied by the cluster
+        // layer), so memoizing repeated probes is exact — converged
+        // batches and the quality curve revisit the same points heavily
+        let objective = CachedObjective::new(objective);
         let cluster = Cluster::new(self.cfg.procs);
         let mut rng = seeded_rng(self.cfg.seed);
         let mut trace = TuningTrace::new();
@@ -258,8 +263,14 @@ impl OnlineTuner {
             phases.windows(2).all(|w| w[0].0 < w[1].0),
             "phase starts must be strictly ascending"
         );
-        let objective_at = |step: usize| -> &dyn Objective {
-            phases
+        // one memo per phase: phase objectives differ, so each gets its
+        // own exact cache (see `CachedObjective`)
+        let cached: Vec<(usize, CachedObjective<'_, dyn Objective>)> = phases
+            .iter()
+            .map(|&(start, obj)| (start, CachedObjective::new(obj)))
+            .collect();
+        let objective_at = |step: usize| -> &CachedObjective<'_, dyn Objective> {
+            &cached
                 .iter()
                 .rev()
                 .find(|(start, _)| *start <= step)
@@ -306,7 +317,7 @@ impl OnlineTuner {
         let (best_point, best_estimate) = optimizer
             .recommendation()
             .expect("tuning session observed at least one batch");
-        let final_objective = phases.last().expect("non-empty phases").1;
+        let final_objective = &cached.last().expect("non-empty phases").1;
         let best_true_cost = final_objective.eval(&best_point);
 
         let width = if self.cfg.full_occupancy {

@@ -1,12 +1,13 @@
 //! Property-based tests of the cluster layer (scheduling, execution,
 //! heterogeneity) and of the parameter-spec parser round-trip.
 
-use harmony::cluster::pool::par_map_indexed;
+use harmony::cluster::pool::{par_map_indexed, par_map_indexed_in, par_map_reduce_in, par_mean_in};
 use harmony::cluster::{Cluster, Heterogeneity, SamplingMode, Schedule, TuningTrace};
 use harmony::params::spec::{format_space, parse_space};
 use harmony::params::{ParamDef, ParamSpace};
 use harmony::prelude::*;
 use proptest::prelude::*;
+use rand::Rng;
 
 fn arb_mode() -> impl Strategy<Value = SamplingMode> {
     prop_oneof![
@@ -124,6 +125,38 @@ proptest! {
     }
 
     #[test]
+    fn pool_map_identical_across_worker_counts(n in 0usize..300, seed in 0u64..100) {
+        // jobs draw randomness from index-derived streams, exactly like
+        // real replications; any worker count must give the same vector
+        let f = |i: usize| seeded_rng(stream_seed(seed, i as u64)).random::<f64>();
+        let expect: Vec<u64> = (0..n).map(|i| f(i).to_bits()).collect();
+        for workers in [1usize, 2, 3, 7] {
+            let got: Vec<u64> = par_map_indexed_in(workers, n, f)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            prop_assert_eq!(&got, &expect, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn pool_reductions_bit_identical_across_worker_counts(
+        n in 1usize..400,
+        seed in 0u64..100,
+    ) {
+        // floating-point sums are not associative: only the fixed block
+        // structure makes different worker counts agree exactly
+        let f = |i: usize| seeded_rng(stream_seed(seed, i as u64)).random::<f64>() * 10.0;
+        let mean1 = par_mean_in(1, n, f);
+        let sum1 = par_map_reduce_in(1, n, f, 0.0, |a, x| a + x, |a, b| a + b);
+        for workers in [2usize, 3, 8] {
+            prop_assert_eq!(par_mean_in(workers, n, f).to_bits(), mean1.to_bits());
+            let sum = par_map_reduce_in(workers, n, f, 0.0, |a, x| a + x, |a, b| a + b);
+            prop_assert_eq!(sum.to_bits(), sum1.to_bits());
+        }
+    }
+
+    #[test]
     fn spec_round_trips_arbitrary_spaces(defs in prop::collection::vec(arb_def(), 1..5)) {
         let space = ParamSpace::new(defs).unwrap();
         let spec = format_space(&space);
@@ -136,6 +169,34 @@ proptest! {
         // arbitrary printable ASCII: must return Ok or Err, never panic
         let _ = parse_space(&input);
     }
+}
+
+/// The regression case recorded in `property_cluster.proptest-regressions`
+/// (`costs = [0.1], k = 2, procs = 2, mode = Packed, seed = 0`), promoted
+/// to an explicit unit test: the vendored proptest has no shrinking and
+/// does not replay regression files, so historical failures live here.
+/// With two processors and one point, Packed mode runs both samples in a
+/// single step; the step must still deliver k samples and charge the
+/// barrier the worst (here: only) cost.
+#[test]
+fn regression_packed_single_point_two_procs() {
+    let costs = [0.1];
+    let (k, procs) = (2, 2);
+    let cluster = Cluster::new(procs);
+    let mut rng = seeded_rng(0);
+    let mut trace = TuningTrace::new();
+    let samples = cluster.run_batch(
+        &costs,
+        k,
+        SamplingMode::Packed,
+        &Noise::None,
+        &mut rng,
+        &mut trace,
+    );
+    assert_eq!(samples.len(), 1);
+    assert_eq!(samples[0], vec![0.1, 0.1]);
+    assert_eq!(trace.len(), 1, "both samples pack into one step");
+    assert!((trace.total_time() - 0.1).abs() < 1e-12);
 }
 
 fn arb_def() -> impl Strategy<Value = ParamDef> {

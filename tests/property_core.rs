@@ -6,7 +6,9 @@
 use harmony::core::nelder_mead::NelderMead;
 use harmony::core::restart::restarting_pro;
 use harmony::core::sro::SroOptimizer;
+use harmony::core::CachedObjective;
 use harmony::prelude::*;
+use harmony::surface::objective::FnObjective;
 use proptest::prelude::*;
 
 fn arb_space() -> impl Strategy<Value = ParamSpace> {
@@ -200,6 +202,56 @@ proptest! {
         let (_, best) = opt.best().expect("incumbent exists");
         let (_, rec) = opt.recommendation().expect("recommendation exists");
         prop_assert!(rec >= best - 1e-12);
+    }
+
+    #[test]
+    fn cached_objective_never_changes_outcomes(
+        seed in 0u64..200,
+        steps in 20usize..80,
+        rho in 0.0f64..0.5,
+    ) {
+        // memoization must be invisible: a session run on the raw
+        // objective and one on an explicitly wrapped objective agree on
+        // every field, bit for bit
+        let space = ParamSpace::new(vec![
+            ParamDef::integer("x", -10, 10, 1).expect("valid"),
+            ParamDef::integer("y", -10, 10, 1).expect("valid"),
+        ]).expect("valid space");
+        let obj = FnObjective::new("bowl", space.clone(), |p| {
+            2.0 + 0.07 * (p[0] * p[0] + p[1] * p[1])
+        });
+        let noise = Noise::paper_default(rho);
+        let cfg = TunerConfig {
+            procs: 16,
+            max_steps: steps,
+            estimator: Estimator::MinOfK(2),
+            mode: SamplingMode::SequentialSteps,
+            seed,
+            full_occupancy: true,
+            exploit_width: 4,
+        };
+        let run = |o: &dyn Objective| {
+            let mut opt = ProOptimizer::with_defaults(space.clone());
+            OnlineTuner::new(cfg).run(o, &noise, &mut opt)
+        };
+        let raw = run(&obj);
+        let cached = CachedObjective::new(&obj);
+        let wrapped = run(&cached);
+        // the tuner's own internal memo absorbs repeats, so the outer
+        // wrapper sees each distinct point exactly once
+        prop_assert!(cached.misses() > 0 && cached.misses() == cached.len());
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(raw.trace.step_times()), bits(wrapped.trace.step_times()));
+        prop_assert_eq!(raw.best_point, wrapped.best_point);
+        prop_assert_eq!(raw.best_estimate.to_bits(), wrapped.best_estimate.to_bits());
+        prop_assert_eq!(raw.best_true_cost.to_bits(), wrapped.best_true_cost.to_bits());
+        prop_assert_eq!(raw.converged, wrapped.converged);
+        prop_assert_eq!(raw.evaluations, wrapped.evaluations);
+        prop_assert_eq!(raw.quality_curve.len(), wrapped.quality_curve.len());
+        for (a, b) in raw.quality_curve.iter().zip(wrapped.quality_curve.iter()) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use harmony::prelude::*;
 use harmony::surface::{PerfDatabase, StencilHalo, TiledMatMul};
 use proptest::prelude::*;
+use rand::Rng;
 
 fn unit_coords() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..1.0, 3)
@@ -74,6 +75,43 @@ proptest! {
         let db = PerfDatabase::from_objective(&gs2, 1.0, 4, &mut rng);
         let p = gs2.space().point_from_unit(&u);
         prop_assert_eq!(db.eval(&p), gs2.eval(&p));
+    }
+
+    #[test]
+    fn indexed_interpolation_matches_scan_exactly(
+        defs in prop::collection::vec((-20i64..20, 1i64..12, 1i64..4), 1..4),
+        keep in 0.05f64..1.0,
+        k in 1usize..8,
+        seed in 0u64..300,
+    ) {
+        // random anisotropic integer spaces (widths differ per dim), a
+        // random sparse subset stored, k possibly exceeding the entry
+        // count: the bucket-grid path must agree with the brute-force
+        // linear scan bit for bit, including on repeat (memoized) calls
+        let space = ParamSpace::new(
+            defs.iter()
+                .enumerate()
+                .map(|(i, &(lo, span, step))| {
+                    ParamDef::integer(format!("p{i}"), lo, lo + span, step).unwrap()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let mut rng = seeded_rng(seed);
+        let mut db = PerfDatabase::new(space.clone(), k);
+        for (i, p) in space.lattice().enumerate() {
+            if i == 0 || rng.random::<f64>() < keep {
+                db.insert(p, rng.random::<f64>() * 100.0 + 0.1);
+            }
+        }
+        for _ in 0..20 {
+            let u: Vec<f64> = (0..space.dims()).map(|_| rng.random::<f64>()).collect();
+            let q = space.point_from_unit(&u);
+            let scan = db.interpolate_scan(&q);
+            prop_assert_eq!(db.interpolate(&q).to_bits(), scan.to_bits(), "at {:?}", &q);
+            // second call exercises the memo
+            prop_assert_eq!(db.interpolate(&q).to_bits(), scan.to_bits());
+        }
     }
 
     #[test]

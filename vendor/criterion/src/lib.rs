@@ -1,0 +1,250 @@
+//! Vendored, dependency-free benchmark harness.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! this crate implements the Criterion API subset the workspace's bench
+//! targets use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! adaptively sized batches until the measurement window is filled; the
+//! per-iteration mean, median, and min across batches are reported on
+//! stdout. Under `cargo test` (or with `--test` in the args) every
+//! benchmark body runs exactly once so bench code is exercised cheaply.
+//!
+//! A `--save-baseline`-style workflow is out of scope; compare runs by
+//! diffing the printed table (EXPERIMENTS.md records the numbers this
+//! repo cares about).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: filters and runs registered benchmarks.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // cargo bench passes `--bench`; cargo test passes `--test` (and
+        // harness flags we ignore). Positional non-flag args filter by
+        // substring, like upstream.
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            filter,
+            test_mode,
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the nominal sample count (accepted for API compatibility;
+    /// the adaptive batcher ignores it).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one benchmark, unless filtered out.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(r) if !self.test_mode => println!(
+                "{id:<44} time: [{} {} {}]  ({} iters)",
+                fmt_ns(r.min_ns),
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.median_ns),
+                r.iters,
+            ),
+            _ => println!("{id:<44} ok (test mode)"),
+        }
+        self
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine`, preventing its result from being optimised
+    /// away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // warm up and estimate a batch size targeting ~1ms per batch
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.001 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = Vec::new();
+        let mut total_iters: u64 = 0;
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            samples.push(elapsed / batch as f64);
+            total_iters += batch;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ns = samples[samples.len() / 2];
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.report = Some(Report {
+            mean_ns,
+            median_ns,
+            min_ns: samples[0],
+            iters: total_iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(2),
+        };
+        let mut ran = false;
+        c.bench_function("smoke/add", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64) + black_box(2u64))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion {
+            filter: Some("only-this".into()),
+            test_mode: true,
+            measurement_time: Duration::from_millis(1),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        c.bench_function("something-else", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+            measurement_time: Duration::from_millis(1),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut count = 0u32;
+        c.bench_function("once", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2.0e9).contains('s'));
+    }
+}

@@ -1,0 +1,139 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+
+/// A size specification: a fixed length or a (half-open / inclusive)
+/// range of lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.min == self.max {
+            self.min
+        } else {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with sizes drawn from `size`. The element
+/// strategy must be able to produce at least `size` distinct values.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < n {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+            assert!(
+                attempts < 100 * (n + 1),
+                "element strategy cannot produce {n} distinct values"
+            );
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_fixed_and_ranged_sizes() {
+        let mut rng = TestRng::for_test("vec");
+        assert_eq!(vec(0u64..5, 3).generate(&mut rng).len(), 3);
+        for _ in 0..50 {
+            let v = vec(0u64..5, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            let w = vec(0u64..5, 2..=6).generate(&mut rng);
+            assert!((2..=6).contains(&w.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_hits_exact_size() {
+        let mut rng = TestRng::for_test("set");
+        for _ in 0..50 {
+            let s = btree_set(0i64..100, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&s.len()));
+        }
+    }
+}

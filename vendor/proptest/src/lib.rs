@@ -1,0 +1,242 @@
+//! Vendored, dependency-free property-testing harness.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! this crate re-implements the subset of the `proptest` API the
+//! workspace's test suite uses:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * [`strategy::Strategy`] with `prop_map`, `prop_flat_map`, `boxed`,
+//! * range strategies for the numeric types, tuple strategies, [`strategy::Just`],
+//!   `prop_oneof!`, a small `[class]{m,n}` string-pattern strategy,
+//! * `prop::collection::{vec, btree_set}`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic**: cases derive from a fixed per-test seed (plus the
+//!   `PROPTEST_CASES` count override), so runs are exactly reproducible.
+//! * **No shrinking**: a failing case reports its inputs verbatim.
+//!   Failure seeds therefore do not need a persistence file; the
+//!   `*.proptest-regressions` files upstream writes are ignored, and any
+//!   previously recorded regression case should be promoted to an
+//!   explicit unit test (see `tests/property_cluster.rs`).
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface used by the tests: traits, config, macros,
+/// and the `prop` module alias.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias matching upstream's `prop::` paths (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with its inputs reported) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Uniform choice between several strategies producing the same value
+/// type. Weights are not supported (the workspace does not use them).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over deterministically generated
+/// cases. An optional leading `#![proptest_config(expr)]` sets the case
+/// count for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = config.effective_cases();
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let strategies = ($($strat,)+);
+            for case in 0..cases {
+                let values =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let inputs = format!(
+                    concat!("(", $(stringify!($arg), ", ",)+ ") = {:?}"),
+                    &values,
+                );
+                let outcome = (move || -> ::std::result::Result<(), String> {
+                    let ($($arg,)+) = values;
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}\ninputs:{}",
+                        stringify!($name), case + 1, cases, msg, inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0i64..10, y in 0.5f64..1.5, b in 0usize..3) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!((0.5..1.5).contains(&y));
+            prop_assert!(b < 3);
+        }
+
+        #[test]
+        fn collections(v in prop::collection::vec(0u64..100, 1..10),
+                       s in prop::collection::btree_set(-50i64..50, 2..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&x| x < 100));
+            prop_assert!((2..6).contains(&s.len()));
+        }
+
+        #[test]
+        fn strings_and_oneof(
+            name in "[a-z]{1,8}",
+            junk in "[ -~]{0,60}",
+            pick in prop_oneof![Just(1u8), Just(2u8), 3u8..5],
+        ) {
+            prop_assert!((1..=8).contains(&name.len()));
+            prop_assert!(name.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(junk.len() <= 60);
+            prop_assert!(junk.chars().all(|c| (' '..='~').contains(&c)));
+            prop_assert!((1..5).contains(&pick));
+        }
+
+        #[test]
+        fn maps_and_flat_maps(
+            (len, v) in (1usize..5).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0f64..1.0, n))
+            }),
+            doubled in (0i64..50).prop_map(|x| x * 2),
+        ) {
+            prop_assert_eq!(v.len(), len);
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(doubled, 99);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_is_respected(x in 0u64..1000) {
+            // cases counted via determinism: just exercise the path
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0u64..1000, 1..20);
+        let mut a = TestRng::for_test("determinism");
+        let mut b = TestRng::for_test("determinism");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    #[allow(unnameable_test_items)]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
