@@ -1,7 +1,7 @@
 //! Regenerates every figure and table at reduced ("--quick") or full
 //! scale in one run. See EXPERIMENTS.md for the recorded outputs.
 use harmony_bench::experiments::{
-    ablations, charts, fig01, fig02, fig03, fig04_07, fig08, fig09, fig10, tables,
+    ablations, charts, fault, fig01, fig02, fig03, fig04_07, fig08, fig09, fig10, tables,
 };
 use harmony_bench::report::emit;
 
@@ -76,5 +76,7 @@ fn main() {
     emit(&ablations::projection(asteps, areps, 0.1, 2005));
     emit(&ablations::monitoring(asteps, areps, 2005));
     emit(&ablations::adaptive_k(asteps, areps, 2005));
+    let (fsteps, freps) = if quick { (40, 4) } else { (80, 8) };
+    emit(&fault::fault_tolerance(16, fsteps, freps, 0.1, 2005));
     println!("=== done ===");
 }

@@ -1,0 +1,11 @@
+//! T5: tuning-quality degradation of the resilient server under
+//! injected client crashes and hangs (crash × hang sweep on GS2).
+use harmony_bench::experiments::fault::fault_tolerance;
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (steps, reps) = if quick { (40, 4) } else { (80, 8) };
+    println!("T5: fault-tolerance sweep, 16 clients, {steps} steps, {reps} reps/cell");
+    emit(&fault_tolerance(16, steps, reps, 0.1, 2005));
+}

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod charts;
+pub mod fault;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;

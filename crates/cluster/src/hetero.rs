@@ -207,6 +207,6 @@ mod tests {
         let c = Cluster::new(4);
         let h = Heterogeneity::uniform(2);
         let mut rng = seeded_rng(5);
-        c.execute_step_hetero(&[1.0], &h, &Noise::None, &mut rng);
+        let _ = c.execute_step_hetero(&[1.0], &h, &Noise::None, &mut rng);
     }
 }

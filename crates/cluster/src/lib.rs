@@ -20,18 +20,25 @@
 //! * [`pool`] — a scoped work-stealing worker pool for running thousands
 //!   of independent replications in parallel on real threads,
 //! * [`hetero`] — per-processor speed factors and straggler injection
-//!   (one slow node dominates every barrier, eq. 1).
+//!   (one slow node dominates every barrier, eq. 1),
+//! * [`fault`] — seeded, deterministic injection of client crashes,
+//!   hangs, dropped reports and duplicate reports
+//!   ([`fault::FaultPlan`]), driving both the simulated step path
+//!   ([`spmd::Cluster::execute_step_faulty`]) and the real-thread
+//!   tuning server.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod hetero;
 pub mod metrics;
 pub mod pool;
 pub mod schedule;
 pub mod spmd;
 
+pub use fault::{Delivery, FaultPlan, FleetState};
 pub use hetero::Heterogeneity;
 pub use metrics::TuningTrace;
 pub use schedule::{SamplingMode, Schedule};
-pub use spmd::{Cluster, StepOutcome};
+pub use spmd::{Cluster, FaultyStepOutcome, StepOutcome};

@@ -21,7 +21,7 @@
 //! `λ` up front.
 
 use crate::optimizer::Optimizer;
-use crate::tuner::TuningOutcome;
+use crate::tuner::{FaultStats, TuningOutcome};
 use harmony_cluster::{Cluster, TuningTrace};
 use harmony_surface::Objective;
 use harmony_variability::noise::NoiseModel;
@@ -206,6 +206,7 @@ impl AdaptiveTuner {
             converged: optimizer.converged(),
             evaluations,
             quality_curve,
+            faults: FaultStats::default(),
         }
     }
 }

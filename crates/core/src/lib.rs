@@ -37,9 +37,13 @@
 //! * [`tuner`] — the on-line tuning driver: runs an optimizer against an
 //!   objective + noise model on a simulated SPMD cluster for exactly `K`
 //!   time steps, producing the `Total_Time`/NTT record of eq. 2/23,
-//! * [`server`] — an Active-Harmony-style tuning **server** with real
-//!   client threads exchanging fetch/report messages over channels,
-//!   including free parallel multi-sampling when `P > n` (§5.2).
+//! * [`server`] — a fault-tolerant Active-Harmony-style tuning
+//!   **server** with real client threads exchanging fetch/report
+//!   messages over channels, including free parallel multi-sampling
+//!   when `P > n` (§5.2); under an injected
+//!   [`harmony_cluster::FaultPlan`] it reassigns missed slots, evicts
+//!   crashed clients, and advances optimizers on partial batches
+//!   ([`Optimizer::observe_partial`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,4 +68,5 @@ pub use optimizer::Optimizer;
 pub use pro::{ProConfig, ProOptimizer};
 pub use restart::{restarting_pro, Restarting};
 pub use sampling::Estimator;
-pub use tuner::{OnlineTuner, TunerConfig, TuningOutcome};
+pub use server::{run_distributed, run_resilient, ServerConfig, ServerError};
+pub use tuner::{FaultStats, OnlineTuner, TunerConfig, TuningOutcome};

@@ -156,6 +156,18 @@ impl<O: Optimizer> Optimizer for Logged<O> {
         self.inner.observe(values);
     }
 
+    fn observe_partial(&mut self, values: &[Option<f64>]) {
+        // log only what was actually measured; the inner optimizer's own
+        // interpolated substitutes must not pollute the prior-run data
+        let batch = self.inner.propose();
+        for (p, v) in batch.iter().zip(values) {
+            if let Some(v) = *v {
+                self.log.record(p, v);
+            }
+        }
+        self.inner.observe_partial(values);
+    }
+
     fn best(&self) -> Option<(Point, f64)> {
         self.inner.best()
     }

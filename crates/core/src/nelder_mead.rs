@@ -14,7 +14,7 @@
 //! [`NelderMead::simplex_rank`]), and the method is inherently
 //! sequential: proposals are singletons except for the shrink step.
 
-use crate::optimizer::{Incumbent, Optimizer};
+use crate::optimizer::{HistoryInterpolator, Incumbent, Optimizer};
 use harmony_params::init::{initial_simplex, InitialShape, DEFAULT_RELATIVE_SIZE};
 use harmony_params::{ParamSpace, Point, Rounding, Simplex};
 
@@ -63,6 +63,7 @@ pub struct NelderMead {
     /// decision, together with the reflected point.
     reflected: Option<(Point, f64)>,
     incumbent: Incumbent,
+    history: HistoryInterpolator,
     iterations: usize,
     converged: bool,
 }
@@ -74,6 +75,7 @@ impl NelderMead {
         let simplex = initial_simplex(&space, InitialShape::Minimal, cfg.relative_size)
             .expect("valid initial simplex");
         let queue = simplex.vertices().to_vec();
+        let history = HistoryInterpolator::new(&space);
         NelderMead {
             space,
             cfg,
@@ -84,6 +86,7 @@ impl NelderMead {
             got: Vec::new(),
             reflected: None,
             incumbent: Incumbent::new(),
+            history,
             iterations: 0,
             converged: false,
         }
@@ -233,9 +236,31 @@ impl Optimizer for NelderMead {
         assert!(v.is_finite(), "observe: non-finite objective value");
         let point = &self.queue[self.got.len()];
         self.incumbent.offer(point, v);
+        self.history.record(point, v);
         self.got.push(v);
         if self.got.len() == self.queue.len() {
             self.phase_complete();
+        }
+    }
+
+    fn observe_partial(&mut self, values: &[Option<f64>]) {
+        assert_eq!(values.len(), 1, "Nelder-Mead evaluates one point at a time");
+        match values[0] {
+            Some(v) => self.observe(&[v]),
+            None => {
+                // lost report: substitute the performance-database
+                // interpolation over the measured history (synthetic
+                // values are not recorded back or offered as incumbents)
+                let point = &self.queue[self.got.len()];
+                let v = self
+                    .history
+                    .estimate(point)
+                    .expect("history has at least one measurement to interpolate from");
+                self.got.push(v);
+                if self.got.len() == self.queue.len() {
+                    self.phase_complete();
+                }
+            }
         }
     }
 
@@ -352,6 +377,28 @@ mod tests {
         assert!(opt.converged());
         assert!(opt.propose().is_empty());
         assert!((opt.best().unwrap().0[0] - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn observe_partial_substitutes_lost_singletons() {
+        let mut opt = NelderMead::with_defaults(cont_space(2));
+        let init_len = opt.queue.len();
+        let f = |p: &Point| p[0] * p[0] + p[1] * p[1];
+        let mut k = 0usize;
+        for _ in 0..2_000 {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            k += 1;
+            if k > init_len && k.is_multiple_of(4) {
+                opt.observe_partial(&[None]);
+            } else {
+                opt.observe_partial(&[Some(f(&batch[0]))]);
+            }
+        }
+        let (best, val) = opt.best().unwrap();
+        assert!(val < 1.0, "val={val} at {best:?}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The batch ask/tell optimizer interface.
 
 use harmony_params::{ParamSpace, Point};
+use harmony_surface::PerfDatabase;
 
 /// A direct-search optimizer driven in batches.
 ///
@@ -29,6 +30,32 @@ pub trait Optimizer {
     /// proposal's length or if called before `propose`.
     fn observe(&mut self, values: &[f64]);
 
+    /// Reports a *partial* batch: `values[i]` is `None` when slot `i`'s
+    /// estimate was lost to faults (crashed client, dropped reports).
+    /// The driver calls this only after its quorum rule is satisfied, so
+    /// at least one entry is `Some`.
+    ///
+    /// The default forwards complete batches to [`Optimizer::observe`]
+    /// and panics on any hole — algorithms must opt in to partial
+    /// observation (PRO/SRO/Nelder–Mead substitute missing vertices with
+    /// a performance-database interpolation, §6's own mechanism for
+    /// unmeasured points).
+    ///
+    /// # Panics
+    /// The default implementation panics when any entry is `None`.
+    fn observe_partial(&mut self, values: &[Option<f64>]) {
+        let complete: Option<Vec<f64>> = values.iter().copied().collect();
+        match complete {
+            Some(v) => self.observe(&v),
+            None => panic!(
+                "{} does not support partial batches ({} of {} estimates missing)",
+                self.name(),
+                values.iter().filter(|v| v.is_none()).count(),
+                values.len()
+            ),
+        }
+    }
+
     /// The best point and estimate seen so far (by raw estimate — under
     /// noise this is an extreme-value-biased record, useful for
     /// reporting but not what a tuning system should deploy).
@@ -49,6 +76,76 @@ pub trait Optimizer {
 
     /// Algorithm name for reports.
     fn name(&self) -> &str;
+}
+
+/// Neighbours blended by [`HistoryInterpolator`] when estimating a
+/// missing measurement.
+const HISTORY_NEIGHBORS: usize = 4;
+
+/// Measured-history fallback for partial batches.
+///
+/// Optimizers that support [`Optimizer::observe_partial`] record every
+/// *measured* `(point, estimate)` pair here; when faults leave holes in
+/// a batch, the missing values are substituted with the performance
+/// database's inverse-distance-weighted interpolation over the measured
+/// history — §6's own mechanism for points the database does not
+/// contain. Synthetic substitutes are never recorded back, so the
+/// history stays purely measured.
+#[derive(Debug)]
+pub struct HistoryInterpolator {
+    db: PerfDatabase,
+}
+
+impl HistoryInterpolator {
+    /// An empty history over `space`.
+    pub fn new(space: &ParamSpace) -> Self {
+        HistoryInterpolator {
+            db: PerfDatabase::new(space.clone(), HISTORY_NEIGHBORS),
+        }
+    }
+
+    /// Records one measured estimate (later measurements of the same
+    /// point replace earlier ones).
+    pub fn record(&mut self, point: &Point, value: f64) {
+        self.db.insert(point.clone(), value);
+    }
+
+    /// Interpolated estimate for `point`, or `None` while the history
+    /// is empty.
+    pub fn estimate(&self, point: &Point) -> Option<f64> {
+        self.db.try_interpolate(point)
+    }
+
+    /// Number of distinct measured points recorded.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// True while nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// Substitutes every hole in `values` with the interpolated estimate
+    /// of the corresponding point in `points`.
+    ///
+    /// # Panics
+    /// Panics when the lengths differ, or when a hole needs filling
+    /// while the history is empty (callers record the batch's measured
+    /// entries first, and drivers guarantee a quorum of at least one).
+    pub fn fill(&self, points: &[Point], values: &[Option<f64>]) -> Vec<f64> {
+        assert_eq!(points.len(), values.len(), "points/values length mismatch");
+        points
+            .iter()
+            .zip(values.iter())
+            .map(|(p, v)| {
+                v.unwrap_or_else(|| {
+                    self.estimate(p)
+                        .expect("history has at least one measurement to interpolate from")
+                })
+            })
+            .collect()
+    }
 }
 
 /// Book-keeping shared by all optimizers: remembers the best estimate
@@ -105,5 +202,86 @@ mod tests {
         inc.offer(&a, 5.0);
         inc.offer(&b, 5.0);
         assert_eq!(inc.get().unwrap().0, a);
+    }
+
+    use harmony_params::ParamDef;
+
+    fn space_1d() -> ParamSpace {
+        ParamSpace::new(vec![ParamDef::integer("x", 0, 10, 1).unwrap()]).unwrap()
+    }
+
+    /// Minimal optimizer relying on the trait's default
+    /// `observe_partial`.
+    struct Stub {
+        space: ParamSpace,
+        got: Vec<f64>,
+    }
+
+    impl Optimizer for Stub {
+        fn space(&self) -> &ParamSpace {
+            &self.space
+        }
+        fn propose(&mut self) -> Vec<Point> {
+            vec![Point::from(&[1.0][..]), Point::from(&[2.0][..])]
+        }
+        fn observe(&mut self, values: &[f64]) {
+            self.got.extend_from_slice(values);
+        }
+        fn best(&self) -> Option<(Point, f64)> {
+            None
+        }
+        fn name(&self) -> &str {
+            "stub"
+        }
+    }
+
+    #[test]
+    fn default_observe_partial_forwards_complete_batches() {
+        let mut stub = Stub {
+            space: space_1d(),
+            got: Vec::new(),
+        };
+        stub.observe_partial(&[Some(3.0), Some(4.0)]);
+        assert_eq!(stub.got, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stub does not support partial batches")]
+    fn default_observe_partial_rejects_holes() {
+        let mut stub = Stub {
+            space: space_1d(),
+            got: Vec::new(),
+        };
+        stub.observe_partial(&[Some(3.0), None]);
+    }
+
+    #[test]
+    fn history_interpolator_fills_holes() {
+        let space = space_1d();
+        let mut hist = HistoryInterpolator::new(&space);
+        assert!(hist.is_empty());
+        let p2 = Point::from(&[2.0][..]);
+        let p4 = Point::from(&[4.0][..]);
+        let p3 = Point::from(&[3.0][..]);
+        assert_eq!(hist.estimate(&p3), None);
+        hist.record(&p2, 10.0);
+        hist.record(&p4, 20.0);
+        assert_eq!(hist.len(), 2);
+        // exact hits come back verbatim; holes get a convex combination
+        let filled = hist.fill(
+            &[p2.clone(), p3.clone(), p4.clone()],
+            &[Some(11.0), None, Some(19.0)],
+        );
+        assert_eq!(filled[0], 11.0);
+        assert_eq!(filled[2], 19.0);
+        assert!(filled[1] > 10.0 && filled[1] < 20.0, "got {}", filled[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measurement")]
+    fn history_interpolator_cannot_fill_from_nothing() {
+        let space = space_1d();
+        let hist = HistoryInterpolator::new(&space);
+        let _ = hist.fill(&[Point::from(&[1.0][..])], &[None]);
     }
 }

@@ -30,7 +30,7 @@
 //! minimum and the search stops, otherwise PRO continues with the probe
 //! simplex (we keep `v⁰` in it so the incumbent stays a vertex).
 
-use crate::optimizer::{Incumbent, Optimizer};
+use crate::optimizer::{HistoryInterpolator, Incumbent, Optimizer};
 use harmony_params::init::{initial_simplex, InitialShape, DEFAULT_RELATIVE_SIZE};
 use harmony_params::{ParamSpace, Point, Rounding, Simplex, StepKind};
 
@@ -136,6 +136,7 @@ pub struct ProOptimizer {
     state: State,
     pending: Vec<Point>,
     incumbent: Incumbent,
+    history: HistoryInterpolator,
     iterations: usize,
     converged: bool,
 }
@@ -146,6 +147,7 @@ impl ProOptimizer {
         let simplex =
             initial_simplex(&space, cfg.shape, cfg.relative_size).expect("valid initial simplex");
         let pending = simplex.vertices().to_vec();
+        let history = HistoryInterpolator::new(&space);
         ProOptimizer {
             space,
             cfg,
@@ -154,6 +156,7 @@ impl ProOptimizer {
             state: State::Init,
             pending,
             incumbent: Incumbent::new(),
+            history,
             iterations: 0,
             converged: false,
         }
@@ -269,46 +272,10 @@ impl ProOptimizer {
         }
     }
 
-    /// Replaces all non-best vertices (indices `1..m`) with `points` and
-    /// their `values`, then starts the next iteration.
-    fn accept(&mut self, points: Vec<Point>, values: Vec<f64>) {
-        debug_assert_eq!(points.len(), self.simplex.len() - 1);
-        for (j, (p, v)) in points.into_iter().zip(values).enumerate() {
-            self.simplex.set_vertex(j + 1, p);
-            self.values[j + 1] = v;
-        }
-        self.iterations += 1;
-        self.enter_iteration();
-    }
-}
-
-impl Optimizer for ProOptimizer {
-    fn space(&self) -> &ParamSpace {
-        &self.space
-    }
-
-    fn propose(&mut self) -> Vec<Point> {
-        if matches!(self.state, State::Done) {
-            return Vec::new();
-        }
-        self.pending.clone()
-    }
-
-    fn observe(&mut self, values: &[f64]) {
-        assert_eq!(
-            values.len(),
-            self.pending.len(),
-            "observe: expected {} values, got {}",
-            self.pending.len(),
-            values.len()
-        );
-        assert!(
-            values.iter().all(|v| v.is_finite()),
-            "observe: non-finite objective value"
-        );
-        for (p, &v) in self.pending.iter().zip(values.iter()) {
-            self.incumbent.offer(p, v);
-        }
+    /// Advances the state machine with a complete value vector for the
+    /// pending batch (measured, or measured + interpolated substitutes
+    /// from [`Optimizer::observe_partial`]).
+    fn advance(&mut self, values: &[f64]) {
         let pending = std::mem::take(&mut self.pending);
         let state = std::mem::replace(&mut self.state, State::Done);
         match state {
@@ -426,6 +393,72 @@ impl Optimizer for ProOptimizer {
             }
             State::Done => panic!("observe called after convergence"),
         }
+    }
+
+    /// Replaces all non-best vertices (indices `1..m`) with `points` and
+    /// their `values`, then starts the next iteration.
+    fn accept(&mut self, points: Vec<Point>, values: Vec<f64>) {
+        debug_assert_eq!(points.len(), self.simplex.len() - 1);
+        for (j, (p, v)) in points.into_iter().zip(values).enumerate() {
+            self.simplex.set_vertex(j + 1, p);
+            self.values[j + 1] = v;
+        }
+        self.iterations += 1;
+        self.enter_iteration();
+    }
+}
+
+impl Optimizer for ProOptimizer {
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn propose(&mut self) -> Vec<Point> {
+        if matches!(self.state, State::Done) {
+            return Vec::new();
+        }
+        self.pending.clone()
+    }
+
+    fn observe(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.pending.len(),
+            "observe: expected {} values, got {}",
+            self.pending.len(),
+            values.len()
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "observe: non-finite objective value"
+        );
+        for (p, &v) in self.pending.iter().zip(values.iter()) {
+            self.incumbent.offer(p, v);
+            self.history.record(p, v);
+        }
+        self.advance(values);
+    }
+
+    fn observe_partial(&mut self, values: &[Option<f64>]) {
+        assert_eq!(
+            values.len(),
+            self.pending.len(),
+            "observe_partial: expected {} values, got {}",
+            self.pending.len(),
+            values.len()
+        );
+        for (p, v) in self.pending.iter().zip(values.iter()) {
+            if let Some(v) = *v {
+                assert!(v.is_finite(), "observe_partial: non-finite objective value");
+                self.incumbent.offer(p, v);
+                self.history.record(p, v);
+            }
+        }
+        // measured entries are on record now, so the interpolator has at
+        // least one point (the driver's quorum rule guarantees ≥ 1 Some
+        // per batch); synthetic fills are NOT recorded back
+        let filled = self.history.fill(&self.pending, values);
+        self.advance(&filled);
     }
 
     fn best(&self) -> Option<(Point, f64)> {
@@ -740,6 +773,77 @@ mod tests {
         let (rec, val) = opt.recommendation().unwrap();
         assert_eq!(rec.as_slice(), &[2.0]);
         assert_eq!(val, 3.0);
+    }
+
+    #[test]
+    fn observe_partial_complete_batch_matches_observe() {
+        let space = lattice_space(-20, 20);
+        let f = |p: &Point| (p[0] - 3.0).powi(2) + (p[1] - 2.0).powi(2);
+        let run = |partial: bool| {
+            let mut opt = ProOptimizer::with_defaults(space.clone());
+            let mut log = Vec::new();
+            for _ in 0..100 {
+                let batch = opt.propose();
+                if batch.is_empty() {
+                    break;
+                }
+                log.extend(batch.iter().map(|p| (p[0], p[1])));
+                if partial {
+                    let vals: Vec<Option<f64>> = batch.iter().map(|p| Some(f(p))).collect();
+                    opt.observe_partial(&vals);
+                } else {
+                    let vals: Vec<f64> = batch.iter().map(f).collect();
+                    opt.observe(&vals);
+                }
+            }
+            log
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn observe_partial_fills_holes_and_still_converges() {
+        // drop every 5th estimate; the history interpolation substitute
+        // must keep the state machine consistent and the search must
+        // still land on the optimum of a smooth bowl
+        let space = lattice_space(-20, 20);
+        let f = |p: &Point| (p[0] - 4.0).powi(2) + (p[1] + 6.0).powi(2);
+        let mut opt = ProOptimizer::with_defaults(space);
+        let mut k = 0usize;
+        for _ in 0..500 {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            let vals: Vec<Option<f64>> = batch
+                .iter()
+                .map(|p| {
+                    k += 1;
+                    // keep the very first (Init) batch fully measured so
+                    // the history is primed before the first hole
+                    if k.is_multiple_of(5) && k > batch.len() {
+                        None
+                    } else {
+                        Some(f(p))
+                    }
+                })
+                .collect();
+            opt.observe_partial(&vals);
+        }
+        let (best, _) = opt.best().unwrap();
+        // holes slow PRO down but must not break it; a bowl is easy
+        // enough that it still finds the exact optimum
+        assert_eq!(best.as_slice(), &[4.0, -6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "observe_partial: expected")]
+    fn observe_partial_wrong_length_panics() {
+        let space = lattice_space(-5, 5);
+        let mut opt = ProOptimizer::with_defaults(space);
+        let n = opt.propose().len();
+        assert!(n > 1);
+        opt.observe_partial(&[Some(1.0)]);
     }
 
     #[test]

@@ -84,6 +84,43 @@ impl Estimator {
         }
     }
 
+    /// Reduces however many observations actually arrived — the
+    /// fault-tolerant variant of [`Estimator::reduce`] for slots whose
+    /// reports were lost or abandoned. With the full `K` samples this is
+    /// bit-identical to `reduce` (the mean divides by the actual count,
+    /// which then equals `K`); with fewer it degrades gracefully to the
+    /// same statistic over the survivors.
+    ///
+    /// # Panics
+    /// Panics when `samples` is empty or exceeds [`Estimator::samples`].
+    pub fn reduce_available(&self, samples: &[f64]) -> f64 {
+        assert!(
+            !samples.is_empty(),
+            "cannot estimate a point with zero surviving samples"
+        );
+        assert!(
+            samples.len() <= self.samples(),
+            "estimator expected at most {} samples, got {}",
+            self.samples(),
+            samples.len()
+        );
+        match *self {
+            Estimator::Single => samples[0],
+            Estimator::MinOfK(_) => samples.iter().copied().fold(f64::INFINITY, f64::min),
+            Estimator::MeanOfK(_) => samples.iter().sum::<f64>() / samples.len() as f64,
+            Estimator::MedianOfK(_) => {
+                let mut s = samples.to_vec();
+                s.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                let n = s.len();
+                if n % 2 == 1 {
+                    s[n / 2]
+                } else {
+                    0.5 * (s[n / 2 - 1] + s[n / 2])
+                }
+            }
+        }
+    }
+
     /// Short label for reports ("min3", "mean5", …).
     pub fn label(&self) -> String {
         match *self {
@@ -126,6 +163,38 @@ mod tests {
     #[should_panic(expected = "expected 3 samples")]
     fn wrong_sample_count_rejected() {
         Estimator::MinOfK(3).reduce(&[1.0]);
+    }
+
+    #[test]
+    fn reduce_available_matches_reduce_on_full_samples() {
+        let samples = [4.0, 2.0, 9.0];
+        for est in [
+            Estimator::MinOfK(3),
+            Estimator::MeanOfK(3),
+            Estimator::MedianOfK(3),
+        ] {
+            assert_eq!(est.reduce_available(&samples), est.reduce(&samples));
+        }
+        assert_eq!(Estimator::Single.reduce_available(&[4.0]), 4.0);
+    }
+
+    #[test]
+    fn reduce_available_degrades_to_survivors() {
+        assert_eq!(Estimator::MinOfK(5).reduce_available(&[4.0, 2.0]), 2.0);
+        assert_eq!(Estimator::MeanOfK(4).reduce_available(&[4.0, 2.0]), 3.0);
+        assert_eq!(Estimator::MedianOfK(9).reduce_available(&[7.0]), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero surviving samples")]
+    fn reduce_available_rejects_empty() {
+        Estimator::MinOfK(3).reduce_available(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 2 samples")]
+    fn reduce_available_rejects_excess() {
+        Estimator::MinOfK(2).reduce_available(&[1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! An Active-Harmony-style tuning server with real client threads.
+//! A fault-tolerant Active-Harmony-style tuning server with real client
+//! threads.
 //!
 //! Active Harmony structures on-line tuning as a central server owning
 //! the optimizer state while the application's SPMD processes fetch
@@ -6,7 +7,7 @@
 //! reproduces that architecture in-process: one server (the calling
 //! thread) and `P` client threads exchanging messages over mpsc
 //! channels. Each barrier-synchronised time step the server hands every
-//! active client one `(point, sample)` evaluation slot, collects the
+//! live client one `(point, sample)` evaluation slot, collects the
 //! reports, charges the step the worst observation (eq. 1), and advances
 //! the optimizer when a batch completes.
 //!
@@ -15,16 +16,105 @@
 //! processors — §5.2's observation that with `P ≥ n·K` processors,
 //! multi-sampling is free: "If there are 64 parallel processors running
 //! GS2 concurrently, we can set K = 10 with no additional cost."
+//!
+//! # Fault tolerance
+//!
+//! The paper's setting — a live application on a shared cluster — is
+//! exactly where clients crash and reports go missing, so
+//! [`run_resilient`] tunes *through* injected faults (a
+//! [`FaultPlan`]) instead of panicking:
+//!
+//! * every dispatched assignment carries a `(batch, slot, attempt)`
+//!   identity and a **deadline**: a report that is late, lost, or whose
+//!   client died charges the step the deadline (escalated by the retry
+//!   backoff) instead of an observation,
+//! * missed assignments are **reassigned** to live clients with bounded
+//!   retries; slots that exhaust their retries are abandoned,
+//! * duplicate and stale reports are **de-duplicated** by assignment
+//!   identity,
+//! * crashed clients are permanently **evicted** — the session degrades
+//!   to fewer processors instead of dying,
+//! * a batch whose surviving estimates satisfy the **quorum** rule
+//!   advances the optimizer via [`Optimizer::observe_partial`]
+//!   (PRO/SRO/Nelder–Mead substitute the holes with performance-database
+//!   interpolations); below quorum the session ends with a typed
+//!   [`ServerError`].
+//!
+//! Fault *timing* is logical, not wall-clock: the client (standing in
+//! for the transport/heartbeat layer) reports each delivery outcome
+//! explicitly, so the server never blocks on a timer and the same
+//! seeds + plan reproduce bit-identical sessions regardless of thread
+//! scheduling.
+//!
+//! Under a fault-free plan the whole machinery reduces to the original
+//! behaviour exactly.
 
+use crate::cache::CachedObjective;
 use crate::optimizer::Optimizer;
 use crate::sampling::Estimator;
-use crate::tuner::TuningOutcome;
+use crate::tuner::{FaultStats, TuningOutcome};
+use harmony_cluster::fault::{Delivery, FaultPlan};
 use harmony_cluster::TuningTrace;
 use harmony_params::Point;
 use harmony_surface::Objective;
 use harmony_variability::noise::NoiseModel;
 use harmony_variability::{seeded_rng, stream_seed};
+use std::collections::HashMap;
+use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Default deadline (in objective-time units) after which a dispatched
+/// assignment is declared missed — comfortably above typical
+/// observations so the fault-free path never hits it.
+pub const DEFAULT_DEADLINE: f64 = 25.0;
+
+/// A typed server failure. The resilient server returns these instead
+/// of panicking mid-session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// Every client crashed; no processor is left to run assignments.
+    AllClientsDead {
+        /// Time step at which the last client died.
+        step: usize,
+    },
+    /// A batch finished below the quorum of surviving estimates.
+    QuorumNotReached {
+        /// Time step at which the batch gave up.
+        step: usize,
+        /// Estimates that survived.
+        reported: usize,
+        /// Estimates the quorum rule required.
+        needed: usize,
+    },
+    /// The optimizer never produced an observable batch.
+    NoObservations,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::InvalidConfig(why) => write!(f, "invalid server config: {why}"),
+            ServerError::AllClientsDead { step } => {
+                write!(f, "all clients dead by step {step}")
+            }
+            ServerError::QuorumNotReached {
+                step,
+                reported,
+                needed,
+            } => write!(
+                f,
+                "batch quorum not reached at step {step}: {reported} of {needed} required estimates"
+            ),
+            ServerError::NoObservations => {
+                write!(f, "session ended before any batch was observed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
 
 /// Configuration of a distributed tuning session.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,25 +127,123 @@ pub struct ServerConfig {
     pub estimator: Estimator,
     /// Base RNG seed (each client gets a derived stream).
     pub seed: u64,
+    /// Time charged to a step for each assignment whose report missed it
+    /// (the server waits this long before reassigning).
+    pub deadline: f64,
+    /// How many times a missed slot is re-dispatched before being
+    /// abandoned.
+    pub max_retries: u32,
+    /// Deadline escalation per retry attempt: attempt `a` charges
+    /// `deadline · backoff^a` on a miss (must be ≥ 1).
+    pub backoff: f64,
+    /// Fraction of a batch's estimates that must survive for the batch
+    /// to advance the optimizer (at least one is always required).
+    pub quorum: f64,
+}
+
+impl ServerConfig {
+    /// A validated configuration with default fault-handling policy:
+    /// deadline [`DEFAULT_DEADLINE`], 2 retries, 1.5× backoff, 50%
+    /// quorum.
+    pub fn new(
+        procs: usize,
+        max_steps: usize,
+        estimator: Estimator,
+        seed: u64,
+    ) -> Result<Self, ServerError> {
+        ServerConfig {
+            procs,
+            max_steps,
+            estimator,
+            seed,
+            deadline: DEFAULT_DEADLINE,
+            max_retries: 2,
+            backoff: 1.5,
+            quorum: 0.5,
+        }
+        .validated()
+    }
+
+    /// Validates every field, returning the config unchanged when sound.
+    pub fn validated(self) -> Result<Self, ServerError> {
+        let fail = |why: String| Err(ServerError::InvalidConfig(why));
+        if self.procs == 0 {
+            return fail("server needs at least one client".into());
+        }
+        if self.max_steps == 0 {
+            return fail("server needs a positive step budget".into());
+        }
+        if !(self.deadline.is_finite() && self.deadline > 0.0) {
+            return fail(format!(
+                "deadline must be finite and positive, got {}",
+                self.deadline
+            ));
+        }
+        if !(self.backoff.is_finite() && self.backoff >= 1.0) {
+            return fail(format!("backoff must be ≥ 1, got {}", self.backoff));
+        }
+        if !(0.0..=1.0).contains(&self.quorum) {
+            return fail(format!("quorum must be in [0, 1], got {}", self.quorum));
+        }
+        Ok(self)
+    }
+}
+
+/// Identity of one dispatched evaluation: which batch, which
+/// `(point, sample)` slot within it, and which retry attempt. The
+/// server de-duplicates reports on this triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Assignment {
+    batch: u64,
+    slot: usize,
+    attempt: u32,
 }
 
 /// Server→client message.
 enum Task {
-    /// Evaluate `point`; echo `slot` back in the report.
-    Run { slot: usize, point: Point },
+    /// Evaluate `point`; echo `assign` back in the report.
+    Run { assign: Assignment, point: Point },
     /// Shut down the client loop.
     Stop,
 }
 
-/// Client→server measurement report.
-struct Report {
-    slot: usize,
-    observed: f64,
+/// Client→server event. In a real deployment `Lost`/`Died` would be
+/// synthesised by the transport's timeout and heartbeat monitors; here
+/// the client surfaces them explicitly so fault timing stays logical
+/// (deterministic) instead of wall-clock.
+#[derive(Clone)]
+enum Event {
+    /// A measurement arrived. `late` means it arrived after the
+    /// assignment's deadline had already expired (the server discards
+    /// the value and treats the slot as missed). `duplicate` marks a
+    /// report the fault plan delivered more than once; the server counts
+    /// the duplication when it matches the first copy, so the counter
+    /// does not depend on whether the extra copy is ever read.
+    Report {
+        assign: Assignment,
+        observed: f64,
+        late: bool,
+        duplicate: bool,
+    },
+    /// The report was dropped in transit; the deadline expired with
+    /// nothing to show.
+    Lost { assign: Assignment },
+    /// The client crashed while running the assignment.
+    Died { client: usize, assign: Assignment },
 }
 
-/// Runs one distributed tuning session: spawns `procs` client threads,
-/// drives `optimizer` to convergence or budget exhaustion, exploits the
-/// incumbent for the remaining steps, and joins all clients.
+/// Runs one distributed tuning session with no fault injection: spawns
+/// `procs` client threads, drives `optimizer` to convergence or budget
+/// exhaustion, exploits the incumbent for the remaining steps, and joins
+/// all clients.
+///
+/// This is [`run_resilient`] under [`FaultPlan::none`]; a fault-free
+/// session cannot fail unless the configuration is invalid or the
+/// optimizer never proposes.
+///
+/// # Panics
+/// Panics when the configuration is invalid or the optimizer produces
+/// nothing to observe (see [`ServerError`] for the typed alternative).
 pub fn run_distributed<O, M>(
     objective: &O,
     noise: &M,
@@ -66,48 +254,108 @@ where
     O: Objective + Sync + ?Sized,
     M: NoiseModel + Sync + ?Sized,
 {
-    assert!(cfg.procs > 0, "server needs at least one client");
-    assert!(cfg.max_steps > 0, "server needs a positive step budget");
+    run_resilient(objective, noise, optimizer, cfg, &FaultPlan::none())
+        .expect("fault-free distributed session failed")
+}
 
+/// Runs one distributed tuning session under a [`FaultPlan`]. See the
+/// module docs for the fault-handling policy. Clients are joined on
+/// every exit path, including errors.
+pub fn run_resilient<O, M>(
+    objective: &O,
+    noise: &M,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+    plan: &FaultPlan,
+) -> Result<TuningOutcome, ServerError>
+where
+    O: Objective + Sync + ?Sized,
+    M: NoiseModel + Sync + ?Sized,
+{
+    let cfg = cfg.validated()?;
     std::thread::scope(|scope| {
-        let (report_tx, report_rx) = channel::<Report>();
+        let (event_tx, event_rx) = channel::<Event>();
         let mut client_txs: Vec<Sender<Task>> = Vec::with_capacity(cfg.procs);
         for c in 0..cfg.procs {
             let (task_tx, task_rx) = channel::<Task>();
             client_txs.push(task_tx);
-            let report_tx = report_tx.clone();
-            scope.spawn(move || client_loop(c, task_rx, report_tx, objective, noise, cfg.seed));
+            let event_tx = event_tx.clone();
+            scope
+                .spawn(move || client_loop(c, task_rx, event_tx, objective, noise, cfg.seed, plan));
         }
-        drop(report_tx);
+        drop(event_tx);
 
-        let outcome = serve(objective, optimizer, cfg, &client_txs, &report_rx);
+        let outcome = serve(objective, optimizer, cfg, &client_txs, &event_rx);
+        // tolerant shutdown: crashed clients have already dropped their
+        // receivers, so sends may fail — that is fine, the thread is
+        // gone. The scope joins every client on both Ok and Err paths.
         for tx in &client_txs {
-            tx.send(Task::Stop).expect("client alive at shutdown");
+            let _ = tx.send(Task::Stop);
         }
         outcome
     })
 }
 
 /// One simulated SPMD process: fetch task, run (evaluate objective under
-/// local noise), report.
+/// local noise), report — with the [`FaultPlan`] deciding whether this
+/// client crashes and how each report is delivered.
 fn client_loop<O, M>(
     id: usize,
     tasks: Receiver<Task>,
-    reports: Sender<Report>,
+    events: Sender<Event>,
     objective: &O,
     noise: &M,
     seed: u64,
+    plan: &FaultPlan,
 ) where
     O: Objective + ?Sized,
     M: NoiseModel + ?Sized,
 {
     let mut rng = seeded_rng(stream_seed(seed, id as u64 + 1));
+    let crash_at = plan.crash_point(id);
+    let mut serial = 0usize;
     while let Ok(task) = tasks.recv() {
         match task {
-            Task::Run { slot, point } => {
+            Task::Run { assign, point } => {
+                if crash_at == Some(serial) {
+                    // permanent death: surface it (heartbeat monitor)
+                    // and never process another task
+                    let _ = events.send(Event::Died { client: id, assign });
+                    return;
+                }
                 let cost = objective.eval(&point);
                 let observed = noise.observe(cost, &mut rng);
-                if reports.send(Report { slot, observed }).is_err() {
+                let sent = match plan.delivery(id, serial) {
+                    Delivery::OnTime => events
+                        .send(Event::Report {
+                            assign,
+                            observed,
+                            late: false,
+                            duplicate: false,
+                        })
+                        .is_ok(),
+                    Delivery::Duplicated => {
+                        let copy = Event::Report {
+                            assign,
+                            observed,
+                            late: false,
+                            duplicate: true,
+                        };
+                        let _ = events.send(copy.clone());
+                        events.send(copy).is_ok()
+                    }
+                    Delivery::Late => events
+                        .send(Event::Report {
+                            assign,
+                            observed,
+                            late: true,
+                            duplicate: false,
+                        })
+                        .is_ok(),
+                    Delivery::Lost => events.send(Event::Lost { assign }).is_ok(),
+                };
+                serial += 1;
+                if !sent {
                     break; // server gone
                 }
             }
@@ -116,49 +364,126 @@ fn client_loop<O, M>(
     }
 }
 
-/// The server side: batch scheduling, step accounting, optimizer
-/// advancement, exploit fill.
+/// Running state of the server's fault handling.
+struct Fleet {
+    /// Indices of clients still alive, ascending.
+    live: Vec<usize>,
+    stats: FaultStats,
+}
+
+impl Fleet {
+    fn evict(&mut self, client: usize) {
+        if let Some(pos) = self.live.iter().position(|&c| c == client) {
+            self.live.remove(pos);
+            self.stats.evicted_clients += 1;
+        }
+    }
+}
+
+/// How one dispatched assignment resolved.
+enum Resolution {
+    /// An on-time observation.
+    Observed(f64),
+    /// Missed its deadline (late/lost/died); the slot may be retried.
+    Missed,
+}
+
+/// The server side: batch scheduling, deadline/retry accounting,
+/// optimizer advancement, exploit fill.
 fn serve<O>(
     objective: &O,
     optimizer: &mut dyn Optimizer,
     cfg: ServerConfig,
     clients: &[Sender<Task>],
-    reports: &Receiver<Report>,
-) -> TuningOutcome
+    events: &Receiver<Event>,
+) -> Result<TuningOutcome, ServerError>
 where
     O: Objective + ?Sized,
 {
+    // objectives are deterministic (noise is applied per-client), so
+    // memoizing the recommendation probes is exact — the quality curve
+    // and best_true_cost revisit the same points heavily
+    let objective = CachedObjective::new(objective);
     let mut trace = TuningTrace::new();
     let mut evaluations = 0usize;
     let mut quality_curve: Vec<(usize, f64)> = Vec::new();
+    let mut fleet = Fleet {
+        live: (0..clients.len()).collect(),
+        stats: FaultStats::default(),
+    };
     let k = cfg.estimator.samples();
+    let mut batch_id = 0u64;
 
     while trace.len() < cfg.max_steps && !optimizer.converged() {
         let batch = optimizer.propose();
         if batch.is_empty() {
             break;
         }
-        // flat (point, sample) slots, packed densely over clients
-        let slots: Vec<usize> = (0..batch.len() * k).collect();
+        batch_id += 1;
+        // flat (point, sample) slots, packed densely over live clients;
+        // missed slots requeue with the next attempt number
+        let mut pending: std::collections::VecDeque<(usize, u32)> =
+            (0..batch.len() * k).map(|s| (s, 0)).collect();
         let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(k); batch.len()];
-        for chunk in slots.chunks(clients.len()) {
-            for (client, &slot) in clients.iter().zip(chunk.iter()) {
-                let point = batch[slot / k].clone();
-                client
-                    .send(Task::Run { slot, point })
-                    .expect("client alive during step");
+        while !pending.is_empty() {
+            if fleet.live.is_empty() {
+                return Err(ServerError::AllClientsDead { step: trace.len() });
             }
-            let mut t_k = f64::NEG_INFINITY;
-            for _ in 0..chunk.len() {
-                let report = reports.recv().expect("client reports before exiting");
-                t_k = t_k.max(report.observed);
-                samples[report.slot / k].push(report.observed);
+            let take = fleet.live.len().min(pending.len());
+            let round: Vec<(usize, u32)> = pending.drain(..take).collect();
+            let resolutions = run_round(
+                &round,
+                batch_id,
+                &batch,
+                k,
+                cfg,
+                clients,
+                events,
+                &mut fleet,
+                &mut trace,
+                &mut evaluations,
+            )?;
+            for ((slot, attempt), resolution) in round.into_iter().zip(resolutions) {
+                match resolution {
+                    Resolution::Observed(obs) => samples[slot / k].push(obs),
+                    Resolution::Missed => {
+                        fleet.stats.missed_reports += 1;
+                        if attempt < cfg.max_retries {
+                            fleet.stats.retries += 1;
+                            pending.push_back((slot, attempt + 1));
+                        } else {
+                            fleet.stats.abandoned_slots += 1;
+                        }
+                    }
+                }
             }
-            trace.push(t_k);
-            evaluations += chunk.len();
         }
-        let estimates: Vec<f64> = samples.iter().map(|s| cfg.estimator.reduce(s)).collect();
-        optimizer.observe(&estimates);
+        let estimates: Vec<Option<f64>> = samples
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    None
+                } else {
+                    Some(cfg.estimator.reduce_available(s))
+                }
+            })
+            .collect();
+        let reported = estimates.iter().filter(|e| e.is_some()).count();
+        if reported == batch.len() {
+            let complete: Vec<f64> = estimates.into_iter().map(|e| e.unwrap()).collect();
+            optimizer.observe(&complete);
+        } else {
+            let needed = quorum_needed(batch.len(), cfg.quorum);
+            if reported < needed {
+                return Err(ServerError::QuorumNotReached {
+                    step: trace.len(),
+                    reported,
+                    needed,
+                });
+            }
+            fleet.stats.partial_batches += 1;
+            optimizer.observe_partial(&estimates);
+        }
         if let Some((rec, _)) = optimizer.recommendation() {
             quality_curve.push((trace.len(), objective.eval(&rec)));
         }
@@ -166,22 +491,68 @@ where
 
     let (best_point, best_estimate) = optimizer
         .recommendation()
-        .expect("distributed session observed at least one batch");
+        .ok_or(ServerError::NoObservations)?;
     let best_true_cost = objective.eval(&best_point);
 
-    // exploit: one client keeps running the tuned configuration
+    // exploit: one live client keeps running the tuned configuration;
+    // if it dies the next live client takes over
     while trace.len() < cfg.max_steps {
-        clients[0]
+        let Some(&runner) = fleet.live.first() else {
+            return Err(ServerError::AllClientsDead { step: trace.len() });
+        };
+        batch_id += 1;
+        let assign = Assignment {
+            batch: batch_id,
+            slot: 0,
+            attempt: 0,
+        };
+        if clients[runner]
             .send(Task::Run {
-                slot: 0,
+                assign,
                 point: best_point.clone(),
             })
-            .expect("client alive during exploit");
-        let report = reports.recv().expect("client reports during exploit");
-        trace.push(report.observed);
+            .is_err()
+        {
+            fleet.evict(runner);
+            continue;
+        }
+        loop {
+            match events.recv() {
+                Err(_) => return Err(ServerError::AllClientsDead { step: trace.len() }),
+                Ok(Event::Report {
+                    assign: a,
+                    observed,
+                    late,
+                    duplicate,
+                }) if a == assign => {
+                    if duplicate {
+                        fleet.stats.duplicate_reports += 1;
+                    }
+                    if late {
+                        fleet.stats.missed_reports += 1;
+                        trace.push(cfg.deadline);
+                    } else {
+                        trace.push(observed);
+                    }
+                    break;
+                }
+                Ok(Event::Lost { assign: a }) if a == assign => {
+                    fleet.stats.missed_reports += 1;
+                    trace.push(cfg.deadline);
+                    break;
+                }
+                Ok(Event::Died { client, assign: a }) if a == assign => {
+                    fleet.evict(client);
+                    fleet.stats.missed_reports += 1;
+                    trace.push(cfg.deadline);
+                    break;
+                }
+                Ok(_) => {} // stale or extra copy: discard silently
+            }
+        }
     }
 
-    TuningOutcome {
+    Ok(TuningOutcome {
         trace,
         steps_budget: cfg.max_steps,
         best_point,
@@ -190,7 +561,111 @@ where
         converged: optimizer.converged(),
         evaluations,
         quality_curve,
+        faults: fleet.stats,
+    })
+}
+
+/// Dispatches one round of assignments (one per live client) and
+/// collects until every one of them resolves. Returns the per-assignment
+/// resolutions in round order; pushes the round's barrier time
+/// (worst on-time observation, with misses charging the backoff-escalated
+/// deadline) onto `trace`.
+#[allow(clippy::too_many_arguments)]
+fn run_round(
+    round: &[(usize, u32)],
+    batch_id: u64,
+    batch: &[Point],
+    k: usize,
+    cfg: ServerConfig,
+    clients: &[Sender<Task>],
+    events: &Receiver<Event>,
+    fleet: &mut Fleet,
+    trace: &mut TuningTrace,
+    evaluations: &mut usize,
+) -> Result<Vec<Resolution>, ServerError> {
+    // deadline charge escalates with the attempt number (backoff)
+    let charge = |attempt: u32| cfg.deadline * cfg.backoff.powi(attempt as i32);
+    let mut outstanding: HashMap<Assignment, usize> = HashMap::with_capacity(round.len());
+    let mut resolutions: Vec<Option<Resolution>> = Vec::with_capacity(round.len());
+    let mut t_k = f64::NEG_INFINITY;
+    let mut waiting = 0usize;
+    for (pos, (&client, &(slot, attempt))) in
+        fleet.live.clone().iter().zip(round.iter()).enumerate()
+    {
+        let assign = Assignment {
+            batch: batch_id,
+            slot,
+            attempt,
+        };
+        let point = batch[slot / k].clone();
+        if clients[client].send(Task::Run { assign, point }).is_err() {
+            // client thread already gone (defensive: normally Died is
+            // seen first) — immediate miss, evict
+            fleet.evict(client);
+            resolutions.push(Some(Resolution::Missed));
+            t_k = t_k.max(charge(attempt));
+            continue;
+        }
+        outstanding.insert(assign, pos);
+        resolutions.push(None);
+        waiting += 1;
     }
+    while waiting > 0 {
+        let event = events
+            .recv()
+            .map_err(|_| ServerError::AllClientsDead { step: trace.len() })?;
+        let (assign, resolution, duplicate) = match event {
+            Event::Report {
+                assign,
+                observed,
+                late: false,
+                duplicate,
+            } => (assign, Resolution::Observed(observed), duplicate),
+            Event::Report {
+                assign, late: true, ..
+            } => (assign, Resolution::Missed, false),
+            Event::Lost { assign } => (assign, Resolution::Missed, false),
+            Event::Died { client, assign } => {
+                fleet.evict(client);
+                if let Some(pos) = outstanding.remove(&assign) {
+                    t_k = t_k.max(charge(assign.attempt));
+                    resolutions[pos] = Some(Resolution::Missed);
+                    waiting -= 1;
+                }
+                continue;
+            }
+        };
+        // a non-outstanding assignment is a stale or extra copy of an
+        // already-resolved one: de-duplicated by the (batch, slot,
+        // attempt) key and discarded silently
+        if let Some(pos) = outstanding.remove(&assign) {
+            *evaluations += 1;
+            if duplicate {
+                // counted on the matched copy: the extra copy may or may
+                // not ever be read (it can still be in flight at
+                // shutdown), so counting discarded copies would make the
+                // statistic scheduling-dependent
+                fleet.stats.duplicate_reports += 1;
+            }
+            match resolution {
+                Resolution::Observed(obs) => t_k = t_k.max(obs),
+                Resolution::Missed => t_k = t_k.max(charge(assign.attempt)),
+            }
+            resolutions[pos] = Some(resolution);
+            waiting -= 1;
+        }
+    }
+    trace.push(t_k);
+    Ok(resolutions
+        .into_iter()
+        .map(|r| r.expect("every round assignment resolved"))
+        .collect())
+}
+
+/// The number of surviving estimates a batch of `n` points needs to
+/// advance the optimizer: `max(1, ceil(quorum·n))`.
+fn quorum_needed(n: usize, quorum: f64) -> usize {
+    ((quorum * n as f64).ceil() as usize).max(1)
 }
 
 #[cfg(test)]
@@ -214,12 +689,7 @@ mod tests {
     }
 
     fn cfg(estimator: Estimator, steps: usize, procs: usize) -> ServerConfig {
-        ServerConfig {
-            procs,
-            max_steps: steps,
-            estimator,
-            seed: 42,
-        }
+        ServerConfig::new(procs, steps, estimator, 42).unwrap()
     }
 
     #[test]
@@ -231,6 +701,7 @@ mod tests {
         assert_eq!(out.best_point.as_slice(), &[0.0, 0.0]);
         assert_eq!(out.best_true_cost, 1.5);
         assert!(out.trace.len() >= 80);
+        assert!(out.faults.is_clean());
     }
 
     #[test]
@@ -283,5 +754,150 @@ mod tests {
         let out = run_distributed(&obj, &noise, &mut opt, cfg(Estimator::MinOfK(5), 100, 32));
         // heavy noise, but min-of-5 keeps the chosen point decent
         assert!(out.best_true_cost < 4.0, "true={}", out.best_true_cost);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        assert!(matches!(
+            ServerConfig::new(0, 10, Estimator::Single, 1),
+            Err(ServerError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServerConfig::new(4, 0, Estimator::Single, 1),
+            Err(ServerError::InvalidConfig(_))
+        ));
+        let bad_quorum = ServerConfig {
+            quorum: 1.5,
+            ..cfg(Estimator::Single, 10, 4)
+        };
+        assert!(bad_quorum.validated().is_err());
+        let bad_deadline = ServerConfig {
+            deadline: f64::NAN,
+            ..cfg(Estimator::Single, 10, 4)
+        };
+        assert!(bad_deadline.validated().is_err());
+        let bad_backoff = ServerConfig {
+            backoff: 0.5,
+            ..cfg(Estimator::Single, 10, 4)
+        };
+        assert!(bad_backoff.validated().is_err());
+    }
+
+    #[test]
+    fn all_crashed_clients_is_a_typed_error() {
+        let obj = bowl();
+        let mut opt = ProOptimizer::with_defaults(space());
+        let plan = FaultPlan::new(3, 1.0, 0.0, 0.0, 0.0);
+        let out = run_resilient(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            cfg(Estimator::Single, 60, 4),
+            &plan,
+        );
+        assert!(matches!(out, Err(ServerError::AllClientsDead { .. })));
+    }
+
+    #[test]
+    fn total_report_loss_fails_quorum() {
+        let obj = bowl();
+        let mut opt = ProOptimizer::with_defaults(space());
+        // every report is dropped: slots exhaust retries, no estimates
+        let plan = FaultPlan::new(5, 0.0, 0.0, 1.0, 0.0);
+        let out = run_resilient(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            cfg(Estimator::Single, 60, 8),
+            &plan,
+        );
+        assert!(matches!(out, Err(ServerError::QuorumNotReached { .. })));
+    }
+
+    #[test]
+    fn session_survives_crashes_by_evicting() {
+        let obj = bowl();
+        let mut opt = ProOptimizer::with_defaults(space());
+        // half the clients crash early; the session degrades and finishes
+        let plan = FaultPlan::new(12, 0.5, 0.0, 0.0, 0.0);
+        let out = run_resilient(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            cfg(Estimator::Single, 80, 16),
+            &plan,
+        )
+        .expect("session survives partial crashes");
+        assert!(out.faults.evicted_clients > 0);
+        assert!(out.trace.len() >= 80);
+        assert!(out.best_true_cost < 4.0, "true={}", out.best_true_cost);
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated_and_harmless() {
+        let obj = bowl();
+        let noise = Noise::paper_default(0.2);
+        let run = |dup: f64| {
+            let mut opt = ProOptimizer::with_defaults(space());
+            run_resilient(
+                &obj,
+                &noise,
+                &mut opt,
+                cfg(Estimator::MinOfK(2), 60, 4),
+                &FaultPlan::new(9, 0.0, 0.0, 0.0, dup),
+            )
+            .expect("duplicate-only plan cannot kill a session")
+        };
+        let clean = run(0.0);
+        let dup = run(1.0);
+        assert!(dup.faults.duplicate_reports > 0);
+        // identical tuning: duplicates change nothing but the counter
+        assert_eq!(clean.trace, dup.trace);
+        assert_eq!(clean.best_point, dup.best_point);
+        assert_eq!(clean.evaluations, dup.evaluations);
+    }
+
+    #[test]
+    fn hangs_charge_the_deadline_and_retry() {
+        let obj = bowl();
+        let run = |hang: f64| {
+            let mut opt = ProOptimizer::with_defaults(space());
+            run_resilient(
+                &obj,
+                &Noise::None,
+                &mut opt,
+                cfg(Estimator::Single, 40, 8),
+                &FaultPlan::new(17, 0.0, hang, 0.0, 0.0),
+            )
+            .expect("moderate hang rate survivable")
+        };
+        let clean = run(0.0);
+        let hung = run(0.25);
+        assert!(hung.faults.missed_reports > 0);
+        assert!(hung.faults.retries > 0);
+        // misses charge the deadline, so the degraded run is honestly slower
+        assert!(hung.total_time() > clean.total_time());
+    }
+
+    #[test]
+    fn fault_free_resilient_run_matches_run_distributed() {
+        let obj = bowl();
+        let noise = Noise::paper_default(0.3);
+        let config = cfg(Estimator::MinOfK(2), 70, 6);
+        let mut opt_a = ProOptimizer::with_defaults(space());
+        let a = run_distributed(&obj, &noise, &mut opt_a, config);
+        let mut opt_b = ProOptimizer::with_defaults(space());
+        let b = run_resilient(&obj, &noise, &mut opt_b, config, &FaultPlan::none()).unwrap();
+        assert_eq!(a, b);
+        assert!(b.faults.is_clean());
+    }
+
+    #[test]
+    fn quorum_needed_rule() {
+        assert_eq!(quorum_needed(4, 0.5), 2);
+        assert_eq!(quorum_needed(5, 0.5), 3);
+        assert_eq!(quorum_needed(4, 0.0), 1);
+        assert_eq!(quorum_needed(4, 1.0), 4);
+        assert_eq!(quorum_needed(1, 0.5), 1);
     }
 }

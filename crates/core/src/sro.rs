@@ -9,7 +9,7 @@
 //! configuration change per time step, which is exactly why the paper
 //! parallelised the algorithm.
 
-use crate::optimizer::{Incumbent, Optimizer};
+use crate::optimizer::{HistoryInterpolator, Incumbent, Optimizer};
 use harmony_params::init::{initial_simplex, InitialShape, DEFAULT_RELATIVE_SIZE};
 use harmony_params::{ParamSpace, Point, Rounding, Simplex, StepKind};
 
@@ -76,6 +76,7 @@ pub struct SroOptimizer {
     /// `f(r)` kept across the expansion check.
     reflect_check_val: f64,
     incumbent: Incumbent,
+    history: HistoryInterpolator,
     iterations: usize,
     converged: bool,
 }
@@ -86,6 +87,7 @@ impl SroOptimizer {
         let simplex =
             initial_simplex(&space, cfg.shape, cfg.relative_size).expect("valid initial simplex");
         let queue = simplex.vertices().to_vec();
+        let history = HistoryInterpolator::new(&space);
         SroOptimizer {
             space,
             cfg,
@@ -96,6 +98,7 @@ impl SroOptimizer {
             got: Vec::new(),
             reflect_check_val: f64::NAN,
             incumbent: Incumbent::new(),
+            history,
             iterations: 0,
             converged: false,
         }
@@ -250,9 +253,31 @@ impl Optimizer for SroOptimizer {
         assert!(v.is_finite(), "observe: non-finite objective value");
         let point = &self.queue[self.got.len()];
         self.incumbent.offer(point, v);
+        self.history.record(point, v);
         self.got.push(v);
         if self.got.len() == self.queue.len() {
             self.phase_complete();
+        }
+    }
+
+    fn observe_partial(&mut self, values: &[Option<f64>]) {
+        assert_eq!(values.len(), 1, "SRO evaluates one point at a time");
+        match values[0] {
+            Some(v) => self.observe(&[v]),
+            None => {
+                // lost report: substitute the performance-database
+                // interpolation over the measured history (synthetic
+                // values are not recorded back or offered as incumbents)
+                let point = &self.queue[self.got.len()];
+                let v = self
+                    .history
+                    .estimate(point)
+                    .expect("history has at least one measurement to interpolate from");
+                self.got.push(v);
+                if self.got.len() == self.queue.len() {
+                    self.phase_complete();
+                }
+            }
         }
     }
 
@@ -386,6 +411,41 @@ mod tests {
         drive(&mut opt, |p| (p[0] + 17.0).powi(2), 10_000);
         assert!(opt.converged());
         assert_eq!(opt.best().unwrap().0.as_slice(), &[-17.0]);
+    }
+
+    #[test]
+    fn observe_partial_substitutes_lost_singletons() {
+        // drop every 4th report after the initial vertices; the history
+        // interpolation must keep the phase machine running and the
+        // search must still reach the optimum of a smooth bowl
+        let space = lattice_space(-20, 20);
+        let f = |p: &Point| (p[0] - 6.0).powi(2) + (p[1] - 2.0).powi(2);
+        let mut opt = SroOptimizer::with_defaults(space);
+        let init_len = opt.queue.len();
+        let mut k = 0usize;
+        for _ in 0..20_000 {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                break;
+            }
+            k += 1;
+            if k > init_len && k.is_multiple_of(4) {
+                opt.observe_partial(&[None]);
+            } else {
+                opt.observe_partial(&[Some(f(&batch[0]))]);
+            }
+        }
+        let (best, _) = opt.best().unwrap();
+        assert_eq!(best.as_slice(), &[6.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measurement")]
+    fn observe_partial_needs_some_history() {
+        let space = lattice_space(-5, 5);
+        let mut opt = SroOptimizer::with_defaults(space);
+        let _ = opt.propose();
+        opt.observe_partial(&[None]);
     }
 
     #[test]

@@ -70,8 +70,39 @@ impl TunerConfig {
     }
 }
 
+/// Fault-handling counters of one tuning session. All zero on the
+/// fault-free paths ([`OnlineTuner`] and a server session with a
+/// fault-free plan); populated by
+/// [`crate::server::run_resilient`] when faults fire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Reports that missed their deadline (client hang, dropped report,
+    /// or client death while running the assignment).
+    pub missed_reports: usize,
+    /// Assignments re-dispatched to a live client after a miss.
+    pub retries: usize,
+    /// Slots abandoned after exhausting their retry budget.
+    pub abandoned_slots: usize,
+    /// Clients permanently evicted after crashing.
+    pub evicted_clients: usize,
+    /// Batches advanced with `observe_partial` (quorum reached but some
+    /// estimates missing).
+    pub partial_batches: usize,
+    /// Reports the fault plan delivered more than once; the extra copies
+    /// are discarded by the `(batch, slot, attempt)` de-duplication rule.
+    pub duplicate_reports: usize,
+}
+
+impl FaultStats {
+    /// `true` when no counter fired — the session saw no fault handling.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
 /// The record of one tuning session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct TuningOutcome {
     /// Per-step worst-case times; at least `max_steps` long (the last
     /// algorithm batch may overshoot the budget slightly).
@@ -93,6 +124,8 @@ pub struct TuningOutcome {
     /// true cost of the configuration the optimizer would deploy)`. The
     /// last entry equals `best_true_cost` at the end of tuning.
     pub quality_curve: Vec<(usize, f64)>,
+    /// Fault-handling counters (all zero on fault-free paths).
+    pub faults: FaultStats,
 }
 
 impl TuningOutcome {
@@ -229,6 +262,7 @@ impl OnlineTuner {
             converged: optimizer.converged(),
             evaluations,
             quality_curve,
+            faults: FaultStats::default(),
         }
     }
 
@@ -340,6 +374,7 @@ impl OnlineTuner {
             converged: optimizer.converged(),
             evaluations,
             quality_curve,
+            faults: FaultStats::default(),
         }
     }
 }
@@ -556,7 +591,7 @@ mod tests {
         let obj = bowl();
         let tuner = OnlineTuner::new(cfg(Estimator::Single, 10, 1));
         let mut opt = ProOptimizer::with_defaults(space());
-        tuner.run_phases(
+        let _ = tuner.run_phases(
             &[(5, &obj as &dyn harmony_surface::Objective)],
             &Noise::None,
             &mut opt,

@@ -414,6 +414,18 @@ impl PerfDatabase {
         write_lock(&self.memo).insert(key, v);
         v
     }
+
+    /// [`Self::interpolate`] that returns `None` instead of panicking on
+    /// an empty database — the fallback hook for fault-tolerant callers
+    /// (a partial-batch optimizer substituting estimates for lost
+    /// measurements may have recorded no history yet).
+    pub fn try_interpolate(&self, point: &Point) -> Option<f64> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.interpolate(point))
+        }
+    }
 }
 
 /// Calls `f` on every valid cell (all coordinates in `0..res`) at
@@ -495,6 +507,16 @@ mod tests {
         assert!(db.contains(&p));
         assert_eq!(db.interpolate(&p), 42.0);
         assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn try_interpolate_handles_empty_and_matches_interpolate() {
+        let mut db = PerfDatabase::new(space(), 3);
+        let p = Point::from(&[2.0, 3.0][..]);
+        assert_eq!(db.try_interpolate(&p), None);
+        db.insert(Point::from(&[1.0, 1.0][..]), 7.0);
+        db.insert(Point::from(&[4.0, 4.0][..]), 9.0);
+        assert_eq!(db.try_interpolate(&p), Some(db.interpolate(&p)));
     }
 
     #[test]

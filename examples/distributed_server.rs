@@ -17,12 +17,7 @@ fn main() {
     println!("distributed tuning of GS2 (3 params) on 16 client threads\n");
     println!("estimator   steps  evals   best(ntheta,negrid,nodes)  true s/iter");
     for est in [Estimator::Single, Estimator::MinOfK(4)] {
-        let cfg = ServerConfig {
-            procs: 16,
-            max_steps: 150,
-            estimator: est,
-            seed: 11,
-        };
+        let cfg = ServerConfig::new(16, 150, est, 11).expect("valid server config");
         let mut pro = ProOptimizer::with_defaults(gs2.space().clone());
         let out = run_distributed(&gs2, &noise, &mut pro, cfg);
         println!(

@@ -16,10 +16,11 @@
 //! * [`stats`] — ECDF / histogram / Hill-estimator tail diagnostics and
 //!   the closed-form min-of-K theory,
 //! * [`cluster`] — SPMD time-step execution, `Total_Time`/NTT metrics,
-//!   sample scheduling, a replication thread pool,
+//!   sample scheduling, a replication thread pool, deterministic fault
+//!   injection,
 //! * [`core`] — the optimizers (PRO, SRO, Nelder–Mead, baselines), the
 //!   estimator layer, the on-line tuning driver, and the threaded
-//!   Active-Harmony-style server.
+//!   fault-tolerant Active-Harmony-style server.
 //!
 //! # Quickstart
 //!
@@ -60,13 +61,14 @@ pub use harmony_variability as variability;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use harmony_cluster::{Cluster, SamplingMode, TuningTrace};
+    pub use harmony_cluster::{Cluster, FaultPlan, FleetState, SamplingMode, TuningTrace};
     pub use harmony_core::baselines::{GeneticAlgorithm, RandomSearch, SimulatedAnnealing};
     pub use harmony_core::nelder_mead::{NelderMead, NelderMeadConfig};
-    pub use harmony_core::server::{run_distributed, ServerConfig};
+    pub use harmony_core::server::{run_distributed, run_resilient, ServerConfig, ServerError};
     pub use harmony_core::sro::{SroConfig, SroOptimizer};
     pub use harmony_core::{
-        Estimator, OnlineTuner, Optimizer, ProConfig, ProOptimizer, TunerConfig, TuningOutcome,
+        Estimator, FaultStats, OnlineTuner, Optimizer, ProConfig, ProOptimizer, TunerConfig,
+        TuningOutcome,
     };
     pub use harmony_params::init::{InitialShape, DEFAULT_RELATIVE_SIZE};
     pub use harmony_params::{ParamDef, ParamKind, ParamSpace, Point, Rounding, Simplex};

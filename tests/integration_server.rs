@@ -28,12 +28,7 @@ fn server_with_a_single_client() {
         &obj,
         &Noise::None,
         &mut pro,
-        ServerConfig {
-            procs: 1,
-            max_steps: 60,
-            estimator: Estimator::Single,
-            seed: 1,
-        },
+        ServerConfig::new(1, 60, Estimator::Single, 1).unwrap(),
     );
     assert_eq!(out.best_point.as_slice(), &[0.0, 0.0]);
     assert!(out.trace.len() >= 60);
@@ -48,12 +43,7 @@ fn server_with_more_samples_than_clients() {
         &obj,
         &Noise::paper_default(0.2),
         &mut pro,
-        ServerConfig {
-            procs: 3,
-            max_steps: 80,
-            estimator: Estimator::MinOfK(7),
-            seed: 2,
-        },
+        ServerConfig::new(3, 80, Estimator::MinOfK(7), 2).unwrap(),
     );
     assert!(out.best_true_cost < 3.0, "bt={}", out.best_true_cost);
     assert!(out.evaluations > 7 * 4, "evals={}", out.evaluations);
@@ -67,12 +57,7 @@ fn server_fills_budget_for_non_converging_optimizers() {
         &obj,
         &Noise::None,
         &mut sa,
-        ServerConfig {
-            procs: 4,
-            max_steps: 50,
-            estimator: Estimator::Single,
-            seed: 3,
-        },
+        ServerConfig::new(4, 50, Estimator::Single, 3).unwrap(),
     );
     assert!(!out.converged);
     assert!(out.trace.len() >= 50);
@@ -88,12 +73,7 @@ fn server_matches_tuner_on_deterministic_problems() {
         &obj,
         &Noise::None,
         &mut a,
-        ServerConfig {
-            procs: 8,
-            max_steps: 100,
-            estimator: Estimator::Single,
-            seed: 7,
-        },
+        ServerConfig::new(8, 100, Estimator::Single, 7).unwrap(),
     );
     let mut b = ProOptimizer::with_defaults(space());
     let tuner = OnlineTuner::new(TunerConfig {

@@ -70,12 +70,7 @@ fn sequential_and_distributed_agree_without_noise() {
         &gs2,
         &Noise::None,
         &mut b,
-        ServerConfig {
-            procs: 8,
-            max_steps: 200,
-            estimator: Estimator::Single,
-            seed: 3,
-        },
+        ServerConfig::new(8, 200, Estimator::Single, 3).unwrap(),
     );
 
     // deterministic objective + deterministic PRO: identical best points

@@ -1,0 +1,120 @@
+//! Chaos suite: property-based tests of the fault-tolerant server.
+//!
+//! The resilient server is *deterministic by construction* — fault
+//! decisions are pure hashes of `(plan seed, client, task serial)` and
+//! time is logical, so the same seed and the same [`FaultPlan`] must
+//! reproduce the same [`TuningOutcome`] bit for bit regardless of
+//! thread scheduling. These tests replay whole sessions to enforce
+//! that, plus the ISSUE acceptance bound: a session losing a quarter of
+//! its clients and 10% of its reports still tunes GS2 to within 2× of
+//! the fault-free best true cost.
+//!
+//! CI runs this file with an elevated `PROPTEST_CASES` as the chaos
+//! step.
+
+use harmony::prelude::*;
+use harmony::surface::objective::FnObjective;
+use proptest::prelude::*;
+
+fn space() -> ParamSpace {
+    ParamSpace::new(vec![
+        ParamDef::integer("x", -12, 12, 1).unwrap(),
+        ParamDef::integer("y", -12, 12, 1).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn bowl() -> FnObjective<impl Fn(&Point) -> f64 + Sync> {
+    FnObjective::new("bowl", space(), |p| 1.0 + 0.1 * (p[0] * p[0] + p[1] * p[1]))
+}
+
+fn session(
+    seed: u64,
+    procs: usize,
+    steps: usize,
+    plan: &FaultPlan,
+) -> Result<TuningOutcome, ServerError> {
+    let obj = bowl();
+    let mut pro = ProOptimizer::with_defaults(space());
+    let cfg = ServerConfig::new(procs, steps, Estimator::Single, seed).unwrap();
+    run_resilient(&obj, &Noise::paper_default(0.2), &mut pro, cfg, plan)
+}
+
+proptest! {
+    /// Same seed + same fault plan ⇒ bit-identical outcome (Ok or Err).
+    #[test]
+    fn replay_is_bit_identical(
+        seed in 0u64..2_000,
+        plan_seed in 0u64..2_000,
+        procs in 2usize..9,
+        crash in 0.0f64..0.6,
+        hang in 0.0f64..0.3,
+        dup in 0.0f64..0.2,
+    ) {
+        let plan = FaultPlan::new(plan_seed, crash, hang, hang, dup);
+        let a = session(seed, procs, 25, &plan);
+        let b = session(seed, procs, 25, &plan);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A fault-free plan reproduces the plain distributed path exactly.
+    #[test]
+    fn fault_free_plan_matches_run_distributed(
+        seed in 0u64..2_000,
+        procs in 1usize..9,
+    ) {
+        let resilient = session(seed, procs, 30, &FaultPlan::none()).unwrap();
+        let obj = bowl();
+        let mut pro = ProOptimizer::with_defaults(space());
+        let cfg = ServerConfig::new(procs, 30, Estimator::Single, seed).unwrap();
+        let plain = run_distributed(&obj, &Noise::paper_default(0.2), &mut pro, cfg);
+        prop_assert_eq!(&resilient, &plain);
+        prop_assert!(resilient.faults.is_clean());
+    }
+
+    /// Killing every client is a typed error, never a hang or a panic.
+    /// The budget (250 steps) comfortably exceeds the worst case in
+    /// which every client survives to the crash-serial horizon, so the
+    /// session cannot finish before the fleet is gone. Depending on when
+    /// the deaths land, the server reports either the empty fleet or a
+    /// batch that lost its quorum to the abandoned slots.
+    #[test]
+    fn total_crash_is_a_typed_error(
+        seed in 0u64..2_000,
+        plan_seed in 0u64..2_000,
+        procs in 1usize..7,
+    ) {
+        let plan = FaultPlan::new(plan_seed, 1.0, 0.0, 0.0, 0.0);
+        match session(seed, procs, 250, &plan) {
+            Err(ServerError::AllClientsDead { .. })
+            | Err(ServerError::QuorumNotReached { .. }) => {}
+            other => prop_assert!(false, "expected a fleet-death error, got {other:?}"),
+        }
+    }
+}
+
+/// ISSUE acceptance: 25% crashes + 10% hangs on GS2 still terminates
+/// `Ok` with a best true cost within 2× of the fault-free session.
+#[test]
+fn gs2_survives_quarter_crashes_within_2x() {
+    let gs2 = Gs2Model::paper_scale();
+    let noise = Noise::paper_default(0.1);
+    let run = |plan: &FaultPlan| {
+        let mut pro = ProOptimizer::with_defaults(gs2.space().clone());
+        let cfg = ServerConfig::new(16, 60, Estimator::Single, 2005).unwrap();
+        run_resilient(&gs2, &noise, &mut pro, cfg, plan)
+    };
+    let clean = run(&FaultPlan::none()).expect("fault-free session terminates");
+    let faulty =
+        run(&FaultPlan::new(99, 0.25, 0.10, 0.10, 0.05)).expect("faulty session still terminates");
+    assert!(
+        faulty.faults.evicted_clients > 0,
+        "plan injected no crashes"
+    );
+    assert!(
+        faulty.best_true_cost <= 2.0 * clean.best_true_cost,
+        "faulty best {} vs clean best {}",
+        faulty.best_true_cost,
+        clean.best_true_cost
+    );
+}
