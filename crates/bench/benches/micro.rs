@@ -63,6 +63,27 @@ fn bench_pro_iteration(c: &mut Criterion) {
     });
 }
 
+fn bench_pro_steady_iteration(c: &mut Criterion) {
+    // one propose/observe cycle on a live optimizer — the scratch-buffer
+    // reuse path (the optimizer is re-seeded whenever it converges)
+    let space = big_space(6);
+    let f = |p: &Point| -> f64 { p.iter().map(|x| (x - 300.0) * (x - 300.0)).sum() };
+    let mut opt = ProOptimizer::with_defaults(space.clone());
+    let mut vals: Vec<f64> = Vec::new();
+    c.bench_function("pro/steady_iteration_6d", |b| {
+        b.iter(|| {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                opt = ProOptimizer::with_defaults(space.clone());
+                return;
+            }
+            vals.clear();
+            vals.extend(batch.iter().map(f));
+            opt.observe(black_box(&vals));
+        })
+    });
+}
+
 fn bench_estimators(c: &mut Criterion) {
     let samples: Vec<f64> = (0..10).map(|i| 5.0 + 0.3 * i as f64).collect();
     c.bench_function("estimator/min10", |b| {
@@ -90,6 +111,37 @@ fn bench_des(c: &mut Criterion) {
     let mut rng = seeded_rng(2);
     c.bench_function("des/finishing_time_rho0.3", |b| {
         b.iter(|| q.finishing_time(black_box(5.0), &mut rng))
+    });
+    // the zero-allocation streaming event loop on a long horizon
+    c.bench_function("des/run_trace_horizon100", |b| {
+        b.iter(|| black_box(q.run_trace(black_box(100.0), &mut rng)))
+    });
+}
+
+fn bench_batch_sampling(c: &mut Criterion) {
+    let pareto = Pareto::new(1.7, 2.0);
+    let mut rng = seeded_rng(10);
+    let mut buf = vec![0.0; 1_024];
+    c.bench_function("sampling/pareto_fill_1k", |b| {
+        b.iter(|| {
+            pareto.fill_samples(&mut rng, &mut buf);
+            black_box(buf[0])
+        })
+    });
+    c.bench_function("sampling/pareto_scalar_loop_1k", |b| {
+        b.iter(|| {
+            for slot in buf.iter_mut() {
+                *slot = pareto.sample(&mut rng);
+            }
+            black_box(buf[0])
+        })
+    });
+    let model = Noise::paper_default(0.2);
+    c.bench_function("sampling/observe_n_1k", |b| {
+        b.iter(|| {
+            model.observe_n(black_box(3.0), &mut rng, &mut buf);
+            black_box(buf[0])
+        })
     });
 }
 
@@ -292,9 +344,11 @@ criterion_group!(
     bench_projection,
     bench_simplex,
     bench_pro_iteration,
+    bench_pro_steady_iteration,
     bench_estimators,
     bench_noise,
     bench_des,
+    bench_batch_sampling,
     bench_database,
     bench_database_scaling,
     bench_database_build,

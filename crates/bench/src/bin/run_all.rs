@@ -1,82 +1,130 @@
-//! Regenerates every figure and table at reduced ("--quick") or full
-//! scale in one run. See EXPERIMENTS.md for the recorded outputs.
-use harmony_bench::experiments::{
-    ablations, charts, fault, fig01, fig02, fig03, fig04_07, fig08, fig09, fig10, tables,
-};
-use harmony_bench::report::emit;
+//! Regenerates every figure and table at reduced (default) or `--full`
+//! scale on the dependency-aware parallel harness. See EXPERIMENTS.md
+//! for the recorded outputs and DESIGN.md §4d for the determinism
+//! argument.
+//!
+//! Flags:
+//!
+//! * `--full` — paper-scale parameters (default is the quick scale)
+//! * `-jN` / `--workers N` — worker threads (default: hardware count);
+//!   the artifacts are byte-identical for every worker count
+//! * `--seed N` — global experiment seed (default 2005, the committed
+//!   artifacts' seed)
+//! * `--check-against PATH` — read a previously committed
+//!   `BENCH_harness.json` and exit nonzero when this run's total
+//!   wall-clock regresses by more than 25%
+//!
+//! Every invocation writes `BENCH_harness.json` (per-experiment and
+//! total wall-clock, worker count, effective speedup) next to the
+//! results directory.
+
+use harmony_bench::harness::{self, RunConfig};
+
+fn parse_or_die<T: std::str::FromStr>(what: &str, v: Option<&String>) -> T {
+    let Some(v) = v else {
+        eprintln!("missing value for {what}");
+        std::process::exit(2);
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {what}: {v}");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
-    let quick = !std::env::args().any(|a| a == "--full");
-    let scale = if quick { "quick" } else { "full" };
-    println!("=== regenerating all paper artifacts ({scale} scale) ===\n");
-
-    let f1 = if quick {
-        fig01::Fig01Config {
-            steps: 150,
-            reps: 12,
-            ..Default::default()
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = RunConfig::new(false);
+    cfg.progress = true;
+    let mut check_against: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--full" {
+            cfg.full = true;
+        } else if a == "--quick" {
+            cfg.full = false;
+        } else if let Some(rest) = a.strip_prefix("-j") {
+            if rest.is_empty() {
+                i += 1;
+                cfg.workers = parse_or_die("-j", args.get(i));
+            } else {
+                cfg.workers = parse_or_die("-j", Some(&rest.to_string()));
+            }
+        } else if a == "--workers" {
+            i += 1;
+            cfg.workers = parse_or_die("--workers", args.get(i));
+        } else if a == "--seed" {
+            i += 1;
+            cfg.seed = parse_or_die("--seed", args.get(i));
+        } else if a == "--check-against" {
+            i += 1;
+            let Some(p) = args.get(i) else {
+                eprintln!("missing value for --check-against");
+                std::process::exit(2);
+            };
+            check_against = Some(p.clone());
+        } else {
+            eprintln!("unknown argument: {a}");
+            std::process::exit(2);
         }
-    } else {
-        fig01::Fig01Config::default()
-    };
-    let t1 = fig01::run(&f1);
-    emit(&t1);
-    emit(&fig02::run());
-    let f3 = fig03::Fig03Config::default();
-    let t3 = fig03::run(&f3);
-    emit(&t3);
-    emit(&fig03::correlations(&f3));
-    let (a, b, c, d, e) = fig04_07::run(&fig04_07::TailConfig::default());
-    for t in [&a, &b, &c, &d, &e] {
-        emit(t);
+        i += 1;
     }
-    let t8 = fig08::run(&fig08::Fig08Config::default());
-    println!("fig08 local minima: {}", fig08::count_local_minima(&t8));
-    emit(&t8);
-    let f9 = if quick {
-        fig09::Fig09Config {
-            reps: 16,
-            ..Default::default()
-        }
-    } else {
-        fig09::Fig09Config::default()
-    };
-    let t9 = fig09::run(&f9);
-    emit(&t9);
-    let f10 = if quick {
-        fig10::Fig10Config {
-            reps: 50,
-            ..Default::default()
-        }
-    } else {
-        fig10::Fig10Config::default()
-    };
-    let t10 = fig10::run(&f10);
-    emit(&t10);
-    emit(&fig10::optimal_k(&t10));
-    emit(&fig10::run_extended(&f10));
-    emit(&fig10::run_packed(&f10));
-    charts::emit_all(&t1, &t3, &b, &d, &t8, &t9, &t10);
+    cfg.workers = cfg.workers.max(1);
 
-    let qreps = if quick { 20_000 } else { 200_000 };
-    emit(&tables::queue_validation(qreps, 2005));
-    emit(&tables::min_operator(qreps, 2005));
-    let (bsteps, breps) = if quick { (100, 20) } else { (300, 200) };
-    emit(&tables::baselines(bsteps, breps, 0.1, 2005));
-    emit(&tables::time_to_quality(
-        bsteps,
-        breps,
-        0.1,
-        &[1.25, 1.1],
-        2005,
-    ));
-    let (asteps, areps) = if quick { (100, 30) } else { (200, 300) };
-    emit(&ablations::expansion_check(asteps, areps, 0.1, 2005));
-    emit(&ablations::estimators(asteps, areps, 0.3, 2005));
-    emit(&ablations::projection(asteps, areps, 0.1, 2005));
-    emit(&ablations::monitoring(asteps, areps, 2005));
-    emit(&ablations::adaptive_k(asteps, areps, 2005));
-    let (fsteps, freps) = if quick { (40, 4) } else { (80, 8) };
-    emit(&fault::fault_tolerance(16, fsteps, freps, 0.1, 2005));
-    println!("=== done ===");
+    // read the committed baseline *before* running (the run overwrites
+    // BENCH_harness.json, which is the usual baseline path)
+    let baseline_total = check_against.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("--check-against {path}: {e}");
+            std::process::exit(2);
+        });
+        harness::json_number(&text, "total_wall_s").unwrap_or_else(|| {
+            eprintln!("--check-against {path}: no total_wall_s field");
+            std::process::exit(2);
+        })
+    });
+
+    let scale = if cfg.full { "full" } else { "quick" };
+    println!(
+        "=== regenerating all paper artifacts ({scale} scale, {} workers, seed {}) ===\n",
+        cfg.workers, cfg.seed
+    );
+
+    let report = harness::run(&cfg);
+
+    for t in &report.tasks {
+        print!("{}", t.stdout);
+        println!("[time] {} {:.3}s\n", t.name, t.wall_s);
+    }
+
+    let json = report.to_json();
+    let json_path = "BENCH_harness.json";
+    if let Err(e) = std::fs::write(json_path, &json) {
+        eprintln!("failed to write {json_path}: {e}");
+    }
+    println!(
+        "=== done: {} experiments in {:.3}s on {} workers \
+         (serial-equivalent {:.3}s, effective speedup {:.2}x) ===",
+        report.tasks.len(),
+        report.total_wall_s,
+        report.workers,
+        report.serial_wall_s(),
+        report.speedup()
+    );
+    println!("[json] {json_path}");
+
+    if let Some(baseline) = baseline_total {
+        let limit = baseline * 1.25;
+        println!(
+            "[check] total {:.3}s vs baseline {baseline:.3}s (limit {limit:.3}s)",
+            report.total_wall_s
+        );
+        if report.total_wall_s > limit {
+            eprintln!(
+                "FAIL: total wall-clock {:.3}s regressed more than 25% over baseline {baseline:.3}s",
+                report.total_wall_s
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,8 +1,9 @@
 //! Turns the figure tables into SVG plots (see [`crate::plot`]), so the
 //! harness regenerates viewable figures alongside the CSVs.
 
-use crate::plot::{emit_svg, heatmap, line_chart, Scale, Series};
+use crate::plot::{emit_svg_to, heatmap, line_chart, Scale, Series};
 use crate::report::Table;
+use std::path::Path;
 
 /// Fig. 1-a/1-b: per-step `T_k` and cumulative `Total_Time` per
 /// algorithm, from the `fig01_metrics` table.
@@ -162,21 +163,54 @@ pub fn emit_all(
     fig09_table: &Table,
     fig10_table: &Table,
 ) {
+    let mut buf = String::new();
+    emit_all_to(
+        &mut buf,
+        &crate::report::results_dir(),
+        fig01_table,
+        fig03_table,
+        fig05_table,
+        fig07_table,
+        fig08_table,
+        fig09_table,
+        fig10_table,
+    );
+    print!("{buf}");
+}
+
+/// [`emit_all`] into a string buffer and an explicit output directory
+/// (see [`crate::report::emit_to`]).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_all_to(
+    buf: &mut String,
+    dir: &Path,
+    fig01_table: &Table,
+    fig03_table: &Table,
+    fig05_table: &Table,
+    fig07_table: &Table,
+    fig08_table: &Table,
+    fig09_table: &Table,
+    fig10_table: &Table,
+) {
     let (a, b) = fig01(fig01_table);
-    emit_svg("fig01a_tk", &a);
-    emit_svg("fig01b_total", &b);
-    emit_svg("fig03_traces", &fig03(fig03_table));
-    emit_svg(
+    emit_svg_to(buf, dir, "fig01a_tk", &a);
+    emit_svg_to(buf, dir, "fig01b_total", &b);
+    emit_svg_to(buf, dir, "fig03_traces", &fig03(fig03_table));
+    emit_svg_to(
+        buf,
+        dir,
         "fig05_1cdf",
         &survival(fig05_table, "Fig 5: log-log survival (full data)"),
     );
-    emit_svg(
+    emit_svg_to(
+        buf,
+        dir,
         "fig07_1cdf_truncated",
         &survival(fig07_table, "Fig 7: log-log survival (truncated at 5s)"),
     );
-    emit_svg("fig08_surface", &fig08(fig08_table));
-    emit_svg("fig09_init_simplex", &fig09(fig09_table));
-    emit_svg("fig10_multisample", &fig10(fig10_table));
+    emit_svg_to(buf, dir, "fig08_surface", &fig08(fig08_table));
+    emit_svg_to(buf, dir, "fig09_init_simplex", &fig09(fig09_table));
+    emit_svg_to(buf, dir, "fig10_multisample", &fig10(fig10_table));
 }
 
 #[cfg(test)]

@@ -210,9 +210,7 @@ pub fn time_to_quality(steps: usize, reps: usize, rho: f64, factors: &[f64], see
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0u64, |acc, b| {
-        acc.wrapping_mul(131).wrapping_add(u64::from(b))
-    })
+    harmony_stats::splitmix::hash_str(name)
 }
 
 #[cfg(test)]

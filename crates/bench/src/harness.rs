@@ -1,0 +1,548 @@
+//! Dependency-aware parallel experiment harness.
+//!
+//! `run_all` used to regenerate every figure and table serially; this
+//! module turns the regeneration into a *task graph* executed on the
+//! work-stealing pool ([`harmony_cluster::pool::par_graph_in`]). Every
+//! experiment is a named task; the only edges are the chart renderers,
+//! which consume the figure tables computed by other tasks.
+//!
+//! Determinism under parallelism is preserved by construction:
+//!
+//! * every task derives its randomness purely from the global seed it is
+//!   handed (experiments decorrelate their internal streams with the
+//!   splittable hashing of `harmony_stats::splitmix` — e.g. table
+//!   experiments hash the algorithm *name* into the stream, replication
+//!   loops hash the replication *index*), never from claim order or
+//!   thread identity;
+//! * each task renders its report into a private buffer and writes only
+//!   its own output files, so the artifact bytes cannot depend on
+//!   interleaving;
+//! * the buffers are printed in canonical task order after the pool
+//!   joins, so the stdout report is identical for every worker count.
+//!
+//! The result: `run_all --full -jN` produces byte-identical CSVs and
+//! SVGs to a serial `-j1` run for every `N`.
+
+use crate::experiments::{
+    ablations, charts, fault, fig01, fig02, fig03, fig04_07, fig08, fig09, fig10, tables,
+};
+use crate::report::{emit_to, results_dir, Table};
+use harmony_cluster::pool;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A named harness task and the indices of the tasks it depends on.
+pub struct TaskDef {
+    /// Stable task name (used in the report and `BENCH_harness.json`).
+    pub name: &'static str,
+    /// Indices into [`TASKS`] that must complete first.
+    pub deps: &'static [usize],
+}
+
+const FIG01: usize = 0;
+const FIG02: usize = 1;
+const FIG03: usize = 2;
+const FIG03_CORRELATIONS: usize = 3;
+const FIG04_07: usize = 4;
+const FIG08: usize = 5;
+const FIG09: usize = 6;
+const FIG10: usize = 7;
+const FIG10_EXTENDED: usize = 8;
+const FIG10_PACKED: usize = 9;
+const CHARTS: usize = 10;
+const TABLE_QUEUE_VALIDATION: usize = 11;
+const TABLE_MIN_OPERATOR: usize = 12;
+const TABLE_BASELINES: usize = 13;
+const TABLE_TIME_TO_QUALITY: usize = 14;
+const ABLATION_EXPANSION_CHECK: usize = 15;
+const ABLATION_ESTIMATORS: usize = 16;
+const ABLATION_PROJECTION: usize = 17;
+const ABLATION_MONITORING: usize = 18;
+const ABLATION_ADAPTIVE_K: usize = 19;
+const TABLE_FAULT_TOLERANCE: usize = 20;
+
+/// The full task graph, in canonical report order. Only the chart
+/// renderer has dependencies — it consumes the already-computed figure
+/// tables instead of recomputing them.
+pub const TASKS: &[TaskDef] = &[
+    TaskDef {
+        name: "fig01",
+        deps: &[],
+    },
+    TaskDef {
+        name: "fig02",
+        deps: &[],
+    },
+    TaskDef {
+        name: "fig03",
+        deps: &[],
+    },
+    TaskDef {
+        name: "fig03_correlations",
+        deps: &[],
+    },
+    TaskDef {
+        name: "fig04_07",
+        deps: &[],
+    },
+    TaskDef {
+        name: "fig08",
+        deps: &[],
+    },
+    TaskDef {
+        name: "fig09",
+        deps: &[],
+    },
+    TaskDef {
+        name: "fig10",
+        deps: &[],
+    },
+    TaskDef {
+        name: "fig10_extended",
+        deps: &[],
+    },
+    TaskDef {
+        name: "fig10_packed",
+        deps: &[],
+    },
+    TaskDef {
+        name: "charts",
+        deps: &[FIG01, FIG03, FIG04_07, FIG08, FIG09, FIG10],
+    },
+    TaskDef {
+        name: "table_queue_validation",
+        deps: &[],
+    },
+    TaskDef {
+        name: "table_min_operator",
+        deps: &[],
+    },
+    TaskDef {
+        name: "table_baselines",
+        deps: &[],
+    },
+    TaskDef {
+        name: "table_time_to_quality",
+        deps: &[],
+    },
+    TaskDef {
+        name: "ablation_expansion_check",
+        deps: &[],
+    },
+    TaskDef {
+        name: "ablation_estimators",
+        deps: &[],
+    },
+    TaskDef {
+        name: "ablation_projection",
+        deps: &[],
+    },
+    TaskDef {
+        name: "ablation_monitoring",
+        deps: &[],
+    },
+    TaskDef {
+        name: "ablation_adaptive_k",
+        deps: &[],
+    },
+    TaskDef {
+        name: "table_fault_tolerance",
+        deps: &[],
+    },
+];
+
+/// Harness invocation parameters.
+pub struct RunConfig {
+    /// Full (paper) scale instead of the reduced quick scale.
+    pub full: bool,
+    /// The global seed handed to every experiment (default 2005, the
+    /// publication year — the committed artifacts use it).
+    pub seed: u64,
+    /// Worker threads for the task graph.
+    pub workers: usize,
+    /// Output directory for CSVs and SVGs.
+    pub out_dir: PathBuf,
+    /// Emit `[done]` progress lines to stderr while tasks finish.
+    pub progress: bool,
+}
+
+impl RunConfig {
+    /// Defaults: seed 2005, hardware worker count, `results/` (or
+    /// `$HARMONY_RESULTS`), no stderr progress.
+    pub fn new(full: bool) -> Self {
+        RunConfig {
+            full,
+            seed: 2005,
+            workers: pool::worker_count(TASKS.len()),
+            out_dir: results_dir(),
+            progress: false,
+        }
+    }
+}
+
+/// Per-task outcome: the rendered stdout block and the wall-clock time.
+pub struct TaskReport {
+    /// Task name from [`TASKS`].
+    pub name: &'static str,
+    /// Wall-clock seconds spent inside the task.
+    pub wall_s: f64,
+    /// The task's buffered report text.
+    pub stdout: String,
+}
+
+/// Whole-run outcome, serialisable as `BENCH_harness.json`.
+pub struct HarnessReport {
+    /// `"quick"` or `"full"`.
+    pub scale: &'static str,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Global seed.
+    pub seed: u64,
+    /// Wall-clock seconds for the whole graph.
+    pub total_wall_s: f64,
+    /// Per-task reports in canonical task order.
+    pub tasks: Vec<TaskReport>,
+}
+
+impl HarnessReport {
+    /// Sum of per-task wall times — the serial-equivalent cost of the
+    /// run (what a one-worker schedule would pay, up to scheduler
+    /// overhead).
+    pub fn serial_wall_s(&self) -> f64 {
+        self.tasks.iter().map(|t| t.wall_s).sum()
+    }
+
+    /// Effective parallelism: serial-equivalent cost over actual
+    /// wall-clock. On a multi-core host this approximates the speedup
+    /// over `-j1`; on an oversubscribed host it measures task overlap.
+    pub fn speedup(&self) -> f64 {
+        if self.total_wall_s > 0.0 {
+            self.serial_wall_s() / self.total_wall_s
+        } else {
+            1.0
+        }
+    }
+
+    /// Machine-readable summary (the `BENCH_harness.json` payload).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"scale\": \"{}\",", self.scale);
+        let _ = writeln!(s, "  \"workers\": {},", self.workers);
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"total_wall_s\": {:.3},", self.total_wall_s);
+        let _ = writeln!(s, "  \"serial_wall_s\": {:.3},", self.serial_wall_s());
+        let _ = writeln!(s, "  \"speedup\": {:.2},", self.speedup());
+        s.push_str("  \"experiments\": [\n");
+        for (i, t) in self.tasks.iter().enumerate() {
+            let comma = if i + 1 < self.tasks.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"wall_s\": {:.3}}}{comma}",
+                t.name, t.wall_s
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Extracts the first numeric value of `"key":` from a flat JSON
+/// document — just enough parsing to read a committed
+/// `BENCH_harness.json` back for regression checks without a JSON
+/// dependency.
+pub fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let pos = json.find(&needle)? + needle.len();
+    let rest = json[pos..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Executes the full task graph and returns the per-task reports in
+/// canonical task order.
+pub fn run(cfg: &RunConfig) -> HarnessReport {
+    let n = TASKS.len();
+    let slots: Vec<OnceLock<Vec<Table>>> = (0..n).map(|_| OnceLock::new()).collect();
+    let deps: Vec<Vec<usize>> = TASKS.iter().map(|t| t.deps.to_vec()).collect();
+    let done = AtomicUsize::new(0);
+    let start = Instant::now();
+    let tasks = pool::par_graph_in(cfg.workers, n, &deps, |i| {
+        let t0 = Instant::now();
+        let mut buf = String::new();
+        let produced = run_task(i, cfg, &slots, &mut buf);
+        let _ = slots[i].set(produced);
+        let wall_s = t0.elapsed().as_secs_f64();
+        if cfg.progress {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!("[{k:>2}/{n}] {} done in {wall_s:.3}s", TASKS[i].name);
+        }
+        TaskReport {
+            name: TASKS[i].name,
+            wall_s,
+            stdout: buf,
+        }
+    });
+    HarnessReport {
+        scale: if cfg.full { "full" } else { "quick" },
+        workers: cfg.workers,
+        seed: cfg.seed,
+        total_wall_s: start.elapsed().as_secs_f64(),
+        tasks,
+    }
+}
+
+fn fig10_config(quick: bool, seed: u64) -> fig10::Fig10Config {
+    if quick {
+        fig10::Fig10Config {
+            reps: 50,
+            seed,
+            ..Default::default()
+        }
+    } else {
+        fig10::Fig10Config {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Runs task `i`, emitting its report into `buf` and returning the
+/// tables it wants to share with dependent tasks.
+fn run_task(
+    i: usize,
+    cfg: &RunConfig,
+    slots: &[OnceLock<Vec<Table>>],
+    buf: &mut String,
+) -> Vec<Table> {
+    let quick = !cfg.full;
+    let seed = cfg.seed;
+    let dir = &cfg.out_dir;
+    match i {
+        FIG01 => {
+            let c = if quick {
+                fig01::Fig01Config {
+                    steps: 150,
+                    reps: 12,
+                    seed,
+                    ..Default::default()
+                }
+            } else {
+                fig01::Fig01Config {
+                    seed,
+                    ..Default::default()
+                }
+            };
+            let t = fig01::run(&c);
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        FIG02 => {
+            let t = fig02::run();
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        FIG03 => {
+            let c = fig03::Fig03Config {
+                seed,
+                ..Default::default()
+            };
+            let t = fig03::run(&c);
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        FIG03_CORRELATIONS => {
+            let c = fig03::Fig03Config {
+                seed,
+                ..Default::default()
+            };
+            let t = fig03::correlations(&c);
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        FIG04_07 => {
+            let c = fig04_07::TailConfig {
+                trace: fig03::Fig03Config {
+                    seed,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let (a, b, c2, d, e) = fig04_07::run(&c);
+            let all = vec![a, b, c2, d, e];
+            for t in &all {
+                emit_to(buf, dir, t);
+            }
+            all
+        }
+        FIG08 => {
+            let t = fig08::run(&fig08::Fig08Config::default());
+            let _ = writeln!(buf, "fig08 local minima: {}", fig08::count_local_minima(&t));
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        FIG09 => {
+            let c = if quick {
+                fig09::Fig09Config {
+                    reps: 16,
+                    seed,
+                    ..Default::default()
+                }
+            } else {
+                fig09::Fig09Config {
+                    seed,
+                    ..Default::default()
+                }
+            };
+            let t = fig09::run(&c);
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        FIG10 => {
+            let c = fig10_config(quick, seed);
+            let t = fig10::run(&c);
+            emit_to(buf, dir, &t);
+            let k = fig10::optimal_k(&t);
+            emit_to(buf, dir, &k);
+            vec![t]
+        }
+        FIG10_EXTENDED => {
+            let t = fig10::run_extended(&fig10_config(quick, seed));
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        FIG10_PACKED => {
+            let t = fig10::run_packed(&fig10_config(quick, seed));
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        CHARTS => {
+            let get = |j: usize| slots[j].get().expect("chart dependency completed");
+            let tail = get(FIG04_07);
+            charts::emit_all_to(
+                buf,
+                dir,
+                &get(FIG01)[0],
+                &get(FIG03)[0],
+                &tail[1],
+                &tail[3],
+                &get(FIG08)[0],
+                &get(FIG09)[0],
+                &get(FIG10)[0],
+            );
+            Vec::new()
+        }
+        TABLE_QUEUE_VALIDATION | TABLE_MIN_OPERATOR => {
+            let reps = if quick { 20_000 } else { 200_000 };
+            let t = if i == TABLE_QUEUE_VALIDATION {
+                tables::queue_validation(reps, seed)
+            } else {
+                tables::min_operator(reps, seed)
+            };
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        TABLE_BASELINES | TABLE_TIME_TO_QUALITY => {
+            let (steps, reps) = if quick { (100, 20) } else { (300, 200) };
+            let t = if i == TABLE_BASELINES {
+                tables::baselines(steps, reps, 0.1, seed)
+            } else {
+                tables::time_to_quality(steps, reps, 0.1, &[1.25, 1.1], seed)
+            };
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        ABLATION_EXPANSION_CHECK..=ABLATION_ADAPTIVE_K => {
+            let (steps, reps) = if quick { (100, 30) } else { (200, 300) };
+            let t = match i {
+                ABLATION_EXPANSION_CHECK => ablations::expansion_check(steps, reps, 0.1, seed),
+                ABLATION_ESTIMATORS => ablations::estimators(steps, reps, 0.3, seed),
+                ABLATION_PROJECTION => ablations::projection(steps, reps, 0.1, seed),
+                ABLATION_MONITORING => ablations::monitoring(steps, reps, seed),
+                _ => ablations::adaptive_k(steps, reps, seed),
+            };
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        TABLE_FAULT_TOLERANCE => {
+            let (steps, reps) = if quick { (40, 4) } else { (80, 8) };
+            let t = fault::fault_tolerance(16, steps, reps, 0.1, seed);
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        _ => unreachable!("unknown task index {i}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_graph_is_well_formed() {
+        for (i, t) in TASKS.iter().enumerate() {
+            for &d in t.deps {
+                assert!(d < TASKS.len(), "task {i} has out-of-range dep {d}");
+                assert!(d != i, "task {i} depends on itself");
+            }
+        }
+        // names are unique and stable
+        let mut names: Vec<&str> = TASKS.iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TASKS.len());
+    }
+
+    #[test]
+    fn json_report_roundtrips_key_numbers() {
+        let r = HarnessReport {
+            scale: "quick",
+            workers: 4,
+            seed: 2005,
+            total_wall_s: 1.5,
+            tasks: vec![
+                TaskReport {
+                    name: "a",
+                    wall_s: 1.0,
+                    stdout: String::new(),
+                },
+                TaskReport {
+                    name: "b",
+                    wall_s: 2.0,
+                    stdout: String::new(),
+                },
+            ],
+        };
+        let json = r.to_json();
+        assert_eq!(json_number(&json, "total_wall_s"), Some(1.5));
+        assert_eq!(json_number(&json, "serial_wall_s"), Some(3.0));
+        assert_eq!(json_number(&json, "workers"), Some(4.0));
+        assert_eq!(json_number(&json, "speedup"), Some(2.0));
+        assert!(json.contains("{\"name\": \"a\", \"wall_s\": 1.000},"));
+        assert!(json.contains("{\"name\": \"b\", \"wall_s\": 2.000}\n"));
+    }
+
+    #[test]
+    fn json_number_handles_missing_and_malformed() {
+        assert_eq!(json_number("{}", "total_wall_s"), None);
+        assert_eq!(json_number("{\"x\": \"str\"}", "x"), None);
+        assert_eq!(json_number("{\"x\":  42.5,", "x"), Some(42.5));
+        assert_eq!(json_number("{\"x\":7}", "x"), Some(7.0));
+    }
+
+    #[test]
+    fn speedup_of_empty_run_is_defined() {
+        let r = HarnessReport {
+            scale: "quick",
+            workers: 1,
+            seed: 0,
+            total_wall_s: 0.0,
+            tasks: Vec::new(),
+        };
+        assert_eq!(r.speedup(), 1.0);
+    }
+}

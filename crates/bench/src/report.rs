@@ -149,10 +149,24 @@ pub fn results_dir() -> PathBuf {
 
 /// Prints the table and saves its CSV, reporting the file path.
 pub fn emit(table: &Table) {
-    print!("{}", table.render());
-    match table.save_csv(results_dir()) {
-        Ok(path) => println!("[csv] {}\n", path.display()),
-        Err(e) => println!("[csv] write failed: {e}\n"),
+    let mut buf = String::new();
+    emit_to(&mut buf, &results_dir(), table);
+    print!("{buf}");
+}
+
+/// [`emit`] into a string buffer and an explicit output directory —
+/// used by the parallel harness, where every task renders into its own
+/// buffer and the buffers are printed in canonical task order after the
+/// pool joins.
+pub fn emit_to(buf: &mut String, dir: &Path, table: &Table) {
+    buf.push_str(&table.render());
+    match table.save_csv(dir) {
+        Ok(path) => {
+            let _ = writeln!(buf, "[csv] {}\n", path.display());
+        }
+        Err(e) => {
+            let _ = writeln!(buf, "[csv] write failed: {e}\n");
+        }
     }
 }
 

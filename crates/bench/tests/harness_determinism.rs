@@ -1,0 +1,110 @@
+//! The tentpole guarantee of the parallel harness: a run on N workers
+//! produces byte-identical artifacts and an identical (modulo output
+//! directory) stdout report to a serial run.
+
+use harmony_bench::harness::{self, RunConfig};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// FNV-1a over a byte slice — a cheap content fingerprint for the
+/// artifact comparison (collisions are irrelevant here: equal inputs
+/// must hash equal, and on mismatch the test also compares lengths).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Maps file name → (byte length, content hash) for every file in `dir`.
+fn dir_fingerprint(dir: &Path) -> BTreeMap<String, (u64, u64)> {
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("results dir exists") {
+        let entry = entry.expect("dir entry");
+        let bytes = fs::read(entry.path()).expect("artifact readable");
+        out.insert(
+            entry.file_name().to_string_lossy().into_owned(),
+            (bytes.len() as u64, fnv1a(&bytes)),
+        );
+    }
+    out
+}
+
+fn quick_config(workers: usize, seed: u64, dir: &Path) -> RunConfig {
+    let mut cfg = RunConfig::new(false);
+    cfg.workers = workers;
+    cfg.seed = seed;
+    cfg.out_dir = dir.to_path_buf();
+    cfg
+}
+
+#[test]
+fn parallel_run_byte_identical_to_serial() {
+    let base = std::env::temp_dir().join("harmony_harness_determinism");
+    let d1 = base.join("w1");
+    let d4 = base.join("w4");
+    for d in [&d1, &d4] {
+        let _ = fs::remove_dir_all(d);
+        fs::create_dir_all(d).expect("temp results dir");
+    }
+
+    let r1 = harness::run(&quick_config(1, 2005, &d1));
+    let r4 = harness::run(&quick_config(4, 2005, &d4));
+
+    // reports come back in canonical task order for every worker count
+    let names1: Vec<&str> = r1.tasks.iter().map(|t| t.name).collect();
+    let names4: Vec<&str> = r4.tasks.iter().map(|t| t.name).collect();
+    assert_eq!(names1, names4);
+    assert_eq!(names1.len(), harness::TASKS.len());
+
+    // stdout blocks are identical once the output directory is masked
+    for (a, b) in r1.tasks.iter().zip(&r4.tasks) {
+        let sa = a.stdout.replace(&d1.display().to_string(), "DIR");
+        let sb = b.stdout.replace(&d4.display().to_string(), "DIR");
+        assert_eq!(
+            sa, sb,
+            "stdout of task {} differs across worker counts",
+            a.name
+        );
+    }
+
+    // every artifact is byte-identical
+    let f1 = dir_fingerprint(&d1);
+    let f4 = dir_fingerprint(&d4);
+    assert!(
+        f1.len() >= 33,
+        "expected the full artifact set, got {} files",
+        f1.len()
+    );
+    assert_eq!(f1, f4, "artifacts differ between 1 and 4 workers");
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn seed_flows_into_artifacts() {
+    let base = std::env::temp_dir().join("harmony_harness_seed");
+    let da = base.join("s2005");
+    let db = base.join("s7");
+    for d in [&da, &db] {
+        let _ = fs::remove_dir_all(d);
+        fs::create_dir_all(d).expect("temp results dir");
+    }
+
+    harness::run(&quick_config(4, 2005, &da));
+    harness::run(&quick_config(4, 7, &db));
+
+    let fa = dir_fingerprint(&da);
+    let fb = dir_fingerprint(&db);
+    // same artifact set ...
+    let keys_a: Vec<&String> = fa.keys().collect();
+    let keys_b: Vec<&String> = fb.keys().collect();
+    assert_eq!(keys_a, keys_b);
+    // ... but the stochastic experiments change with the seed
+    assert_ne!(
+        fa, fb,
+        "changing the global seed left every artifact unchanged"
+    );
+
+    let _ = fs::remove_dir_all(&base);
+}

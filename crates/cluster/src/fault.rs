@@ -16,7 +16,7 @@
 //!
 //! [`Cluster::execute_step_faulty`]: crate::spmd::Cluster::execute_step_faulty
 
-use harmony_variability::stream_seed;
+use harmony_stats::splitmix;
 
 /// A crashing client dies while running one of its first
 /// `CRASH_HORIZON` tasks, so crashes land during the exploration phase
@@ -60,11 +60,10 @@ const SALT_CRASH: u64 = 0xC4A5;
 const SALT_WHEN: u64 = 0x3E17;
 const SALT_DELIVERY: u64 = 0xD311;
 
-/// A uniform draw in `[0, 1)` as a pure function of its inputs
-/// (two chained SplitMix64 finalizers).
+/// A uniform draw in `[0, 1)` as a pure function of its inputs — the
+/// workspace-shared chained-SplitMix64 mix.
 fn hash01(seed: u64, salt: u64, a: u64, b: u64) -> f64 {
-    let z = stream_seed(stream_seed(seed ^ salt.wrapping_mul(0x9E37_79B9), a), b);
-    (z >> 11) as f64 / (1u64 << 53) as f64
+    splitmix::hash01(seed, salt, a, b)
 }
 
 impl FaultPlan {

@@ -22,7 +22,10 @@
 //!   order, so even non-associative reductions (floating-point sums)
 //!   give bit-identical results for 1, 2, or `hw` workers.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Number of worker threads to use: the available parallelism, capped by
 /// the job count.
@@ -92,6 +95,187 @@ where
     slots
         .into_iter()
         .map(|v| v.expect("all indices filled"))
+        .collect()
+}
+
+/// Shared scheduler state of [`par_graph_in`]: the ready set, live
+/// indegrees, and completion/panic bookkeeping, all behind one mutex.
+struct GraphQueue {
+    ready: Vec<usize>,
+    indegree: Vec<usize>,
+    remaining: usize,
+    panicked: bool,
+}
+
+/// Executes `n` dependency-ordered tasks on a scoped work-stealing pool
+/// and returns the results in index order.
+///
+/// `deps[i]` lists the task indices that must complete before task `i`
+/// may start. Workers claim any ready task the moment they become free,
+/// so independent subgraphs overlap; a task becomes ready exactly when
+/// its last dependency finishes. As with [`par_map_indexed`], `f` must
+/// derive all randomness from the task index — never from claim order or
+/// thread identity — and the results are then identical for every
+/// `workers ≥ 1`.
+///
+/// # Panics
+/// Panics when `deps.len() != n`, a dependency index is out of range or
+/// self-referential, or the graph contains a cycle. A panic inside `f`
+/// stops the pool (no new tasks start), and the first payload is
+/// re-raised on the caller's thread after all workers drain.
+pub fn par_graph<T, F>(n: usize, deps: &[Vec<usize>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_graph_in(worker_count(n), n, deps, f)
+}
+
+/// [`par_graph`] with an explicit worker count.
+pub fn par_graph_in<T, F>(workers: usize, n: usize, deps: &[Vec<usize>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert_eq!(deps.len(), n, "one dependency list per task");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ds) in deps.iter().enumerate() {
+        for &d in ds {
+            assert!(d < n, "dependency {d} of task {i} out of range");
+            assert_ne!(d, i, "task {i} depends on itself");
+            indegree[i] += 1;
+            dependents[d].push(i);
+        }
+    }
+    let initial: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    // Kahn pre-pass: reject cycles before any worker can deadlock on a
+    // ready set that will never refill.
+    {
+        let mut indeg = indegree.clone();
+        let mut stack = initial.clone();
+        let mut seen = 0usize;
+        while let Some(t) = stack.pop() {
+            seen += 1;
+            for &d in &dependents[t] {
+                indeg[d] -= 1;
+                if indeg[d] == 0 {
+                    stack.push(d);
+                }
+            }
+        }
+        assert_eq!(seen, n, "dependency graph has a cycle");
+    }
+
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut stack = initial;
+        while let Some(t) = stack.pop() {
+            slots[t] = Some(f(t));
+            for &d in &dependents[t] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    stack.push(d);
+                }
+            }
+        }
+        return slots
+            .into_iter()
+            .map(|v| v.expect("all tasks executed"))
+            .collect();
+    }
+
+    let state = Mutex::new(GraphQueue {
+        ready: initial,
+        indegree,
+        remaining: n,
+        panicked: false,
+    });
+    let cv = Condvar::new();
+    let payload_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let f = &f;
+                let state = &state;
+                let cv = &cv;
+                let dependents = &dependents;
+                let payload_slot = &payload_slot;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let task = {
+                            let mut s = state.lock().expect("graph pool mutex");
+                            loop {
+                                if s.panicked || s.remaining == 0 {
+                                    return local;
+                                }
+                                if let Some(t) = s.ready.pop() {
+                                    break t;
+                                }
+                                s = cv.wait(s).expect("graph pool mutex");
+                            }
+                        };
+                        match catch_unwind(AssertUnwindSafe(|| f(task))) {
+                            Ok(v) => {
+                                local.push((task, v));
+                                let mut s = state.lock().expect("graph pool mutex");
+                                s.remaining -= 1;
+                                let mut woke = 0usize;
+                                for &d in &dependents[task] {
+                                    s.indegree[d] -= 1;
+                                    if s.indegree[d] == 0 {
+                                        s.ready.push(d);
+                                        woke += 1;
+                                    }
+                                }
+                                let done = s.remaining == 0;
+                                drop(s);
+                                if done {
+                                    cv.notify_all();
+                                } else {
+                                    for _ in 0..woke {
+                                        cv.notify_one();
+                                    }
+                                }
+                            }
+                            Err(payload) => {
+                                let mut slot = payload_slot.lock().expect("payload mutex");
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                drop(slot);
+                                state.lock().expect("graph pool mutex").panicked = true;
+                                cv.notify_all();
+                                return local;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("graph worker thread panicked"))
+            .collect()
+    });
+    if let Some(payload) = payload_slot.into_inner().expect("payload mutex") {
+        resume_unwind(payload);
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for buffer in buffers {
+        for (i, v) in buffer {
+            debug_assert!(slots[i].is_none(), "task executed twice");
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|v| v.expect("all tasks executed"))
         .collect()
 }
 
@@ -294,5 +478,105 @@ mod tests {
     #[should_panic(expected = "zero replications")]
     fn par_mean_rejects_empty() {
         par_mean(0, |_| 0.0);
+    }
+
+    #[test]
+    fn graph_respects_dependencies() {
+        // diamond fan-out/fan-in repeated: 0 -> {1..=6} -> 7 -> {8..=13} -> 14;
+        // every task asserts all its dependencies already completed
+        let n = 15;
+        let deps: Vec<Vec<usize>> = (0..n)
+            .map(|i| match i {
+                0 => vec![],
+                1..=6 => vec![0],
+                7 => (1..=6).collect(),
+                8..=13 => vec![7],
+                _ => (8..=13).collect(),
+            })
+            .collect();
+        let done: Vec<std::sync::atomic::AtomicBool> = (0..n)
+            .map(|_| std::sync::atomic::AtomicBool::new(false))
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            for flag in &done {
+                flag.store(false, Ordering::SeqCst);
+            }
+            let out = par_graph_in(workers, n, &deps, |i| {
+                for &d in &deps[i] {
+                    assert!(
+                        done[d].load(Ordering::SeqCst),
+                        "task {i} ran before dep {d}"
+                    );
+                }
+                done[i].store(true, Ordering::SeqCst);
+                i * 10
+            });
+            assert_eq!(out, (0..n).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn graph_identical_across_worker_counts() {
+        let n = 40;
+        let deps: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i >= 3 { vec![i - 3, i - 1] } else { vec![] })
+            .collect();
+        let f = |i: usize| (i as f64).sin() * 1e6;
+        let expect: Vec<f64> = (0..n).map(f).collect();
+        for workers in [1, 2, 3, 7] {
+            assert_eq!(par_graph_in(workers, n, &deps, f), expect);
+        }
+    }
+
+    #[test]
+    fn graph_without_edges_matches_par_map() {
+        let deps = vec![Vec::new(); 50];
+        assert_eq!(
+            par_graph(50, &deps, |i| i * i),
+            (0..50).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn graph_empty() {
+        let out: Vec<u32> = par_graph(0, &[], |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn graph_rejects_cycle() {
+        let deps = vec![vec![1], vec![0]];
+        par_graph_in(2, 2, &deps, |i| i);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on itself")]
+    fn graph_rejects_self_dependency() {
+        let deps = vec![vec![0]];
+        par_graph_in(1, 1, &deps, |i| i);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn graph_rejects_out_of_range_dependency() {
+        let deps = vec![vec![5]];
+        par_graph_in(1, 1, &deps, |i| i);
+    }
+
+    #[test]
+    fn graph_propagates_task_panic() {
+        let deps = vec![Vec::new(); 8];
+        let caught = std::panic::catch_unwind(|| {
+            par_graph_in(4, 8, &deps, |i| {
+                if i == 3 {
+                    panic!("task 3 exploded");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("task 3 exploded"), "got: {msg}");
     }
 }

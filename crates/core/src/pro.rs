@@ -139,6 +139,11 @@ pub struct ProOptimizer {
     history: HistoryInterpolator,
     iterations: usize,
     converged: bool,
+    /// Reused per-iteration buffers (sort order, sorted values, raw
+    /// transform outputs) so steady-state iterations allocate nothing.
+    scratch_order: Vec<usize>,
+    scratch_vals: Vec<f64>,
+    scratch_raw: Vec<Point>,
 }
 
 impl ProOptimizer {
@@ -159,6 +164,9 @@ impl ProOptimizer {
             history,
             iterations: 0,
             converged: false,
+            scratch_order: Vec::new(),
+            scratch_vals: Vec::new(),
+            scratch_raw: Vec::new(),
         }
     }
 
@@ -229,30 +237,38 @@ impl ProOptimizer {
         }
     }
 
-    /// Applies `kind` to every non-best vertex and projects.
-    fn transformed(&self, kind: StepKind) -> Vec<Point> {
-        self.simplex
-            .transform_around(0, kind)
-            .iter()
-            .map(|p| self.project(p))
-            .collect()
+    /// Applies `kind` to every non-best vertex, projects, and installs
+    /// the result as the pending batch — through reused scratch buffers,
+    /// so the steady-state iteration path performs no heap allocation.
+    fn refill_pending_transformed(&mut self, kind: StepKind) {
+        let mut raw = std::mem::take(&mut self.scratch_raw);
+        self.simplex.transform_around_into(0, kind, &mut raw);
+        self.pending.clear();
+        for p in &raw {
+            let projected = self.project(p);
+            self.pending.push(projected);
+        }
+        self.scratch_raw = raw;
     }
 
     /// Sorts the simplex by value and decides the next phase: probe when
     /// collapsed, otherwise a parallel reflection step.
     fn enter_iteration(&mut self) {
-        let mut order: Vec<usize> = (0..self.values.len()).collect();
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
+        order.extend(0..self.values.len());
         order.sort_by(|&a, &b| {
             self.values[a]
                 .partial_cmp(&self.values[b])
                 .expect("finite objective values")
         });
         self.simplex.permute(&order);
-        let mut sorted = Vec::with_capacity(self.values.len());
-        for &i in &order {
-            sorted.push(self.values[i]);
-        }
-        self.values = sorted;
+        let mut sorted = std::mem::take(&mut self.scratch_vals);
+        sorted.clear();
+        sorted.extend(order.iter().map(|&i| self.values[i]));
+        std::mem::swap(&mut self.values, &mut sorted);
+        self.scratch_vals = sorted;
+        self.scratch_order = order;
 
         if self.simplex.collapsed(self.cfg.collapse_tol) {
             let probes = self
@@ -267,7 +283,7 @@ impl ProOptimizer {
                 self.state = State::Probe;
             }
         } else {
-            self.pending = self.transformed(StepKind::Reflect);
+            self.refill_pending_transformed(StepKind::Reflect);
             self.state = State::Reflect;
         }
     }
@@ -294,15 +310,17 @@ impl ProOptimizer {
                         // won: source of r^j is vertex j+1
                         let source = self.simplex.vertex(l + 1);
                         let raw = source.expand_through(self.best_vertex());
-                        self.pending = vec![self.project(&raw)];
+                        let projected = self.project(&raw);
+                        self.pending.clear();
+                        self.pending.push(projected);
                         self.state = State::ExpandCheck { reflections };
                     } else {
-                        self.pending = self.transformed(StepKind::Expand);
+                        self.refill_pending_transformed(StepKind::Expand);
                         self.state = State::Expand { reflections };
                     }
                 } else {
                     // failed reflection: shrink around the best vertex
-                    self.pending = self.transformed(StepKind::Shrink);
+                    self.refill_pending_transformed(StepKind::Shrink);
                     self.state = State::Shrink;
                 }
             }
@@ -314,7 +332,7 @@ impl ProOptimizer {
                     .fold(f64::INFINITY, f64::min);
                 if e_val < best_reflection {
                     // commit the full parallel expansion step
-                    self.pending = self.transformed(StepKind::Expand);
+                    self.refill_pending_transformed(StepKind::Expand);
                     self.state = State::Expand { reflections };
                 } else {
                     let (pts, vals): (Vec<_>, Vec<_>) = reflections.into_iter().unzip();

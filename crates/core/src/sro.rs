@@ -79,6 +79,12 @@ pub struct SroOptimizer {
     history: HistoryInterpolator,
     iterations: usize,
     converged: bool,
+    /// Reused buffers: rank order, sorted values, raw (unprojected)
+    /// transform output. Retaining their capacity keeps the steady-state
+    /// phase machine allocation-free.
+    scratch_order: Vec<usize>,
+    scratch_vals: Vec<f64>,
+    scratch_raw: Vec<Point>,
 }
 
 impl SroOptimizer {
@@ -101,6 +107,9 @@ impl SroOptimizer {
             history,
             iterations: 0,
             converged: false,
+            scratch_order: Vec::new(),
+            scratch_vals: Vec::new(),
+            scratch_raw: Vec::new(),
         }
     }
 
@@ -123,29 +132,41 @@ impl SroOptimizer {
             .project(raw, self.best_vertex(), self.cfg.rounding)
     }
 
-    fn transformed(&self, kind: StepKind) -> Vec<Point> {
-        self.simplex
-            .transform_around(0, kind)
-            .iter()
-            .map(|p| self.project(p))
-            .collect()
+    /// Refills `queue` with the projected transform of the full simplex,
+    /// reusing the raw-transform and queue buffers.
+    fn refill_queue_transformed(&mut self, kind: StepKind) {
+        let mut raw = std::mem::take(&mut self.scratch_raw);
+        self.simplex.transform_around_into(0, kind, &mut raw);
+        self.queue.clear();
+        for p in &raw {
+            let projected = self.project(p);
+            self.queue.push(projected);
+        }
+        self.scratch_raw = raw;
     }
 
     fn start_phase(&mut self, phase: Phase, queue: Vec<Point>) {
         self.phase = phase;
         self.queue = queue;
-        self.got = Vec::new();
+        self.got.clear();
     }
 
     fn enter_iteration(&mut self) {
-        let mut order: Vec<usize> = (0..self.values.len()).collect();
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
+        order.extend(0..self.values.len());
         order.sort_by(|&a, &b| {
             self.values[a]
                 .partial_cmp(&self.values[b])
                 .expect("finite objective values")
         });
         self.simplex.permute(&order);
-        self.values = order.iter().map(|&i| self.values[i]).collect();
+        let mut sorted = std::mem::take(&mut self.scratch_vals);
+        sorted.clear();
+        sorted.extend(order.iter().map(|&i| self.values[i]));
+        std::mem::swap(&mut self.values, &mut sorted);
+        self.scratch_vals = sorted;
+        self.scratch_order = order;
 
         if self.simplex.collapsed(self.cfg.collapse_tol) {
             let probes = self
@@ -154,7 +175,8 @@ impl SroOptimizer {
             if probes.is_empty() {
                 self.converged = true;
                 self.phase = Phase::Done;
-                self.queue = Vec::new();
+                self.queue.clear();
+                self.got.clear();
             } else {
                 self.start_phase(Phase::Probe, probes);
             }
@@ -162,65 +184,73 @@ impl SroOptimizer {
             // reflection check of the worst vertex only
             let worst = self.simplex.vertex(self.simplex.len() - 1);
             let r = self.project(&worst.reflect_through(self.best_vertex()));
-            self.start_phase(Phase::ReflectCheck, vec![r]);
+            self.queue.clear();
+            self.queue.push(r);
+            self.got.clear();
+            self.phase = Phase::ReflectCheck;
         }
-    }
-
-    fn accept(&mut self, points: Vec<Point>, values: Vec<f64>) {
-        for (j, (p, v)) in points.into_iter().zip(values).enumerate() {
-            self.simplex.set_vertex(j + 1, p);
-            self.values[j + 1] = v;
-        }
-        self.iterations += 1;
-        self.enter_iteration();
     }
 
     /// Handles a completed phase (all queued singletons evaluated).
     fn phase_complete(&mut self) {
-        let queue = std::mem::take(&mut self.queue);
-        let got = std::mem::take(&mut self.got);
         match self.phase {
             Phase::Init => {
-                self.values = got;
+                self.values.clear();
+                self.values.extend_from_slice(&self.got);
                 self.enter_iteration();
             }
             Phase::ReflectCheck => {
-                let f_r = got[0];
+                let f_r = self.got[0];
                 if f_r < self.values[0] {
                     self.reflect_check_val = f_r;
                     let worst = self.simplex.vertex(self.simplex.len() - 1);
                     let e = self.project(&worst.expand_through(self.best_vertex()));
-                    self.start_phase(Phase::ExpandCheck, vec![e]);
+                    self.queue.clear();
+                    self.queue.push(e);
+                    self.got.clear();
+                    self.phase = Phase::ExpandCheck;
                 } else {
-                    let shrinks = self.transformed(StepKind::Shrink);
-                    self.start_phase(Phase::Shrink, shrinks);
+                    self.refill_queue_transformed(StepKind::Shrink);
+                    self.got.clear();
+                    self.phase = Phase::Shrink;
                 }
             }
             Phase::ExpandCheck => {
-                let f_e = got[0];
+                let f_e = self.got[0];
                 if f_e < self.reflect_check_val {
-                    let expansions = self.transformed(StepKind::Expand);
-                    self.start_phase(Phase::ExpandAll, expansions);
+                    self.refill_queue_transformed(StepKind::Expand);
+                    self.phase = Phase::ExpandAll;
                 } else {
-                    let reflections = self.transformed(StepKind::Reflect);
-                    self.start_phase(Phase::ReflectAll, reflections);
+                    self.refill_queue_transformed(StepKind::Reflect);
+                    self.phase = Phase::ReflectAll;
                 }
+                self.got.clear();
             }
             Phase::ReflectAll | Phase::ExpandAll | Phase::Shrink => {
-                self.accept(queue, got);
+                let mut queue = std::mem::take(&mut self.queue);
+                for (j, p) in queue.drain(..).enumerate() {
+                    self.simplex.set_vertex(j + 1, p);
+                    self.values[j + 1] = self.got[j];
+                }
+                self.queue = queue;
+                self.iterations += 1;
+                self.enter_iteration();
             }
             Phase::Probe => {
-                let (l, &min_v) = got
+                let min_v = *self
+                    .got
                     .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite values"))
+                    .min_by(|a, b| a.partial_cmp(b).expect("finite values"))
                     .expect("non-empty probe set");
                 if min_v < self.values[0] {
-                    let mut verts = vec![self.best_vertex().clone()];
-                    let mut vals = vec![self.values[0]];
-                    verts.extend(queue);
-                    vals.extend(got);
-                    let _ = l;
+                    let mut queue = std::mem::take(&mut self.queue);
+                    let mut verts = Vec::with_capacity(queue.len() + 1);
+                    verts.push(self.simplex.vertex(0).clone());
+                    verts.append(&mut queue);
+                    self.queue = queue;
+                    let mut vals = Vec::with_capacity(self.got.len() + 1);
+                    vals.push(self.values[0]);
+                    vals.extend_from_slice(&self.got);
                     self.simplex = Simplex::new(verts).expect("probe simplex is valid");
                     self.values = vals;
                     self.iterations += 1;

@@ -14,47 +14,112 @@ use std::ops::Index;
 ///
 /// (Algorithm 1 lines 9/11/13; the same formulas are used per-vertex by
 /// the parallel variant, Algorithm 2.)
-#[derive(Clone, PartialEq)]
+///
+/// Points of up to [`Point::INLINE_CAP`] dimensions are stored inline on
+/// the stack — tuning spaces are low-dimensional (GS2 has 3 parameters),
+/// so simplex transforms, projections, and candidate generation run
+/// without touching the heap. Higher-dimensional points transparently
+/// fall back to heap storage.
+#[derive(Clone)]
 pub struct Point {
-    coords: Vec<f64>,
+    storage: Storage,
+}
+
+#[derive(Clone)]
+enum Storage {
+    /// `len` live coordinates at the front of a fixed buffer.
+    Inline {
+        buf: [f64; Point::INLINE_CAP],
+        len: u8,
+    },
+    Heap(Vec<f64>),
 }
 
 impl Point {
+    /// Largest dimension stored inline (no heap allocation).
+    pub const INLINE_CAP: usize = 8;
+
     /// Creates a point from raw coordinates.
     pub fn new(coords: Vec<f64>) -> Self {
-        Point { coords }
+        if coords.len() <= Self::INLINE_CAP {
+            Self::from_slice(&coords)
+        } else {
+            Point {
+                storage: Storage::Heap(coords),
+            }
+        }
+    }
+
+    /// Creates a point by copying a coordinate slice (allocation-free
+    /// for dimensions up to [`Point::INLINE_CAP`]).
+    pub fn from_slice(coords: &[f64]) -> Self {
+        if coords.len() <= Self::INLINE_CAP {
+            let mut buf = [0.0; Self::INLINE_CAP];
+            buf[..coords.len()].copy_from_slice(coords);
+            Point {
+                storage: Storage::Inline {
+                    buf,
+                    len: coords.len() as u8,
+                },
+            }
+        } else {
+            Point {
+                storage: Storage::Heap(coords.to_vec()),
+            }
+        }
     }
 
     /// The origin of `R^n`.
     pub fn zeros(n: usize) -> Self {
-        Point {
-            coords: vec![0.0; n],
+        if n <= Self::INLINE_CAP {
+            Point {
+                storage: Storage::Inline {
+                    buf: [0.0; Self::INLINE_CAP],
+                    len: n as u8,
+                },
+            }
+        } else {
+            Point {
+                storage: Storage::Heap(vec![0.0; n]),
+            }
         }
     }
 
     /// Number of coordinates.
     pub fn dims(&self) -> usize {
-        self.coords.len()
+        match &self.storage {
+            Storage::Inline { len, .. } => usize::from(*len),
+            Storage::Heap(v) => v.len(),
+        }
     }
 
     /// Coordinates as a slice.
     pub fn as_slice(&self) -> &[f64] {
-        &self.coords
+        match &self.storage {
+            Storage::Inline { buf, len } => &buf[..usize::from(*len)],
+            Storage::Heap(v) => v,
+        }
     }
 
     /// Mutable coordinates.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.coords
+        match &mut self.storage {
+            Storage::Inline { buf, len } => &mut buf[..usize::from(*len)],
+            Storage::Heap(v) => v,
+        }
     }
 
     /// Consumes the point, returning its coordinate vector.
     pub fn into_vec(self) -> Vec<f64> {
-        self.coords
+        match self.storage {
+            Storage::Inline { buf, len } => buf[..usize::from(len)].to_vec(),
+            Storage::Heap(v) => v,
+        }
     }
 
     /// Iterator over coordinates.
     pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
-        self.coords.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// General affine combination `Σ wᵢ·pᵢ` of points of equal dimension.
@@ -68,14 +133,15 @@ impl Point {
             .expect("affine combination of zero points")
             .1
             .dims();
-        let mut out = vec![0.0; n];
+        let mut out = Point::zeros(n);
+        let acc = out.as_mut_slice();
         for (w, p) in terms {
             assert_eq!(p.dims(), n, "affine combination dimension mismatch");
-            for (o, c) in out.iter_mut().zip(p.iter()) {
+            for (o, c) in acc.iter_mut().zip(p.iter()) {
                 *o += w * c;
             }
         }
-        Point::new(out)
+        out
     }
 
     /// Reflection of `self` through `center`: `2·center − self`.
@@ -138,20 +204,26 @@ impl From<Vec<f64>> for Point {
 
 impl From<&[f64]> for Point {
     fn from(coords: &[f64]) -> Self {
-        Point::new(coords.to_vec())
+        Point::from_slice(coords)
+    }
+}
+
+impl PartialEq for Point {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl Index<usize> for Point {
     type Output = f64;
     fn index(&self, i: usize) -> &f64 {
-        &self.coords[i]
+        &self.as_slice()[i]
     }
 }
 
 impl fmt::Debug for Point {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Point{:?}", self.coords)
+        write!(f, "Point{:?}", self.as_slice())
     }
 }
 
@@ -258,5 +330,33 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn affine_rejects_mixed_dims() {
         let _ = Point::affine(&[(1.0, &p(&[1.0])), (1.0, &p(&[1.0, 2.0]))]);
+    }
+
+    #[test]
+    fn inline_and_heap_storage_agree() {
+        // below, at, and above the inline capacity
+        for n in [0, 1, Point::INLINE_CAP, Point::INLINE_CAP + 1, 20] {
+            let coords: Vec<f64> = (0..n).map(|i| i as f64 * 1.5 - 3.0).collect();
+            let a = Point::new(coords.clone());
+            let b = Point::from_slice(&coords);
+            assert_eq!(a, b);
+            assert_eq!(a.dims(), n);
+            assert_eq!(a.as_slice(), &coords[..]);
+            assert_eq!(a.clone().into_vec(), coords);
+            let mut z = Point::zeros(n);
+            z.as_mut_slice().copy_from_slice(&coords);
+            assert_eq!(z, a);
+        }
+    }
+
+    #[test]
+    fn transforms_cross_inline_boundary() {
+        let n = Point::INLINE_CAP + 2;
+        let v0 = Point::new((0..n).map(|i| i as f64).collect());
+        let vj = Point::new((0..n).map(|i| (i as f64) * 2.0).collect());
+        let r = vj.reflect_through(&v0);
+        for i in 0..n {
+            assert_eq!(r[i], 2.0 * (i as f64) - 2.0 * (i as f64));
+        }
     }
 }

@@ -112,25 +112,65 @@ impl Simplex {
     /// Panics if `order` is not a permutation of `0..len`.
     pub fn permute(&mut self, order: &[usize]) {
         assert_eq!(order.len(), self.len(), "permutation length mismatch");
-        let mut seen = vec![false; self.len()];
-        for &i in order {
-            assert!(i < self.len() && !seen[i], "order is not a permutation");
-            seen[i] = true;
+        let m = self.len();
+        if m <= 128 {
+            // validate and apply with bitmasks — no allocation; this is
+            // the every-iteration path (m = 2N is small)
+            let mut seen: u128 = 0;
+            for &i in order {
+                assert!(i < m && seen & (1 << i) == 0, "order is not a permutation");
+                seen |= 1 << i;
+            }
+            // in-place cycle-following: position k receives old vertex
+            // order[k]
+            let mut done: u128 = 0;
+            for start in 0..m {
+                if done & (1 << start) != 0 {
+                    continue;
+                }
+                let mut cur = start;
+                loop {
+                    done |= 1 << cur;
+                    let src = order[cur];
+                    if src == start {
+                        break;
+                    }
+                    self.verts.swap(cur, src);
+                    cur = src;
+                }
+            }
+        } else {
+            let mut seen = vec![false; m];
+            for &i in order {
+                assert!(i < m && !seen[i], "order is not a permutation");
+                seen[i] = true;
+            }
+            self.verts = order.iter().map(|&i| self.verts[i].clone()).collect();
         }
-        self.verts = order.iter().map(|&i| self.verts[i].clone()).collect();
     }
 
     /// Applies `kind` to every vertex except `center_idx`, returning the
     /// transformed points in vertex order (the center keeps its place).
     /// This is one whole-simplex step of Algorithms 1/2.
     pub fn transform_around(&self, center_idx: usize, kind: StepKind) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.len() - 1);
+        self.transform_around_into(center_idx, kind, &mut out);
+        out
+    }
+
+    /// [`Simplex::transform_around`] writing into a caller-owned buffer
+    /// (cleared first), so optimizer iterations reuse one allocation for
+    /// every whole-simplex step.
+    pub fn transform_around_into(&self, center_idx: usize, kind: StepKind, out: &mut Vec<Point>) {
+        out.clear();
         let center = &self.verts[center_idx];
-        self.verts
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != center_idx)
-            .map(|(_, v)| kind.apply(v, center))
-            .collect()
+        out.extend(
+            self.verts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != center_idx)
+                .map(|(_, v)| kind.apply(v, center)),
+        );
     }
 
     /// The centroid of all vertices.
@@ -338,6 +378,51 @@ mod tests {
     #[should_panic(expected = "not a permutation")]
     fn permute_rejects_duplicates() {
         tri().permute(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn permute_matches_collect_reference_on_all_orders() {
+        // exhaustively check the in-place cycle application against the
+        // straightforward clone-and-collect semantics for m = 4
+        let verts = [
+            p(&[0.0, 0.0]),
+            p(&[1.0, 0.0]),
+            p(&[0.0, 1.0]),
+            p(&[1.0, 1.0]),
+        ];
+        let mut orders = vec![];
+        for a in 0..4usize {
+            for b in 0..4 {
+                for c in 0..4 {
+                    for d in 0..4 {
+                        let o = [a, b, c, d];
+                        let mut sorted = o;
+                        sorted.sort_unstable();
+                        if sorted == [0, 1, 2, 3] {
+                            orders.push(o);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(orders.len(), 24);
+        for order in orders {
+            let mut s = Simplex::new(verts.to_vec()).unwrap();
+            s.permute(&order);
+            for (k, &src) in order.iter().enumerate() {
+                assert_eq!(s.vertex(k), &verts[src], "order {order:?} position {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_around_into_reuses_buffer() {
+        let s = tri();
+        let mut buf = Vec::new();
+        s.transform_around_into(0, StepKind::Reflect, &mut buf);
+        assert_eq!(buf, s.transform_around(0, StepKind::Reflect));
+        s.transform_around_into(1, StepKind::Shrink, &mut buf);
+        assert_eq!(buf, s.transform_around(1, StepKind::Shrink));
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * [`streaming`] — constant-memory accumulators (Welford moments,
 //!   running minimum, P² quantiles) for servers that cannot store
 //!   samples,
+//! * [`splitmix`] — the workspace's shared SplitMix64 seed-derivation
+//!   primitives (`mix64`, `stream_seed`, `hash01`, per-experiment
+//!   stream keys), used by the variability models, fault plans, and the
+//!   parallel experiment harness,
 //! * [`minop`] — closed-form properties of the min-of-K operator on
 //!   Pareto noise (eq. 19–22): the min of K Pareto(α) samples is
 //!   Pareto(Kα), the tail bound `P[L > β + ε] = (β/(β+ε))^{Kα}`, and the
@@ -32,6 +36,7 @@ pub mod ecdf;
 pub mod histogram;
 pub mod minop;
 pub mod resample;
+pub mod splitmix;
 pub mod streaming;
 pub mod summary;
 pub mod tail;

@@ -9,7 +9,7 @@
 //!
 //! The bootstrap needs a uniform source; to keep this crate
 //! dependency-free it uses a small embedded SplitMix64 generator seeded
-//! by the caller.
+//! by the caller, built on the shared [`crate::splitmix`] primitives.
 
 /// A tiny deterministic PRNG (SplitMix64) for resampling.
 #[derive(Debug, Clone)]
@@ -25,16 +25,12 @@ impl SplitMix64 {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        crate::splitmix::next(&mut self.state)
     }
 
     /// Uniform in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        crate::splitmix::u64_to_unit_f64(self.next_u64())
     }
 
     /// Uniform index in `0..n`.

@@ -79,17 +79,15 @@ pub struct Gs2Model {
     pub resolution_ref: (f64, f64),
 }
 
-/// Deterministic hash of lattice coordinates to `[0, 1)` (SplitMix64
-/// finalizer over the coordinate bit patterns).
+/// Deterministic hash of lattice coordinates to `[0, 1)` (the shared
+/// SplitMix64 finalizer folded over the coordinate bit patterns).
 fn config_hash01(coords: &[f64]) -> f64 {
-    let mut z: u64 = 0x9E37_79B9_7F4A_7C15;
+    use harmony_stats::splitmix;
+    let mut z = splitmix::GOLDEN_GAMMA;
     for &c in coords {
-        z ^= c.to_bits();
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
+        z = splitmix::mix64(z ^ c.to_bits());
     }
-    (z >> 11) as f64 / (1u64 << 53) as f64
+    splitmix::u64_to_unit_f64(z)
 }
 
 impl Gs2Model {

@@ -117,37 +117,42 @@ impl<D: Distribution> TwoPriorityDes<D> {
     /// Full event-driven simulation over `[0, horizon]`, returning the
     /// [`QueueTrace`] of busy/idle structure. Used to cross-validate the
     /// cascade shortcut and to measure the empirical utilisation.
+    ///
+    /// The arrival stream is swept as it is generated — no event buffer
+    /// is materialised, so the simulation runs in constant memory at any
+    /// horizon. Arrivals are processed in the exact order they are
+    /// drawn (interarrival, then demand), which is the same RNG stream
+    /// and float-op order as a buffered generate-then-sweep pass.
     pub fn run_trace<R: Rng + ?Sized>(&self, horizon: f64, rng: &mut R) -> QueueTrace {
-        let mut arrivals: Vec<(f64, f64)> = Vec::new(); // (time, demand)
-        let mut t = 0.0;
+        // FCFS within priority 1; track the backlog at each arrival.
+        let mut n_arrivals = 0usize;
+        let mut backlog = 0.0f64;
+        let mut busy_time = 0.0f64;
+        let mut clock = 0.0f64;
+        let mut max_backlog = 0.0f64;
         if self.arrival_rate > 0.0 {
+            let mut t = 0.0;
             loop {
                 t += self.next_interarrival(rng);
                 if t >= horizon {
                     break;
                 }
-                arrivals.push((t, self.service.sample(rng)));
+                let demand = self.service.sample(rng);
+                n_arrivals += 1;
+                let gap = t - clock;
+                let drained = gap.min(backlog);
+                busy_time += drained;
+                backlog -= drained;
+                clock = t;
+                backlog += demand;
+                max_backlog = max_backlog.max(backlog);
             }
-        }
-        // Sweep: the server works FCFS within priority 1; track backlog.
-        let mut backlog = 0.0f64;
-        let mut busy_time = 0.0f64;
-        let mut clock = 0.0f64;
-        let mut max_backlog = 0.0f64;
-        for &(at, demand) in &arrivals {
-            let gap = at - clock;
-            let drained = gap.min(backlog);
-            busy_time += drained;
-            backlog -= drained;
-            clock = at;
-            backlog += demand;
-            max_backlog = max_backlog.max(backlog);
         }
         let gap = horizon - clock;
         busy_time += gap.min(backlog);
         QueueTrace {
             horizon,
-            n_arrivals: arrivals.len(),
+            n_arrivals,
             busy_time,
             max_backlog,
         }

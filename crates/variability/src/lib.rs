@@ -51,12 +51,11 @@ pub fn seeded_rng(seed: u64) -> SmallRng {
 /// Derives a stream-specific seed from a base seed and a stream index
 /// (SplitMix64 finalizer), so replications and processors get
 /// decorrelated substreams.
-pub fn stream_seed(base: u64, stream: u64) -> u64 {
-    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+///
+/// Re-exported from the workspace's shared
+/// [`harmony_stats::splitmix`] module so every crate derives streams
+/// with the same mix.
+pub use harmony_stats::splitmix::stream_seed;
 
 #[cfg(test)]
 mod tests {

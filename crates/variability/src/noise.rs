@@ -26,6 +26,19 @@ pub trait NoiseModel {
     /// Samples one observation `y = f(v) + n(v)`.
     fn observe(&self, f_v: f64, rng: &mut dyn RngCore) -> f64;
 
+    /// Samples `out.len()` observations of the same point — the batch
+    /// hot path for min-of-K / mean-of-K estimators.
+    ///
+    /// Consumes exactly the same uniform stream as repeated
+    /// [`NoiseModel::observe`] calls and produces bit-identical values;
+    /// implementations may only hoist per-call constant derivations
+    /// (e.g. eq. 17's `β`, which depends only on `f_v`).
+    fn observe_n(&self, f_v: f64, rng: &mut dyn RngCore, out: &mut [f64]) {
+        for slot in out.iter_mut() {
+            *slot = self.observe(f_v, rng);
+        }
+    }
+
     /// The expected observation `E[y] = f(v)/(1−ρ)` (eq. 6).
     fn expected(&self, f_v: f64) -> f64 {
         f_v / (1.0 - self.rho())
@@ -126,6 +139,164 @@ impl Noise {
     pub fn pareto_beta(alpha: f64, rho: f64, f_v: f64) -> f64 {
         (alpha - 1.0) * rho / ((1.0 - rho) * alpha) * f_v
     }
+
+    /// Specialises the model to one true cost `f(v)`, deriving every
+    /// per-observation constant (validation, eq. 17's `β`, component
+    /// scales) exactly once.
+    ///
+    /// The returned [`PreparedNoise`] draws from the identical sample
+    /// stream as [`NoiseModel::observe`] on the original model — it only
+    /// removes redundant re-derivation, not randomness. Use it whenever
+    /// the same point is measured repeatedly (min-of-K, replication
+    /// loops, the DES service sampler).
+    ///
+    /// # Panics
+    /// Panics when `f_v < 0` or the model's `ρ` is outside `[0, 1)` —
+    /// the same conditions `observe` rejects.
+    pub fn prepared(&self, f_v: f64) -> PreparedNoise {
+        assert!(f_v >= 0.0, "true cost must be non-negative, got {f_v}");
+        let kind = match *self {
+            Noise::None => Prepared::Clean,
+            Noise::Pareto { alpha, rho } => {
+                Noise::check(rho);
+                if rho == 0.0 || f_v == 0.0 {
+                    Prepared::Clean
+                } else {
+                    let beta = Noise::pareto_beta(alpha, rho, f_v);
+                    Prepared::Pareto(Pareto::new(alpha, beta))
+                }
+            }
+            Noise::Exponential { rho } => {
+                Noise::check(rho);
+                if rho == 0.0 || f_v == 0.0 {
+                    Prepared::Clean
+                } else {
+                    let mean = rho / (1.0 - rho) * f_v;
+                    Prepared::Exponential(Exponential::with_mean(mean))
+                }
+            }
+            Noise::Gaussian { rho, cv } => {
+                Noise::check(rho);
+                if rho == 0.0 || f_v == 0.0 {
+                    Prepared::Clean
+                } else {
+                    let mean = rho / (1.0 - rho) * f_v;
+                    Prepared::Gaussian(Gaussian::new(mean, cv * mean))
+                }
+            }
+            Noise::Spiky { rho } => {
+                Noise::check(rho);
+                if rho == 0.0 || f_v == 0.0 {
+                    Prepared::Clean
+                } else {
+                    let total_mean = rho / (1.0 - rho) * f_v;
+                    // solve each component's Pareto scale from its share
+                    // of the total mean:
+                    // E[component] = p * alpha*beta/(alpha-1)
+                    let beta_big = spiky::BIG_MEAN_SHARE * total_mean * (spiky::ALPHA_BIG - 1.0)
+                        / (spiky::P_BIG * spiky::ALPHA_BIG);
+                    let beta_small =
+                        (1.0 - spiky::BIG_MEAN_SHARE) * total_mean * (spiky::ALPHA_SMALL - 1.0)
+                            / (spiky::P_SMALL * spiky::ALPHA_SMALL);
+                    Prepared::Spiky {
+                        big: Pareto::new(spiky::ALPHA_BIG, beta_big),
+                        small: Pareto::new(spiky::ALPHA_SMALL, beta_small),
+                    }
+                }
+            }
+        };
+        PreparedNoise { f_v, kind }
+    }
+}
+
+/// A [`Noise`] model specialised to one true cost `f(v)` by
+/// [`Noise::prepared`]: validation and constant derivation are done, so
+/// each [`PreparedNoise::observe`] call is sampling only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedNoise {
+    f_v: f64,
+    kind: Prepared,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Prepared {
+    /// No noise reaches this point (`Noise::None`, `ρ = 0`, or
+    /// `f(v) = 0`): observations are exact and consume no randomness.
+    Clean,
+    Pareto(Pareto),
+    Exponential(Exponential),
+    Gaussian(Gaussian),
+    Spiky {
+        big: Pareto,
+        small: Pareto,
+    },
+}
+
+impl PreparedNoise {
+    /// The true cost this instance was prepared for.
+    pub fn f_v(&self) -> f64 {
+        self.f_v
+    }
+
+    /// Samples one observation `y = f(v) + n(v)` — bit-identical to
+    /// [`NoiseModel::observe`] on the originating model.
+    pub fn observe(&self, rng: &mut dyn RngCore) -> f64 {
+        use rand::Rng as _;
+        match self.kind {
+            Prepared::Clean => self.f_v,
+            Prepared::Pareto(d) => self.f_v + d.sample(rng),
+            Prepared::Exponential(d) => self.f_v + d.sample(rng),
+            Prepared::Gaussian(g) => {
+                // reject negative noise; clamp as a last resort so the
+                // call always terminates
+                for _ in 0..100 {
+                    let n = g.sample(rng);
+                    if n >= 0.0 {
+                        return self.f_v + n;
+                    }
+                }
+                self.f_v + g.sample(rng).max(0.0)
+            }
+            Prepared::Spiky { big, small } => {
+                let mut n = 0.0;
+                let u: f64 = rng.random();
+                if u < spiky::P_BIG {
+                    n += big.sample(rng);
+                }
+                let v: f64 = rng.random();
+                if v < spiky::P_SMALL {
+                    n += small.sample(rng);
+                }
+                self.f_v + n
+            }
+        }
+    }
+
+    /// Fills `out` with observations of the prepared point, using the
+    /// batch [`Distribution::fill_samples`] path where the noise is a
+    /// single additive draw.
+    pub fn observe_n(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        match self.kind {
+            Prepared::Clean => out.fill(self.f_v),
+            Prepared::Pareto(d) => {
+                d.fill_samples(rng, out);
+                for y in out.iter_mut() {
+                    *y += self.f_v;
+                }
+            }
+            Prepared::Exponential(d) => {
+                d.fill_samples(rng, out);
+                for y in out.iter_mut() {
+                    *y += self.f_v;
+                }
+            }
+            _ => {
+                for slot in out.iter_mut() {
+                    *slot = self.observe(rng);
+                }
+            }
+        }
+    }
 }
 
 impl NoiseModel for Noise {
@@ -140,73 +311,11 @@ impl NoiseModel for Noise {
     }
 
     fn observe(&self, f_v: f64, rng: &mut dyn RngCore) -> f64 {
-        assert!(f_v >= 0.0, "true cost must be non-negative, got {f_v}");
-        match *self {
-            Noise::None => f_v,
-            Noise::Pareto { alpha, rho } => {
-                Noise::check(rho);
-                if rho == 0.0 || f_v == 0.0 {
-                    return f_v;
-                }
-                let beta = Noise::pareto_beta(alpha, rho, f_v);
-                f_v + Pareto::new(alpha, beta).sample(rng)
-            }
-            Noise::Exponential { rho } => {
-                Noise::check(rho);
-                if rho == 0.0 || f_v == 0.0 {
-                    return f_v;
-                }
-                let mean = rho / (1.0 - rho) * f_v;
-                f_v + Exponential::with_mean(mean).sample(rng)
-            }
-            Noise::Gaussian { rho, cv } => {
-                Noise::check(rho);
-                if rho == 0.0 || f_v == 0.0 {
-                    return f_v;
-                }
-                let mean = rho / (1.0 - rho) * f_v;
-                let g = Gaussian::new(mean, cv * mean);
-                // reject negative noise; clamp as a last resort so the
-                // call always terminates
-                for _ in 0..100 {
-                    let n = g.sample(rng);
-                    if n >= 0.0 {
-                        return f_v + n;
-                    }
-                }
-                f_v + g.sample(rng).max(0.0)
-            }
-            Noise::Spiky { rho } => {
-                Noise::check(rho);
-                if rho == 0.0 || f_v == 0.0 {
-                    return f_v;
-                }
-                let total_mean = rho / (1.0 - rho) * f_v;
-                // solve each component's Pareto scale from its share of
-                // the total mean: E[component] = p * alpha*beta/(alpha-1)
-                let beta_big = spiky::BIG_MEAN_SHARE * total_mean * (spiky::ALPHA_BIG - 1.0)
-                    / (spiky::P_BIG * spiky::ALPHA_BIG);
-                let beta_small =
-                    (1.0 - spiky::BIG_MEAN_SHARE) * total_mean * (spiky::ALPHA_SMALL - 1.0)
-                        / (spiky::P_SMALL * spiky::ALPHA_SMALL);
-                let mut n = 0.0;
-                let u: f64 = {
-                    use rand::Rng as _;
-                    rng.random()
-                };
-                if u < spiky::P_BIG {
-                    n += Pareto::new(spiky::ALPHA_BIG, beta_big).sample(rng);
-                }
-                let v: f64 = {
-                    use rand::Rng as _;
-                    rng.random()
-                };
-                if v < spiky::P_SMALL {
-                    n += Pareto::new(spiky::ALPHA_SMALL, beta_small).sample(rng);
-                }
-                f_v + n
-            }
-        }
+        self.prepared(f_v).observe(rng)
+    }
+
+    fn observe_n(&self, f_v: f64, rng: &mut dyn RngCore, out: &mut [f64]) {
+        self.prepared(f_v).observe_n(rng, out);
     }
 
     fn n_min(&self, f_v: f64) -> f64 {
@@ -229,8 +338,17 @@ impl NoiseModel for Noise {
     }
 }
 
+/// Batched observation chunk size for the K-estimators: large enough to
+/// amortise per-call constant derivation, small enough to stay on the
+/// stack.
+const K_CHUNK: usize = 32;
+
 /// Minimum of `k` observations of the same point — the estimator
 /// `L_y^{(K)}(v)` of eq. 13.
+///
+/// Draws through the batch [`NoiseModel::observe_n`] path in
+/// stack-resident chunks; the sample stream and the running minimum are
+/// bit-identical to `k` sequential `observe` calls.
 pub fn min_of_k<M: NoiseModel + ?Sized>(
     model: &M,
     f_v: f64,
@@ -238,13 +356,25 @@ pub fn min_of_k<M: NoiseModel + ?Sized>(
     rng: &mut dyn RngCore,
 ) -> f64 {
     assert!(k >= 1, "min_of_k requires k >= 1");
-    (0..k)
-        .map(|_| model.observe(f_v, rng))
-        .fold(f64::INFINITY, f64::min)
+    let mut buf = [0.0_f64; K_CHUNK];
+    let mut best = f64::INFINITY;
+    let mut remaining = k;
+    while remaining > 0 {
+        let chunk = &mut buf[..remaining.min(K_CHUNK)];
+        model.observe_n(f_v, rng, chunk);
+        for &y in chunk.iter() {
+            best = best.min(y);
+        }
+        remaining -= chunk.len();
+    }
+    best
 }
 
 /// Mean of `k` observations — the conventional estimator that fails
 /// under infinite variance (§5.1).
+///
+/// Batched like [`min_of_k`]; the left-to-right summation order matches
+/// the sequential path exactly.
 pub fn mean_of_k<M: NoiseModel + ?Sized>(
     model: &M,
     f_v: f64,
@@ -252,7 +382,18 @@ pub fn mean_of_k<M: NoiseModel + ?Sized>(
     rng: &mut dyn RngCore,
 ) -> f64 {
     assert!(k >= 1, "mean_of_k requires k >= 1");
-    (0..k).map(|_| model.observe(f_v, rng)).sum::<f64>() / k as f64
+    let mut buf = [0.0_f64; K_CHUNK];
+    let mut sum = 0.0;
+    let mut remaining = k;
+    while remaining > 0 {
+        let chunk = &mut buf[..remaining.min(K_CHUNK)];
+        model.observe_n(f_v, rng, chunk);
+        for &y in chunk.iter() {
+            sum += y;
+        }
+        remaining -= chunk.len();
+    }
+    sum / k as f64
 }
 
 #[cfg(test)]
@@ -450,6 +591,64 @@ mod tests {
             rho: 1.0,
         }
         .observe(1.0, &mut rng);
+    }
+
+    #[test]
+    fn prepared_matches_scalar_observe_exactly() {
+        for m in [
+            Noise::None,
+            Noise::paper_default(0.3),
+            Noise::Exponential { rho: 0.2 },
+            Noise::Gaussian { rho: 0.2, cv: 0.4 },
+            Noise::Spiky { rho: 0.25 },
+        ] {
+            let f_v = 3.25;
+            let p = m.prepared(f_v);
+            let mut a = seeded_rng(77);
+            let mut b = seeded_rng(77);
+            for _ in 0..2_000 {
+                assert_eq!(m.observe(f_v, &mut a), p.observe(&mut b), "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn observe_n_matches_scalar_stream_exactly() {
+        for m in [
+            Noise::paper_default(0.3),
+            Noise::Exponential { rho: 0.2 },
+            Noise::Gaussian { rho: 0.2, cv: 0.4 },
+            Noise::Spiky { rho: 0.25 },
+        ] {
+            let f_v = 5.5;
+            let mut a = seeded_rng(78);
+            let mut b = seeded_rng(78);
+            let mut batch = [0.0; 193];
+            m.observe_n(f_v, &mut b, &mut batch);
+            for (i, &y) in batch.iter().enumerate() {
+                assert_eq!(m.observe(f_v, &mut a), y, "{m:?} sample {i}");
+            }
+            // streams stay aligned after the batch
+            use rand::Rng as _;
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn k_estimators_match_sequential_reference() {
+        let m = Noise::paper_default(0.3);
+        for k in [1, 5, 32, 33, 100] {
+            let mut a = seeded_rng(79);
+            let mut b = seeded_rng(79);
+            let reference_min = (0..k)
+                .map(|_| m.observe(4.0, &mut a))
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(min_of_k(&m, 4.0, k, &mut b), reference_min, "k={k}");
+            let mut a = seeded_rng(80);
+            let mut b = seeded_rng(80);
+            let reference_mean = (0..k).map(|_| m.observe(4.0, &mut a)).sum::<f64>() / k as f64;
+            assert_eq!(mean_of_k(&m, 4.0, k, &mut b), reference_mean, "k={k}");
+        }
     }
 
     #[test]

@@ -116,4 +116,55 @@ proptest! {
             prop_assert_ne!(stream_seed(base, a), stream_seed(base, b));
         }
     }
+
+    #[test]
+    fn batch_fill_matches_scalar_stream(seed in 0u64..2_000, n in 0usize..300) {
+        // the batched hot path must consume the RNG exactly like the
+        // scalar sampler: same draws, bit-identical outputs, and the
+        // streams stay in lockstep afterwards
+        fn check<D: Distribution>(d: &D, seed: u64, n: usize) -> Result<(), String> {
+            let mut a = seeded_rng(seed);
+            let mut b = seeded_rng(seed);
+            let mut batch = vec![0.0; n];
+            d.fill_samples(&mut a, &mut batch);
+            for (i, &x) in batch.iter().enumerate() {
+                let y = d.sample(&mut b);
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "sample {} diverged", i);
+            }
+            // post-batch draw parity: no extra/missing RNG consumption
+            use rand::Rng as _;
+            prop_assert_eq!(a.random::<u64>(), b.random::<u64>());
+            Ok(())
+        }
+        check(&Pareto::new(1.7, 0.4), seed, n)?;
+        check(&BoundedPareto::new(1.2, 0.3, 9.0), seed, n)?;
+        check(&Exponential::with_mean(2.5), seed, n)?;
+        check(&Gaussian::new(3.0, 1.5), seed, n)?;
+        check(&LogNormal::new(0.2, 0.7), seed, n)?;
+        check(&Weibull::new(1.4, 2.0), seed, n)?;
+        check(&Uniform::new(-2.0, 5.0), seed, n)?;
+    }
+
+    #[test]
+    fn batch_observe_matches_scalar_stream(seed in 0u64..2_000, n in 0usize..200, rho in 0.01f64..0.8, f_v in 0.01f64..50.0) {
+        use harmony::variability::noise::NoiseModel as _;
+        for model in [
+            Noise::None,
+            Noise::Pareto { alpha: 1.7, rho },
+            Noise::Exponential { rho },
+            Noise::Gaussian { rho, cv: 0.4 },
+            Noise::Spiky { rho },
+        ] {
+            let mut a = seeded_rng(seed);
+            let mut b = seeded_rng(seed);
+            let mut batch = vec![0.0; n];
+            model.observe_n(f_v, &mut a, &mut batch);
+            for &x in &batch {
+                let y = model.observe(f_v, &mut b);
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{:?} diverged", model);
+            }
+            use rand::Rng as _;
+            prop_assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
 }
