@@ -1,0 +1,68 @@
+//! Criterion benchmarks of telemetry overhead on the tuning hot path.
+//!
+//! The contract (DESIGN.md §4e): a [`harmony_telemetry::NullSink`]
+//! handle must be indistinguishable from a detached optimizer on one
+//! steady PRO iteration, because `enabled()` is false and every emit
+//! site skips record construction. The `memory_sink` case shows the
+//! real cost of recording, for contrast.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmony_core::{Optimizer, ProOptimizer};
+use harmony_params::{ParamDef, ParamSpace, Point};
+use harmony_telemetry::Telemetry;
+
+fn big_space(n: usize) -> ParamSpace {
+    ParamSpace::new(
+        (0..n)
+            .map(|i| ParamDef::integer(format!("p{i}"), 0, 1_000, 1).unwrap())
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_steady_iteration(c: &mut Criterion, id: &str, tel: Option<Telemetry>) {
+    let space = big_space(6);
+    let f = |p: &Point| -> f64 { p.iter().map(|x| (x - 300.0) * (x - 300.0)).sum() };
+    let fresh = |space: &ParamSpace| {
+        let mut opt = ProOptimizer::with_defaults(space.clone());
+        if let Some(tel) = &tel {
+            opt.set_telemetry(tel.clone());
+        }
+        opt
+    };
+    let mut opt = fresh(&space);
+    let mut vals: Vec<f64> = Vec::new();
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            let batch = opt.propose();
+            if batch.is_empty() {
+                opt = fresh(&space);
+                return;
+            }
+            vals.clear();
+            vals.extend(batch.iter().map(f));
+            opt.observe(black_box(&vals));
+        })
+    });
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    bench_steady_iteration(c, "telemetry/steady_iteration_detached", None);
+    bench_steady_iteration(
+        c,
+        "telemetry/steady_iteration_disabled",
+        Some(Telemetry::disabled()),
+    );
+    bench_steady_iteration(
+        c,
+        "telemetry/steady_iteration_nullsink",
+        Some(Telemetry::null()),
+    );
+    let (tel, sink) = Telemetry::memory();
+    bench_steady_iteration(c, "telemetry/steady_iteration_memory_sink", Some(tel));
+    // keep the recording case honest: the sink must have seen records
+    assert!(!sink.is_empty());
+}
+
+criterion_group!(telemetry, bench_telemetry_overhead);
+criterion_main!(telemetry);

@@ -13,6 +13,12 @@
 //! * `--check-against PATH` — read a previously committed
 //!   `BENCH_harness.json` and exit nonzero when this run's total
 //!   wall-clock regresses by more than 25%
+//! * `--trace PATH` — write a JSONL telemetry trace of the run (byte-
+//!   identical for every worker count; read it with `trace_summary`)
+//! * `--trace-wall` — additionally stamp wall-clock nanoseconds and
+//!   pool scheduling statistics into the trace (nondeterministic)
+//! * `--verbose` — stderr progress lines while tasks finish (also
+//!   enabled by a non-empty, non-`0` `HARMONY_VERBOSE`)
 //!
 //! Every invocation writes `BENCH_harness.json` (per-experiment and
 //! total wall-clock, worker count, effective speedup) next to the
@@ -34,7 +40,9 @@ fn parse_or_die<T: std::str::FromStr>(what: &str, v: Option<&String>) -> T {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = RunConfig::new(false);
-    cfg.progress = true;
+    // progress was unconditional; diagnostics now default quiet and are
+    // opted into with --verbose or HARMONY_VERBOSE
+    cfg.progress = harmony_telemetry::TelemetryConfig::from_env().verbose;
     let mut check_against: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -43,6 +51,17 @@ fn main() {
             cfg.full = true;
         } else if a == "--quick" {
             cfg.full = false;
+        } else if a == "--verbose" {
+            cfg.progress = true;
+        } else if a == "--trace" {
+            i += 1;
+            let Some(p) = args.get(i) else {
+                eprintln!("missing value for --trace");
+                std::process::exit(2);
+            };
+            cfg.trace = Some(p.into());
+        } else if a == "--trace-wall" {
+            cfg.trace_wall = true;
         } else if let Some(rest) = a.strip_prefix("-j") {
             if rest.is_empty() {
                 i += 1;
@@ -112,6 +131,9 @@ fn main() {
         report.speedup()
     );
     println!("[json] {json_path}");
+    if let Some(trace) = &cfg.trace {
+        println!("[trace] {}", trace.display());
+    }
 
     if let Some(baseline) = baseline_total {
         let limit = baseline * 1.25;

@@ -1,0 +1,134 @@
+//! CI gate: measures the overhead a [`harmony_telemetry::NullSink`]
+//! handle adds to steady PRO iterations and fails when it exceeds the
+//! budget (default 2%).
+//!
+//! A `NullSink` reports `enabled() == false`, so every instrumented site
+//! — the `event!` macro, span opens, counter updates — must reduce to
+//! one branch. This binary checks that claim end to end: it interleaves
+//! repetitions of the same fixed-seed PRO descent with a detached
+//! optimizer and with a `NullSink` handle attached, compares medians,
+//! and exits nonzero when the attached median exceeds the detached
+//! median by more than the limit.
+//!
+//! Flags: `--reps N` (default 41), `--rounds N` iterations per rep
+//! (default 400), `--limit PCT` allowed overhead percent (default 2.0).
+
+use harmony_core::{Optimizer, ProOptimizer};
+use harmony_params::{ParamDef, ParamSpace, Point};
+use harmony_telemetry::Telemetry;
+use std::time::Instant;
+
+fn parse_or_die<T: std::str::FromStr>(what: &str, v: Option<&String>) -> T {
+    let Some(v) = v else {
+        eprintln!("missing value for {what}");
+        std::process::exit(2);
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {what}: {v}");
+        std::process::exit(2);
+    })
+}
+
+fn space() -> ParamSpace {
+    ParamSpace::new(
+        (0..6)
+            .map(|i| ParamDef::integer(format!("p{i}"), 0, 1_000, 1).unwrap())
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// `rounds` propose/observe cycles (re-seeding on convergence), timed.
+/// Returns (seconds, checksum) — the checksum defeats dead-code
+/// elimination and double-checks both variants compute the same thing.
+fn run_rounds(rounds: usize, tel: Option<&Telemetry>) -> (f64, f64) {
+    let space = space();
+    let f = |p: &Point| -> f64 { p.iter().map(|x| (x - 300.0) * (x - 300.0)).sum() };
+    let fresh = |space: &ParamSpace| {
+        let mut opt = ProOptimizer::with_defaults(space.clone());
+        if let Some(tel) = tel {
+            opt.set_telemetry(tel.clone());
+        }
+        opt
+    };
+    let mut opt = fresh(&space);
+    let mut vals: Vec<f64> = Vec::new();
+    let mut checksum = 0.0f64;
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        let batch = opt.propose();
+        if batch.is_empty() {
+            checksum += opt.best().map_or(0.0, |(_, v)| v);
+            opt = fresh(&space);
+            continue;
+        }
+        vals.clear();
+        vals.extend(batch.iter().map(f));
+        opt.observe(&vals);
+    }
+    (t0.elapsed().as_secs_f64(), checksum)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps = 41usize;
+    let mut rounds = 400usize;
+    let mut limit_pct = 2.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = parse_or_die("--reps", args.get(i));
+            }
+            "--rounds" => {
+                i += 1;
+                rounds = parse_or_die("--rounds", args.get(i));
+            }
+            "--limit" => {
+                i += 1;
+                limit_pct = parse_or_die("--limit", args.get(i));
+            }
+            a => {
+                eprintln!("unknown argument: {a}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let reps = reps.max(3);
+    let null = Telemetry::null();
+
+    // warm-up rep of each variant, then interleaved A/B timing so slow
+    // drift (frequency scaling, noisy neighbours) hits both sides alike
+    let (_, base_sum) = run_rounds(rounds, None);
+    let (_, null_sum) = run_rounds(rounds, Some(&null));
+    assert_eq!(
+        base_sum.to_bits(),
+        null_sum.to_bits(),
+        "NullSink telemetry must not change optimizer behaviour"
+    );
+    let mut detached = Vec::with_capacity(reps);
+    let mut attached = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        detached.push(run_rounds(rounds, None).0);
+        attached.push(run_rounds(rounds, Some(&null)).0);
+    }
+    let base = median(&mut detached);
+    let with_null = median(&mut attached);
+    let overhead_pct = (with_null / base - 1.0) * 100.0;
+    println!(
+        "telemetry_overhead: detached median {:.6}s, nullsink median {:.6}s, \
+         overhead {overhead_pct:+.2}% (limit {limit_pct:.2}%, {reps} reps x {rounds} rounds)",
+        base, with_null
+    );
+    if overhead_pct > limit_pct {
+        eprintln!("FAIL: NullSink overhead {overhead_pct:.2}% exceeds {limit_pct:.2}%");
+        std::process::exit(1);
+    }
+}

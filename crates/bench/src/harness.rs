@@ -26,12 +26,13 @@
 use crate::experiments::{
     ablations, charts, fault, fig01, fig02, fig03, fig04_07, fig08, fig09, fig10, tables,
 };
-use crate::report::{emit_to, results_dir, Table};
+use crate::report::{emit_table_telemetry, emit_to, results_dir, Table};
 use harmony_cluster::pool;
+use harmony_telemetry::{to_jsonl, Field, MemorySink, Record, Telemetry, TelemetryConfig};
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// A named harness task and the indices of the tasks it depends on.
@@ -167,11 +168,22 @@ pub struct RunConfig {
     pub out_dir: PathBuf,
     /// Emit `[done]` progress lines to stderr while tasks finish.
     pub progress: bool,
+    /// Write a JSONL telemetry trace of the run to this path. Each task
+    /// records into a private in-memory sink with its own span-id
+    /// namespace; the per-task record streams are concatenated in
+    /// canonical task order after the pool joins, so the trace bytes are
+    /// identical for every worker count.
+    pub trace: Option<PathBuf>,
+    /// Also stamp trace records with wall-clock nanoseconds and append
+    /// the pool's scheduling statistics. Wall times and scheduling are
+    /// nondeterministic, so this breaks trace byte-identity across runs
+    /// — leave off when comparing traces.
+    pub trace_wall: bool,
 }
 
 impl RunConfig {
     /// Defaults: seed 2005, hardware worker count, `results/` (or
-    /// `$HARMONY_RESULTS`), no stderr progress.
+    /// `$HARMONY_RESULTS`), no stderr progress, no trace.
     pub fn new(full: bool) -> Self {
         RunConfig {
             full,
@@ -179,6 +191,8 @@ impl RunConfig {
             workers: pool::worker_count(TASKS.len()),
             out_dir: results_dir(),
             progress: false,
+            trace: None,
+            trace_wall: false,
         }
     }
 }
@@ -191,6 +205,8 @@ pub struct TaskReport {
     pub wall_s: f64,
     /// The task's buffered report text.
     pub stdout: String,
+    /// The task's telemetry records (empty unless tracing was on).
+    pub records: Vec<Record>,
 }
 
 /// Whole-run outcome, serialisable as `BENCH_harness.json`.
@@ -263,6 +279,40 @@ pub fn json_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Builds task `i`'s private telemetry: an in-memory sink and a handle
+/// whose span ids live in the task's own `(i+1) << 32` namespace, so
+/// the per-task streams can be merged without id collisions. The
+/// logical clock counts tables emitted by the task.
+fn task_telemetry(cfg: &RunConfig, i: usize) -> Option<(Telemetry, Arc<MemorySink>)> {
+    cfg.trace.as_ref()?;
+    let sink = Arc::new(MemorySink::new());
+    let tel = Telemetry::with_config(
+        sink.clone(),
+        TelemetryConfig {
+            span_base: (i as u64 + 1) << 32,
+            wall: cfg.trace_wall,
+            ..TelemetryConfig::from_env()
+        },
+    );
+    Some((tel, sink))
+}
+
+/// Serialises the merged trace: per-task records in canonical task
+/// order, then any trailing harness-level records.
+fn write_trace(path: &Path, tasks: &[TaskReport], trailer: &[Record]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut out = String::new();
+    for t in tasks {
+        out.push_str(&to_jsonl(&t.records));
+    }
+    out.push_str(&to_jsonl(trailer));
+    std::fs::write(path, out)
+}
+
 /// Executes the full task graph and returns the per-task reports in
 /// canonical task order.
 pub fn run(cfg: &RunConfig) -> HarnessReport {
@@ -271,10 +321,26 @@ pub fn run(cfg: &RunConfig) -> HarnessReport {
     let deps: Vec<Vec<usize>> = TASKS.iter().map(|t| t.deps.to_vec()).collect();
     let done = AtomicUsize::new(0);
     let start = Instant::now();
-    let tasks = pool::par_graph_in(cfg.workers, n, &deps, |i| {
+    let (tasks, pool_stats) = pool::par_graph_stats_in(cfg.workers, n, &deps, |i| {
         let t0 = Instant::now();
         let mut buf = String::new();
+        let telemetry = task_telemetry(cfg, i);
+        let tel = telemetry
+            .as_ref()
+            .map_or_else(Telemetry::disabled, |(t, _)| t.clone());
+        let span = tel.span_open(
+            &format!("task.{}", TASKS[i].name),
+            vec![Field::new("task", i)],
+        );
         let produced = run_task(i, cfg, &slots, &mut buf);
+        for t in &produced {
+            emit_table_telemetry(&tel, t);
+            tel.counter("harness.tables", 1);
+            tel.counter("harness.rows", t.rows.len() as u64);
+            tel.advance_clock(1);
+        }
+        tel.span_close(span);
+        let records = telemetry.map_or_else(Vec::new, |(_, sink)| sink.take());
         let _ = slots[i].set(produced);
         let wall_s = t0.elapsed().as_secs_f64();
         if cfg.progress {
@@ -285,8 +351,27 @@ pub fn run(cfg: &RunConfig) -> HarnessReport {
             name: TASKS[i].name,
             wall_s,
             stdout: buf,
+            records,
         }
     });
+    if let Some(path) = &cfg.trace {
+        // pool scheduling statistics are nondeterministic, so they ride
+        // only on the opt-in wall channel
+        let mut trailer = Vec::new();
+        if cfg.trace_wall {
+            let (tel, sink) = Telemetry::memory();
+            tel.gauge("pool.workers", pool_stats.workers as f64);
+            tel.gauge("pool.max_ready", pool_stats.max_ready as f64);
+            tel.gauge("pool.imbalance", pool_stats.imbalance() as f64);
+            for (w, &count) in pool_stats.tasks_per_worker.iter().enumerate() {
+                tel.gauge(&format!("pool.tasks.worker{w}"), count as f64);
+            }
+            trailer = sink.take();
+        }
+        if let Err(e) = write_trace(path, &tasks, &trailer) {
+            eprintln!("failed to write trace {}: {e}", path.display());
+        }
+    }
     HarnessReport {
         scale: if cfg.full { "full" } else { "quick" },
         workers: cfg.workers,
@@ -509,11 +594,13 @@ mod tests {
                     name: "a",
                     wall_s: 1.0,
                     stdout: String::new(),
+                    records: Vec::new(),
                 },
                 TaskReport {
                     name: "b",
                     wall_s: 2.0,
                     stdout: String::new(),
+                    records: Vec::new(),
                 },
             ],
         };

@@ -1,5 +1,6 @@
 //! CSV emission and aligned-table printing for experiment binaries.
 
+use harmony_telemetry::Telemetry;
 use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;
@@ -147,6 +148,50 @@ pub fn results_dir() -> PathBuf {
     std::env::var_os("HARMONY_RESULTS").map_or_else(|| PathBuf::from("results"), PathBuf::from)
 }
 
+/// Row count above which [`emit_table_telemetry`] switches from
+/// per-cell gauges to per-column means (dense series tables would bloat
+/// the trace without adding information the CSV doesn't carry).
+const TELEMETRY_CELL_LIMIT: usize = 100;
+
+/// Exports a table's numbers through the telemetry gauge API, so table
+/// metrics and live tuning sessions flow through one metrics path.
+///
+/// Small tables (≤ 100 rows) emit one gauge per cell, named
+/// `{title}.{label}.{column}` (the row index stands in for the label on
+/// unlabeled tables); larger tables emit a `table.summary` event plus
+/// one per-column mean gauge.
+pub fn emit_table_telemetry(tel: &Telemetry, table: &Table) {
+    if !tel.enabled() {
+        return;
+    }
+    let stem = table.title.replace(' ', "_");
+    if table.rows.len() <= TELEMETRY_CELL_LIMIT {
+        for (i, row) in table.rows.iter().enumerate() {
+            let label = table
+                .labels
+                .get(i)
+                .map_or_else(|| i.to_string(), |l| l.replace(' ', "_"));
+            for (col, v) in table.header.iter().zip(row) {
+                tel.gauge(&format!("{stem}.{label}.{col}"), *v);
+            }
+        }
+    } else {
+        tel.event(
+            "table.summary",
+            vec![
+                harmony_telemetry::Field::new("table", stem.clone()),
+                harmony_telemetry::Field::new("rows", table.rows.len()),
+                harmony_telemetry::Field::new("cols", table.header.len()),
+            ],
+        );
+        for (c, col) in table.header.iter().enumerate() {
+            let mean =
+                table.rows.iter().map(|r| r[c]).sum::<f64>() / table.rows.len().max(1) as f64;
+            tel.gauge(&format!("{stem}.mean.{col}"), mean);
+        }
+    }
+}
+
 /// Prints the table and saves its CSV, reporting the file path.
 pub fn emit(table: &Table) {
     let mut buf = String::new();
@@ -239,5 +284,30 @@ mod tests {
         assert_eq!(format_num(3.0), "3");
         assert_eq!(format_num(1.23456), "1.2346");
         assert_eq!(format_num(-2.0), "-2");
+    }
+
+    #[test]
+    fn small_table_exports_per_cell_gauges() {
+        let mut t = Table::new("tiny table", &["total", "best"]);
+        t.push_labeled("pro", vec![10.0, 2.0]);
+        let (tel, sink) = Telemetry::memory();
+        emit_table_telemetry(&tel, &t);
+        let summary = harmony_telemetry::Summary::from_records(&sink.take());
+        assert_eq!(summary.gauge_last("tiny_table.pro.total"), Some(10.0));
+        assert_eq!(summary.gauge_last("tiny_table.pro.best"), Some(2.0));
+    }
+
+    #[test]
+    fn large_table_exports_column_means() {
+        let mut t = Table::new("big", &["v"]);
+        for i in 0..200 {
+            t.push(vec![i as f64]);
+        }
+        let (tel, sink) = Telemetry::memory();
+        emit_table_telemetry(&tel, &t);
+        let summary = harmony_telemetry::Summary::from_records(&sink.take());
+        assert_eq!(summary.event_count("table.summary"), Some(1));
+        assert_eq!(summary.gauge_last("big.mean.v"), Some(99.5));
+        assert_eq!(summary.gauge_last("big.0.v"), None);
     }
 }

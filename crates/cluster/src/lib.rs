@@ -39,6 +39,6 @@ pub mod spmd;
 
 pub use fault::{Delivery, FaultPlan, FleetState};
 pub use hetero::Heterogeneity;
-pub use metrics::TuningTrace;
+pub use metrics::{TraceError, TuningTrace};
 pub use schedule::{SamplingMode, Schedule};
 pub use spmd::{Cluster, FaultyStepOutcome, StepOutcome};

@@ -1,5 +1,23 @@
 //! On-line tuning performance metrics (§2, eq. 1–2, eq. 23).
 
+use harmony_telemetry::{event, Telemetry};
+
+/// A step time rejected by [`TuningTrace::try_push`]: non-finite or
+/// negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceError {
+    /// The offending value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid step time {}", self.value)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// The running record of a tuning session: one entry per barrier-
 /// synchronised time step holding the cluster-wide worst-case time
 /// `T_k = max_p t_{p,k}`.
@@ -22,10 +40,31 @@ impl TuningTrace {
     /// Records one time step's worst-case iteration time `T_k`.
     ///
     /// # Panics
-    /// Panics on non-finite or negative times.
+    /// Panics on non-finite or negative times; [`TuningTrace::try_push`]
+    /// is the non-panicking form.
     pub fn push(&mut self, t_k: f64) {
-        assert!(t_k.is_finite() && t_k >= 0.0, "invalid step time {t_k}");
-        self.steps.push(t_k);
+        self.try_push(t_k).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Records one step time, rejecting non-finite or negative values
+    /// instead of panicking.
+    pub fn try_push(&mut self, t_k: f64) -> Result<(), TraceError> {
+        if t_k.is_finite() && t_k >= 0.0 {
+            self.steps.push(t_k);
+            Ok(())
+        } else {
+            Err(TraceError { value: t_k })
+        }
+    }
+
+    /// Like [`TuningTrace::try_push`], additionally emitting a
+    /// `trace.reject` telemetry event when the value is refused.
+    pub fn push_reported(&mut self, t_k: f64, tel: &Telemetry) -> Result<(), TraceError> {
+        let result = self.try_push(t_k);
+        if let Err(e) = &result {
+            event!(tel, "trace.reject", value = e.value, step = self.len());
+        }
+        result
     }
 
     /// Number of recorded time steps `K`.
@@ -86,6 +125,34 @@ impl TuningTrace {
     pub fn extend_from(&mut self, other: &TuningTrace) {
         self.steps.extend_from_slice(&other.steps);
     }
+
+    /// Exports the trace through the telemetry metrics path shared by
+    /// the T1–T5 experiment tables and live server runs: a
+    /// `trace.steps` counter, `trace.total_time` / `trace.best_step`
+    /// gauges, a `trace.step_time` histogram, and — when `rho` is given
+    /// — the eq. 23 `trace.ntt` gauge.
+    ///
+    /// # Panics
+    /// Panics when `rho` is given and outside `[0, 1)` (as
+    /// [`TuningTrace::ntt`] does).
+    pub fn emit_telemetry(&self, tel: &Telemetry, rho: Option<f64>) {
+        if !tel.enabled() {
+            return;
+        }
+        tel.counter("trace.steps", self.len() as u64);
+        tel.gauge("trace.total_time", self.total_time());
+        if let Some(best) = self.best_step() {
+            tel.gauge("trace.best_step", best);
+        }
+        if let Some(rho) = rho {
+            tel.gauge("trace.ntt", self.ntt(rho));
+        }
+        let mut hist = harmony_telemetry::Histogram::new();
+        for &t in &self.steps {
+            hist.push(t);
+        }
+        hist.emit_to(tel, "trace.step_time");
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +212,56 @@ mod tests {
     #[should_panic(expected = "invalid step time")]
     fn rejects_negative() {
         TuningTrace::new().push(-1.0);
+    }
+
+    #[test]
+    fn try_push_rejects_without_panicking() {
+        let mut tr = TuningTrace::new();
+        assert!(tr.try_push(1.0).is_ok());
+        let err = tr.try_push(f64::NAN).unwrap_err();
+        assert!(err.value.is_nan());
+        assert_eq!(
+            tr.try_push(-2.0),
+            Err(TraceError { value: -2.0 }),
+            "negative times are refused"
+        );
+        assert_eq!(
+            tr.try_push(f64::INFINITY).unwrap_err().to_string().as_str(),
+            "invalid step time inf"
+        );
+        assert_eq!(tr.len(), 1, "rejected values are not recorded");
+    }
+
+    #[test]
+    fn push_reported_emits_rejection_event() {
+        let (tel, sink) = Telemetry::memory();
+        let mut tr = TuningTrace::new();
+        assert!(tr.push_reported(2.0, &tel).is_ok());
+        assert!(tr.push_reported(-1.0, &tel).is_err());
+        let records = sink.take();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "trace.reject");
+    }
+
+    #[test]
+    fn emit_telemetry_exports_metrics() {
+        let (tel, sink) = Telemetry::memory();
+        let mut tr = TuningTrace::new();
+        for t in [2.0, 3.0, 1.0] {
+            tr.push(t);
+        }
+        tr.emit_telemetry(&tel, Some(0.2));
+        let records = sink.take();
+        let summary = harmony_telemetry::Summary::from_records(&records);
+        assert_eq!(summary.counter_total("trace.steps"), Some(3));
+        assert_eq!(summary.gauge_last("trace.total_time"), Some(6.0));
+        assert_eq!(summary.gauge_last("trace.best_step"), Some(1.0));
+        assert!((summary.gauge_last("trace.ntt").unwrap() - 4.8).abs() < 1e-12);
+        assert_eq!(summary.gauge_last("trace.step_time.count"), Some(3.0));
+
+        // disabled handle emits nothing
+        tr.emit_telemetry(&Telemetry::disabled(), None);
+        assert!(sink.is_empty());
     }
 
     #[test]

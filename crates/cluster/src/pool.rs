@@ -105,6 +105,34 @@ struct GraphQueue {
     indegree: Vec<usize>,
     remaining: usize,
     panicked: bool,
+    max_ready: usize,
+}
+
+/// Scheduling observations from one [`par_graph_stats_in`] run.
+///
+/// These describe *how* the pool happened to schedule the graph —
+/// which worker claimed how many tasks, how deep the ready queue got —
+/// so unlike the task results they are **not** deterministic across
+/// worker counts or runs. Telemetry must only ship them on the opt-in
+/// wall-clock channel, never in a deterministic trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers the pool actually ran with (after clamping).
+    pub workers: usize,
+    /// Tasks executed by each worker, in worker-spawn order.
+    pub tasks_per_worker: Vec<usize>,
+    /// Largest ready-queue depth observed while scheduling.
+    pub max_ready: usize,
+}
+
+impl PoolStats {
+    /// Spread between the busiest and idlest worker — by how many
+    /// tasks the stealing ended up imbalanced.
+    pub fn imbalance(&self) -> usize {
+        let max = self.tasks_per_worker.iter().copied().max().unwrap_or(0);
+        let min = self.tasks_per_worker.iter().copied().min().unwrap_or(0);
+        max - min
+    }
 }
 
 /// Executes `n` dependency-ordered tasks on a scoped work-stealing pool
@@ -137,9 +165,25 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_graph_stats_in(workers, n, deps, f).0
+}
+
+/// [`par_graph_in`] that additionally reports [`PoolStats`] scheduling
+/// observations (queue depths, per-worker task counts). The task
+/// results are deterministic as ever; the stats are not.
+pub fn par_graph_stats_in<T, F>(
+    workers: usize,
+    n: usize,
+    deps: &[Vec<usize>],
+    f: F,
+) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     assert_eq!(deps.len(), n, "one dependency list per task");
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), PoolStats::default());
     }
     let mut indegree = vec![0usize; n];
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -174,6 +218,7 @@ where
     if workers == 1 {
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let mut stack = initial;
+        let mut max_ready = stack.len();
         while let Some(t) = stack.pop() {
             slots[t] = Some(f(t));
             for &d in &dependents[t] {
@@ -182,14 +227,24 @@ where
                     stack.push(d);
                 }
             }
+            max_ready = max_ready.max(stack.len());
         }
-        return slots
+        let results = slots
             .into_iter()
             .map(|v| v.expect("all tasks executed"))
             .collect();
+        return (
+            results,
+            PoolStats {
+                workers: 1,
+                tasks_per_worker: vec![n],
+                max_ready,
+            },
+        );
     }
 
     let state = Mutex::new(GraphQueue {
+        max_ready: initial.len(),
         ready: initial,
         indegree,
         remaining: n,
@@ -233,6 +288,7 @@ where
                                         woke += 1;
                                     }
                                 }
+                                s.max_ready = s.max_ready.max(s.ready.len());
                                 let done = s.remaining == 0;
                                 drop(s);
                                 if done {
@@ -266,6 +322,11 @@ where
     if let Some(payload) = payload_slot.into_inner().expect("payload mutex") {
         resume_unwind(payload);
     }
+    let stats = PoolStats {
+        workers,
+        tasks_per_worker: buffers.iter().map(Vec::len).collect(),
+        max_ready: state.into_inner().expect("graph pool mutex").max_ready,
+    };
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     for buffer in buffers {
         for (i, v) in buffer {
@@ -273,10 +334,11 @@ where
             slots[i] = Some(v);
         }
     }
-    slots
+    let results = slots
         .into_iter()
         .map(|v| v.expect("all tasks executed"))
-        .collect()
+        .collect();
+    (results, stats)
 }
 
 /// The fixed reduction-block size for `n` jobs: depends only on `n`, so
@@ -562,6 +624,31 @@ mod tests {
     fn graph_rejects_out_of_range_dependency() {
         let deps = vec![vec![5]];
         par_graph_in(1, 1, &deps, |i| i);
+    }
+
+    #[test]
+    fn graph_stats_account_for_every_task() {
+        let n = 30;
+        let deps: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i >= 2 { vec![i - 2] } else { vec![] })
+            .collect();
+        for workers in [1, 3] {
+            let (out, stats) = par_graph_stats_in(workers, n, &deps, |i| i);
+            assert_eq!(out, (0..n).collect::<Vec<_>>());
+            assert_eq!(stats.workers, workers.min(n));
+            assert_eq!(stats.tasks_per_worker.len(), stats.workers);
+            assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), n);
+            assert!(stats.max_ready >= 1);
+            assert!(stats.imbalance() <= n);
+        }
+    }
+
+    #[test]
+    fn graph_stats_empty() {
+        let (out, stats) = par_graph_stats_in(4, 0, &[], |i| i);
+        assert!(out.is_empty());
+        assert_eq!(stats, PoolStats::default());
+        assert_eq!(stats.imbalance(), 0);
     }
 
     #[test]

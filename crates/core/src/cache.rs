@@ -19,6 +19,7 @@
 
 use harmony_params::{ParamSpace, Point};
 use harmony_surface::Objective;
+use harmony_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
@@ -71,6 +72,17 @@ impl<'a, O: Objective + ?Sized> CachedObjective<'a, O> {
     /// True when nothing has been memoized yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Exports the memo's effectiveness as `cache.hits` / `cache.misses`
+    /// / `cache.entries` telemetry counters.
+    pub fn emit_telemetry(&self, tel: &Telemetry) {
+        if !tel.enabled() {
+            return;
+        }
+        tel.counter("cache.hits", self.hits() as u64);
+        tel.counter("cache.misses", self.misses() as u64);
+        tel.counter("cache.entries", self.len() as u64);
     }
 }
 
@@ -141,6 +153,21 @@ mod tests {
         }
         assert_eq!(cached.len(), 11);
         assert_eq!(cached.hits(), 0);
+    }
+
+    #[test]
+    fn emit_telemetry_reports_hit_miss_counters() {
+        let obj = FnObjective::new("f", space(), |p| p[0]);
+        let cached = CachedObjective::new(&obj);
+        let p = Point::from(&[1.0][..]);
+        cached.eval(&p);
+        cached.eval(&p);
+        let (tel, sink) = Telemetry::memory();
+        cached.emit_telemetry(&tel);
+        let summary = harmony_telemetry::Summary::from_records(&sink.take());
+        assert_eq!(summary.counter_total("cache.hits"), Some(1));
+        assert_eq!(summary.counter_total("cache.misses"), Some(1));
+        assert_eq!(summary.counter_total("cache.entries"), Some(1));
     }
 
     #[test]

@@ -33,6 +33,7 @@
 use crate::optimizer::{HistoryInterpolator, Incumbent, Optimizer};
 use harmony_params::init::{initial_simplex, InitialShape, DEFAULT_RELATIVE_SIZE};
 use harmony_params::{ParamSpace, Point, Rounding, Simplex, StepKind};
+use harmony_telemetry::{event, Field, Telemetry};
 
 /// Tunable knobs of the PRO algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -144,6 +145,11 @@ pub struct ProOptimizer {
     scratch_order: Vec<usize>,
     scratch_vals: Vec<f64>,
     scratch_raw: Vec<Point>,
+    /// Telemetry handle (disabled by default); the driver owns the
+    /// logical clock, PRO only emits spans and decision events.
+    tel: Telemetry,
+    /// Open `pro.iteration` span id (0 when none).
+    iter_span: u64,
 }
 
 impl ProOptimizer {
@@ -167,6 +173,8 @@ impl ProOptimizer {
             scratch_order: Vec::new(),
             scratch_vals: Vec::new(),
             scratch_raw: Vec::new(),
+            tel: Telemetry::disabled(),
+            iter_span: 0,
         }
     }
 
@@ -179,6 +187,38 @@ impl ProOptimizer {
     /// Completed simplex-transform iterations.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Attaches a telemetry handle: each iteration becomes a
+    /// `pro.iteration` span (fields: iteration index, simplex size,
+    /// best value) and every state-machine branch emits a
+    /// `pro.decision` event. The handle's logical clock is driven by
+    /// the caller (the tuning driver stamps it with the step index).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// Closes any open iteration span and opens the next one.
+    fn telemetry_iteration_boundary(&mut self) {
+        if !self.tel.enabled() {
+            return;
+        }
+        self.close_iter_span();
+        self.iter_span = self.tel.span_open(
+            "pro.iteration",
+            vec![
+                Field::new("iter", self.iterations),
+                Field::new("k", self.simplex.len()),
+                Field::new("best", self.values[0]),
+            ],
+        );
+    }
+
+    fn close_iter_span(&mut self) {
+        if self.iter_span != 0 {
+            self.tel.span_close(self.iter_span);
+            self.iter_span = 0;
+        }
     }
 
     /// Re-anchors the search: rebuilds the initial simplex around
@@ -199,6 +239,13 @@ impl ProOptimizer {
         self.pending = self.simplex.vertices().to_vec();
         self.state = State::Init;
         self.converged = false;
+        self.close_iter_span();
+        event!(
+            self.tel,
+            "pro.decision",
+            action = "recenter",
+            iter = self.iterations
+        );
     }
 
     /// The current simplex (for diagnostics and tests).
@@ -270,20 +317,43 @@ impl ProOptimizer {
         self.scratch_vals = sorted;
         self.scratch_order = order;
 
+        self.telemetry_iteration_boundary();
         if self.simplex.collapsed(self.cfg.collapse_tol) {
             let probes = self
                 .space
                 .probe_points(self.best_vertex(), self.cfg.probe_eps);
             if probes.is_empty() {
+                event!(
+                    self.tel,
+                    "pro.decision",
+                    action = "converged",
+                    iter = self.iterations
+                );
+                self.close_iter_span();
                 self.converged = true;
                 self.state = State::Done;
                 self.pending = Vec::new();
             } else {
                 self.pending = self.probe_batch(probes);
+                event!(
+                    self.tel,
+                    "pro.decision",
+                    action = "probe",
+                    iter = self.iterations,
+                    points = self.pending.len()
+                );
                 self.state = State::Probe;
             }
         } else {
             self.refill_pending_transformed(StepKind::Reflect);
+            event!(
+                self.tel,
+                "pro.decision",
+                action = "reflect",
+                iter = self.iterations,
+                points = self.pending.len(),
+                best = self.values[0]
+            );
             self.state = State::Reflect;
         }
     }
@@ -313,14 +383,35 @@ impl ProOptimizer {
                         let projected = self.project(&raw);
                         self.pending.clear();
                         self.pending.push(projected);
+                        event!(
+                            self.tel,
+                            "pro.decision",
+                            action = "expand_check",
+                            iter = self.iterations,
+                            r_best = values[l]
+                        );
                         self.state = State::ExpandCheck { reflections };
                     } else {
                         self.refill_pending_transformed(StepKind::Expand);
+                        event!(
+                            self.tel,
+                            "pro.decision",
+                            action = "expand_all",
+                            iter = self.iterations,
+                            r_best = values[l]
+                        );
                         self.state = State::Expand { reflections };
                     }
                 } else {
                     // failed reflection: shrink around the best vertex
                     self.refill_pending_transformed(StepKind::Shrink);
+                    event!(
+                        self.tel,
+                        "pro.decision",
+                        action = "shrink",
+                        iter = self.iterations,
+                        best = self.values[0]
+                    );
                     self.state = State::Shrink;
                 }
             }
@@ -333,8 +424,22 @@ impl ProOptimizer {
                 if e_val < best_reflection {
                     // commit the full parallel expansion step
                     self.refill_pending_transformed(StepKind::Expand);
+                    event!(
+                        self.tel,
+                        "pro.decision",
+                        action = "expand_commit",
+                        iter = self.iterations,
+                        e_val = e_val
+                    );
                     self.state = State::Expand { reflections };
                 } else {
+                    event!(
+                        self.tel,
+                        "pro.decision",
+                        action = "accept_reflections",
+                        iter = self.iterations,
+                        e_val = e_val
+                    );
                     let (pts, vals): (Vec<_>, Vec<_>) = reflections.into_iter().unzip();
                     self.accept(pts, vals);
                 }
@@ -345,6 +450,12 @@ impl ProOptimizer {
                 if self.cfg.expansion_check {
                     // Algorithm 2 accepts the expansion set unconditionally
                     // once the check point succeeded
+                    event!(
+                        self.tel,
+                        "pro.decision",
+                        action = "accept_expansions",
+                        iter = self.iterations
+                    );
                     let (pts, vals): (Vec<_>, Vec<_>) = expansions.into_iter().unzip();
                     self.accept(pts, vals);
                 } else {
@@ -357,7 +468,18 @@ impl ProOptimizer {
                         .iter()
                         .map(|(_, v)| *v)
                         .fold(f64::INFINITY, f64::min);
-                    let chosen = if best_e < best_r {
+                    let keep_expansions = best_e < best_r;
+                    event!(
+                        self.tel,
+                        "pro.decision",
+                        action = if keep_expansions {
+                            "keep_expansions"
+                        } else {
+                            "keep_reflections"
+                        },
+                        iter = self.iterations
+                    );
+                    let chosen = if keep_expansions {
                         expansions
                     } else {
                         reflections
@@ -384,6 +506,13 @@ impl ProOptimizer {
                     // a neighbour improves: continue with the probe
                     // simplex (v0 kept so the running point stays a
                     // vertex)
+                    event!(
+                        self.tel,
+                        "pro.decision",
+                        action = "probe_improved",
+                        iter = self.iterations,
+                        found = probe_vals[l]
+                    );
                     let mut verts = vec![self.best_vertex().clone()];
                     let mut vals = vec![baseline];
                     verts.extend(probe_pts.iter().cloned());
@@ -395,6 +524,13 @@ impl ProOptimizer {
                 } else if self.cfg.continuous {
                     // keep monitoring: adopt the fresh estimate of v0 and
                     // re-probe the neighbourhood next phase
+                    event!(
+                        self.tel,
+                        "pro.decision",
+                        action = "monitor",
+                        iter = self.iterations,
+                        baseline = baseline
+                    );
                     for v in self.values.iter_mut() {
                         *v = baseline;
                     }
@@ -405,6 +541,13 @@ impl ProOptimizer {
                     self.state = State::Probe;
                 } else {
                     // v0 is a local minimum: stop (§3.2.2)
+                    event!(
+                        self.tel,
+                        "pro.decision",
+                        action = "converged",
+                        iter = self.iterations
+                    );
+                    self.close_iter_span();
                     self.converged = true;
                     self.state = State::Done;
                 }

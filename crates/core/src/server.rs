@@ -57,6 +57,7 @@ use harmony_cluster::fault::{Delivery, FaultPlan};
 use harmony_cluster::TuningTrace;
 use harmony_params::Point;
 use harmony_surface::Objective;
+use harmony_telemetry::{event, Field, Telemetry};
 use harmony_variability::noise::NoiseModel;
 use harmony_variability::{seeded_rng, stream_seed};
 use std::collections::HashMap;
@@ -272,6 +273,40 @@ where
     O: Objective + Sync + ?Sized,
     M: NoiseModel + Sync + ?Sized,
 {
+    run_resilient_traced(
+        objective,
+        noise,
+        optimizer,
+        cfg,
+        plan,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_resilient`] with structured tracing: the session becomes a
+/// `server.session` span, every fault-handling decision (miss, retry,
+/// abandonment, eviction, duplicate, partial batch) becomes an event,
+/// and the objective cache and final [`TuningTrace`] metrics are
+/// exported at session end.
+///
+/// Although client reports arrive over mpsc channels in
+/// scheduling-dependent order, every emitted record is stamped with the
+/// *logical* clock (consumed time steps) and fault events are derived
+/// from the server's post-round state in canonical order — so identical
+/// `(seed, plan, config)` sessions produce byte-identical traces
+/// regardless of thread interleaving.
+pub fn run_resilient_traced<O, M>(
+    objective: &O,
+    noise: &M,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+    plan: &FaultPlan,
+    tel: &Telemetry,
+) -> Result<TuningOutcome, ServerError>
+where
+    O: Objective + Sync + ?Sized,
+    M: NoiseModel + Sync + ?Sized,
+{
     let cfg = cfg.validated()?;
     std::thread::scope(|scope| {
         let (event_tx, event_rx) = channel::<Event>();
@@ -285,7 +320,7 @@ where
         }
         drop(event_tx);
 
-        let outcome = serve(objective, optimizer, cfg, &client_txs, &event_rx);
+        let outcome = serve(objective, optimizer, cfg, &client_txs, &event_rx, tel);
         // tolerant shutdown: crashed clients have already dropped their
         // receivers, so sends may fail — that is fine, the thread is
         // gone. The scope joins every client on both Ok and Err paths.
@@ -388,6 +423,58 @@ enum Resolution {
     Missed,
 }
 
+/// Emits the terminal `server.*` failure event, closes the session span
+/// (auto-closing anything still nested in it), and passes the error
+/// through.
+fn session_fail(tel: &Telemetry, session: Option<u64>, err: ServerError) -> ServerError {
+    if tel.enabled() {
+        let name = match &err {
+            ServerError::AllClientsDead { .. } => "server.all_dead",
+            ServerError::QuorumNotReached { .. } => "server.quorum_fail",
+            ServerError::NoObservations => "server.no_observations",
+            ServerError::InvalidConfig(_) => "server.invalid_config",
+        };
+        tel.event(name, vec![Field::new("error", err.to_string())]);
+        if let Some(id) = session {
+            tel.span_close(id);
+        }
+    }
+    err
+}
+
+/// Emits the fault handling of one dispatch round in canonical order:
+/// evictions ascending by client index (diff of the live set), then the
+/// per-round miss/retry/abandon/duplicate deltas. Client events arrive
+/// in scheduling-dependent order, so deriving the emission from
+/// post-round *state* is what keeps traces byte-identical across runs.
+fn emit_round_faults(tel: &Telemetry, live_before: &[usize], fleet: &Fleet, before: FaultStats) {
+    if !tel.enabled() {
+        return;
+    }
+    for &client in live_before {
+        if !fleet.live.contains(&client) {
+            event!(tel, "server.evict", client = client);
+        }
+    }
+    let after = fleet.stats;
+    let delta = after.missed_reports - before.missed_reports;
+    if delta > 0 {
+        event!(tel, "server.miss", count = delta);
+    }
+    let delta = after.retries - before.retries;
+    if delta > 0 {
+        event!(tel, "server.retry", count = delta);
+    }
+    let delta = after.abandoned_slots - before.abandoned_slots;
+    if delta > 0 {
+        event!(tel, "server.abandon", count = delta);
+    }
+    let delta = after.duplicate_reports - before.duplicate_reports;
+    if delta > 0 {
+        tel.counter("server.duplicate_reports", delta as u64);
+    }
+}
+
 /// The server side: batch scheduling, deadline/retry accounting,
 /// optimizer advancement, exploit fill.
 fn serve<O>(
@@ -396,6 +483,7 @@ fn serve<O>(
     cfg: ServerConfig,
     clients: &[Sender<Task>],
     events: &Receiver<Event>,
+    tel: &Telemetry,
 ) -> Result<TuningOutcome, ServerError>
 where
     O: Objective + ?Sized,
@@ -413,8 +501,21 @@ where
     };
     let k = cfg.estimator.samples();
     let mut batch_id = 0u64;
+    let session = tel.enabled().then(|| {
+        tel.set_clock(0);
+        tel.span_open(
+            "server.session",
+            vec![
+                Field::new("procs", cfg.procs),
+                Field::new("max_steps", cfg.max_steps),
+                Field::new("k", k),
+                Field::new("seed", cfg.seed),
+            ],
+        )
+    });
 
     while trace.len() < cfg.max_steps && !optimizer.converged() {
+        tel.set_clock(trace.len() as u64);
         let batch = optimizer.propose();
         if batch.is_empty() {
             break;
@@ -427,11 +528,17 @@ where
         let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(k); batch.len()];
         while !pending.is_empty() {
             if fleet.live.is_empty() {
-                return Err(ServerError::AllClientsDead { step: trace.len() });
+                return Err(session_fail(
+                    tel,
+                    session,
+                    ServerError::AllClientsDead { step: trace.len() },
+                ));
             }
             let take = fleet.live.len().min(pending.len());
             let round: Vec<(usize, u32)> = pending.drain(..take).collect();
-            let resolutions = run_round(
+            let live_before = fleet.live.clone();
+            let stats_before = fleet.stats;
+            let resolutions = match run_round(
                 &round,
                 batch_id,
                 &batch,
@@ -442,7 +549,10 @@ where
                 &mut fleet,
                 &mut trace,
                 &mut evaluations,
-            )?;
+            ) {
+                Ok(r) => r,
+                Err(e) => return Err(session_fail(tel, session, e)),
+            };
             for ((slot, attempt), resolution) in round.into_iter().zip(resolutions) {
                 match resolution {
                     Resolution::Observed(obs) => samples[slot / k].push(obs),
@@ -457,6 +567,8 @@ where
                     }
                 }
             }
+            tel.set_clock(trace.len() as u64);
+            emit_round_faults(tel, &live_before, &fleet, stats_before);
         }
         let estimates: Vec<Option<f64>> = samples
             .iter()
@@ -475,31 +587,54 @@ where
         } else {
             let needed = quorum_needed(batch.len(), cfg.quorum);
             if reported < needed {
-                return Err(ServerError::QuorumNotReached {
-                    step: trace.len(),
-                    reported,
-                    needed,
-                });
+                return Err(session_fail(
+                    tel,
+                    session,
+                    ServerError::QuorumNotReached {
+                        step: trace.len(),
+                        reported,
+                        needed,
+                    },
+                ));
             }
             fleet.stats.partial_batches += 1;
+            event!(
+                tel,
+                "server.partial_batch",
+                reported = reported,
+                total = batch.len()
+            );
             optimizer.observe_partial(&estimates);
         }
+        event!(
+            tel,
+            "server.batch",
+            batch = batch_id,
+            points = batch.len(),
+            steps = trace.len(),
+            live = fleet.live.len()
+        );
         if let Some((rec, _)) = optimizer.recommendation() {
             quality_curve.push((trace.len(), objective.eval(&rec)));
         }
     }
 
-    let (best_point, best_estimate) = optimizer
-        .recommendation()
-        .ok_or(ServerError::NoObservations)?;
+    let Some((best_point, best_estimate)) = optimizer.recommendation() else {
+        return Err(session_fail(tel, session, ServerError::NoObservations));
+    };
     let best_true_cost = objective.eval(&best_point);
 
     // exploit: one live client keeps running the tuned configuration;
     // if it dies the next live client takes over
     while trace.len() < cfg.max_steps {
         let Some(&runner) = fleet.live.first() else {
-            return Err(ServerError::AllClientsDead { step: trace.len() });
+            return Err(session_fail(
+                tel,
+                session,
+                ServerError::AllClientsDead { step: trace.len() },
+            ));
         };
+        tel.set_clock(trace.len() as u64);
         batch_id += 1;
         let assign = Assignment {
             batch: batch_id,
@@ -514,11 +649,18 @@ where
             .is_err()
         {
             fleet.evict(runner);
+            event!(tel, "server.evict", client = runner);
             continue;
         }
         loop {
             match events.recv() {
-                Err(_) => return Err(ServerError::AllClientsDead { step: trace.len() }),
+                Err(_) => {
+                    return Err(session_fail(
+                        tel,
+                        session,
+                        ServerError::AllClientsDead { step: trace.len() },
+                    ))
+                }
                 Ok(Event::Report {
                     assign: a,
                     observed,
@@ -527,9 +669,11 @@ where
                 }) if a == assign => {
                     if duplicate {
                         fleet.stats.duplicate_reports += 1;
+                        tel.counter("server.duplicate_reports", 1);
                     }
                     if late {
                         fleet.stats.missed_reports += 1;
+                        event!(tel, "server.miss", count = 1usize);
                         trace.push(cfg.deadline);
                     } else {
                         trace.push(observed);
@@ -538,18 +682,37 @@ where
                 }
                 Ok(Event::Lost { assign: a }) if a == assign => {
                     fleet.stats.missed_reports += 1;
+                    event!(tel, "server.miss", count = 1usize);
                     trace.push(cfg.deadline);
                     break;
                 }
                 Ok(Event::Died { client, assign: a }) if a == assign => {
                     fleet.evict(client);
                     fleet.stats.missed_reports += 1;
+                    event!(tel, "server.evict", client = client);
+                    event!(tel, "server.miss", count = 1usize);
                     trace.push(cfg.deadline);
                     break;
                 }
                 Ok(_) => {} // stale or extra copy: discard silently
             }
         }
+    }
+
+    if let Some(id) = session {
+        tel.set_clock(trace.len() as u64);
+        event!(
+            tel,
+            "server.done",
+            batches = batch_id,
+            evaluations = evaluations,
+            best = best_true_cost,
+            evicted = fleet.stats.evicted_clients,
+            converged = optimizer.converged()
+        );
+        objective.emit_telemetry(tel);
+        trace.emit_telemetry(tel, None);
+        tel.span_close(id);
     }
 
     Ok(TuningOutcome {
@@ -890,6 +1053,52 @@ mod tests {
         let b = run_resilient(&obj, &noise, &mut opt_b, config, &FaultPlan::none()).unwrap();
         assert_eq!(a, b);
         assert!(b.faults.is_clean());
+    }
+
+    #[test]
+    fn traced_session_matches_untraced_and_counts_faults() {
+        let obj = bowl();
+        let plan = FaultPlan::new(12, 0.5, 0.0, 0.0, 0.0);
+        let config = cfg(Estimator::Single, 80, 16);
+
+        let mut plain_opt = ProOptimizer::with_defaults(space());
+        let plain = run_resilient(&obj, &Noise::None, &mut plain_opt, config, &plan).unwrap();
+
+        let (tel, sink) = harmony_telemetry::Telemetry::memory();
+        let mut traced_opt = ProOptimizer::with_defaults(space());
+        let traced =
+            run_resilient_traced(&obj, &Noise::None, &mut traced_opt, config, &plan, &tel).unwrap();
+
+        assert_eq!(plain, traced, "telemetry must not perturb the session");
+        let summary = harmony_telemetry::Summary::from_records(&sink.take());
+        assert_eq!(summary.span_count("server.session"), Some(1));
+        assert_eq!(
+            summary.event_count("server.evict"),
+            Some(traced.faults.evicted_clients as u64)
+        );
+        assert_eq!(summary.event_count("server.done"), Some(1));
+        assert!(summary.event_count("server.batch").unwrap() > 0);
+    }
+
+    #[test]
+    fn failed_traced_session_emits_terminal_event() {
+        let obj = bowl();
+        let plan = FaultPlan::new(3, 1.0, 0.0, 0.0, 0.0);
+        let (tel, sink) = harmony_telemetry::Telemetry::memory();
+        let mut opt = ProOptimizer::with_defaults(space());
+        let out = run_resilient_traced(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            cfg(Estimator::Single, 60, 4),
+            &plan,
+            &tel,
+        );
+        assert!(matches!(out, Err(ServerError::AllClientsDead { .. })));
+        let summary = harmony_telemetry::Summary::from_records(&sink.take());
+        assert_eq!(summary.event_count("server.all_dead"), Some(1));
+        // the terminal path closed the session span
+        assert_eq!(summary.span_count("server.session"), Some(1));
     }
 
     #[test]

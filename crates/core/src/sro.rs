@@ -12,6 +12,7 @@
 use crate::optimizer::{HistoryInterpolator, Incumbent, Optimizer};
 use harmony_params::init::{initial_simplex, InitialShape, DEFAULT_RELATIVE_SIZE};
 use harmony_params::{ParamSpace, Point, Rounding, Simplex, StepKind};
+use harmony_telemetry::{event, Field, Telemetry};
 
 /// Configuration of Sequential Rank Ordering.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +86,11 @@ pub struct SroOptimizer {
     scratch_order: Vec<usize>,
     scratch_vals: Vec<f64>,
     scratch_raw: Vec<Point>,
+    /// Telemetry handle (disabled by default); the driver owns the
+    /// logical clock.
+    tel: Telemetry,
+    /// Open `sro.iteration` span id (0 when none).
+    iter_span: u64,
 }
 
 impl SroOptimizer {
@@ -110,6 +116,8 @@ impl SroOptimizer {
             scratch_order: Vec::new(),
             scratch_vals: Vec::new(),
             scratch_raw: Vec::new(),
+            tel: Telemetry::disabled(),
+            iter_span: 0,
         }
     }
 
@@ -121,6 +129,36 @@ impl SroOptimizer {
     /// Completed simplex-transform iterations.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Attaches a telemetry handle: each iteration becomes an
+    /// `sro.iteration` span and every phase transition emits an
+    /// `sro.decision` event (mirror of
+    /// [`crate::ProOptimizer::set_telemetry`]).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    fn telemetry_iteration_boundary(&mut self) {
+        if !self.tel.enabled() {
+            return;
+        }
+        self.close_iter_span();
+        self.iter_span = self.tel.span_open(
+            "sro.iteration",
+            vec![
+                Field::new("iter", self.iterations),
+                Field::new("k", self.simplex.len()),
+                Field::new("best", self.values[0]),
+            ],
+        );
+    }
+
+    fn close_iter_span(&mut self) {
+        if self.iter_span != 0 {
+            self.tel.span_close(self.iter_span);
+            self.iter_span = 0;
+        }
     }
 
     fn best_vertex(&self) -> &Point {
@@ -168,16 +206,31 @@ impl SroOptimizer {
         self.scratch_vals = sorted;
         self.scratch_order = order;
 
+        self.telemetry_iteration_boundary();
         if self.simplex.collapsed(self.cfg.collapse_tol) {
             let probes = self
                 .space
                 .probe_points(self.best_vertex(), self.cfg.probe_eps);
             if probes.is_empty() {
+                event!(
+                    self.tel,
+                    "sro.decision",
+                    action = "converged",
+                    iter = self.iterations
+                );
+                self.close_iter_span();
                 self.converged = true;
                 self.phase = Phase::Done;
                 self.queue.clear();
                 self.got.clear();
             } else {
+                event!(
+                    self.tel,
+                    "sro.decision",
+                    action = "probe",
+                    iter = self.iterations,
+                    points = probes.len()
+                );
                 self.start_phase(Phase::Probe, probes);
             }
         } else {
@@ -187,6 +240,13 @@ impl SroOptimizer {
             self.queue.clear();
             self.queue.push(r);
             self.got.clear();
+            event!(
+                self.tel,
+                "sro.decision",
+                action = "reflect_check",
+                iter = self.iterations,
+                best = self.values[0]
+            );
             self.phase = Phase::ReflectCheck;
         }
     }
@@ -208,16 +268,31 @@ impl SroOptimizer {
                     self.queue.clear();
                     self.queue.push(e);
                     self.got.clear();
+                    event!(
+                        self.tel,
+                        "sro.decision",
+                        action = "expand_check",
+                        iter = self.iterations,
+                        f_r = f_r
+                    );
                     self.phase = Phase::ExpandCheck;
                 } else {
                     self.refill_queue_transformed(StepKind::Shrink);
                     self.got.clear();
+                    event!(
+                        self.tel,
+                        "sro.decision",
+                        action = "shrink",
+                        iter = self.iterations,
+                        f_r = f_r
+                    );
                     self.phase = Phase::Shrink;
                 }
             }
             Phase::ExpandCheck => {
                 let f_e = self.got[0];
-                if f_e < self.reflect_check_val {
+                let expand = f_e < self.reflect_check_val;
+                if expand {
                     self.refill_queue_transformed(StepKind::Expand);
                     self.phase = Phase::ExpandAll;
                 } else {
@@ -225,6 +300,13 @@ impl SroOptimizer {
                     self.phase = Phase::ReflectAll;
                 }
                 self.got.clear();
+                event!(
+                    self.tel,
+                    "sro.decision",
+                    action = if expand { "expand_all" } else { "reflect_all" },
+                    iter = self.iterations,
+                    f_e = f_e
+                );
             }
             Phase::ReflectAll | Phase::ExpandAll | Phase::Shrink => {
                 let mut queue = std::mem::take(&mut self.queue);
@@ -243,6 +325,13 @@ impl SroOptimizer {
                     .min_by(|a, b| a.partial_cmp(b).expect("finite values"))
                     .expect("non-empty probe set");
                 if min_v < self.values[0] {
+                    event!(
+                        self.tel,
+                        "sro.decision",
+                        action = "probe_improved",
+                        iter = self.iterations,
+                        found = min_v
+                    );
                     let mut queue = std::mem::take(&mut self.queue);
                     let mut verts = Vec::with_capacity(queue.len() + 1);
                     verts.push(self.simplex.vertex(0).clone());
@@ -256,6 +345,13 @@ impl SroOptimizer {
                     self.iterations += 1;
                     self.enter_iteration();
                 } else {
+                    event!(
+                        self.tel,
+                        "sro.decision",
+                        action = "converged",
+                        iter = self.iterations
+                    );
+                    self.close_iter_span();
                     self.converged = true;
                     self.phase = Phase::Done;
                 }

@@ -20,6 +20,7 @@ use crate::sampling::Estimator;
 use harmony_cluster::{Cluster, SamplingMode, TuningTrace};
 use harmony_params::Point;
 use harmony_surface::Objective;
+use harmony_telemetry::{event, Field, Telemetry};
 use harmony_variability::noise::NoiseModel;
 use harmony_variability::seeded_rng;
 
@@ -191,6 +192,31 @@ impl OnlineTuner {
         O: Objective + ?Sized,
         M: NoiseModel + ?Sized,
     {
+        self.run_traced(objective, noise, optimizer, &Telemetry::disabled())
+    }
+
+    /// [`OnlineTuner::run`] with structured tracing: the session becomes
+    /// a `tuner.session` span, every optimizer batch emits a
+    /// `tuner.batch` event, and the exploit phase, objective cache and
+    /// final [`TuningTrace`] metrics are exported at session end.
+    ///
+    /// The tuner *owns the logical clock*: it is set to the number of
+    /// consumed time steps `trace.len()` at every batch boundary, so
+    /// identical sessions produce byte-identical traces regardless of
+    /// where or when they run. To also record per-iteration optimizer
+    /// spans, hand the same handle to the optimizer (e.g.
+    /// [`crate::ProOptimizer::set_telemetry`]) before calling this.
+    pub fn run_traced<O, M>(
+        &self,
+        objective: &O,
+        noise: &M,
+        optimizer: &mut dyn Optimizer,
+        tel: &Telemetry,
+    ) -> TuningOutcome
+    where
+        O: Objective + ?Sized,
+        M: NoiseModel + ?Sized,
+    {
         // objectives are deterministic (noise is applied by the cluster
         // layer), so memoizing repeated probes is exact — converged
         // batches and the quality curve revisit the same points heavily
@@ -200,8 +226,22 @@ impl OnlineTuner {
         let mut trace = TuningTrace::new();
         let mut evaluations = 0usize;
         let mut quality_curve: Vec<(usize, f64)> = Vec::new();
+        let session = tel.enabled().then(|| {
+            tel.set_clock(0);
+            tel.span_open(
+                "tuner.session",
+                vec![
+                    Field::new("procs", self.cfg.procs),
+                    Field::new("max_steps", self.cfg.max_steps),
+                    Field::new("k", self.cfg.estimator.samples()),
+                    Field::new("seed", self.cfg.seed),
+                ],
+            )
+        });
+        let mut batches = 0usize;
 
         while trace.len() < self.cfg.max_steps && !optimizer.converged() {
+            tel.set_clock(trace.len() as u64);
             let batch = optimizer.propose();
             if batch.is_empty() {
                 break;
@@ -223,6 +263,15 @@ impl OnlineTuner {
                 .map(|s| self.cfg.estimator.reduce(s))
                 .collect();
             optimizer.observe(&estimates);
+            tel.set_clock(trace.len() as u64);
+            event!(
+                tel,
+                "tuner.batch",
+                batch = batches,
+                points = batch.len(),
+                steps = trace.len()
+            );
+            batches += 1;
             if let Some((rec, _)) = optimizer.recommendation() {
                 quality_curve.push((trace.len(), objective.eval(&rec)));
             }
@@ -247,10 +296,34 @@ impl OnlineTuner {
         } else {
             self.cfg.exploit_width.clamp(1, self.cfg.procs)
         };
+        tel.set_clock(trace.len() as u64);
+        let exploit_start = trace.len();
         let exploit_costs = vec![best_true_cost; width];
         while trace.len() < self.cfg.max_steps {
             let outcome = cluster.execute_step(&exploit_costs, noise, &mut rng);
             trace.push(outcome.t_k);
+        }
+
+        if let Some(id) = session {
+            tel.set_clock(trace.len() as u64);
+            event!(
+                tel,
+                "tuner.exploit",
+                steps = trace.len() - exploit_start,
+                cost = best_true_cost,
+                width = width
+            );
+            event!(
+                tel,
+                "tuner.done",
+                batches = batches,
+                evaluations = evaluations,
+                best = best_true_cost,
+                converged = optimizer.converged()
+            );
+            objective.emit_telemetry(tel);
+            trace.emit_telemetry(tel, None);
+            tel.span_close(id);
         }
 
         TuningOutcome {
@@ -537,6 +610,33 @@ mod tests {
         assert!(t_loose.is_some() && t_tight.is_some());
         assert!(t_loose.unwrap() <= t_tight.unwrap());
         assert_eq!(out.steps_to_quality(0.5), None); // below the optimum
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_session() {
+        let obj = bowl();
+        let noise = Noise::paper_default(0.2);
+        let tuner = OnlineTuner::new(cfg(Estimator::MinOfK(2), 80, 7));
+
+        let mut plain_opt = ProOptimizer::with_defaults(space());
+        let plain = tuner.run(&obj, &noise, &mut plain_opt);
+
+        let (tel, sink) = harmony_telemetry::Telemetry::memory();
+        let mut traced_opt = ProOptimizer::with_defaults(space());
+        traced_opt.set_telemetry(tel.clone());
+        let traced = tuner.run_traced(&obj, &noise, &mut traced_opt, &tel);
+
+        assert_eq!(plain, traced, "telemetry must not perturb the session");
+        let summary = harmony_telemetry::Summary::from_records(&sink.take());
+        assert_eq!(summary.span_count("tuner.session"), Some(1));
+        assert!(summary.span_count("pro.iteration").unwrap() > 0);
+        assert!(summary.event_count("tuner.batch").unwrap() > 0);
+        assert_eq!(summary.event_count("tuner.done"), Some(1));
+        assert_eq!(
+            summary.counter_total("trace.steps"),
+            Some(traced.trace.len() as u64)
+        );
+        assert!(summary.counter_total("cache.hits").unwrap() > 0);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! * [`Welford`] — numerically stable running mean/variance,
 //! * [`RunningMin`] — the paper's min-of-K estimator in streaming form,
 //!   with the count needed to apply the eq. 20/22 bounds,
+//! * [`RunningMax`] — the barrier-time dual (eq. 1 takes a max over
+//!   processors), used by telemetry histograms,
 //! * [`P2Quantile`] — the Jain–Chlamtac P² algorithm for a single
 //!   quantile without storing observations.
 
@@ -118,6 +120,41 @@ impl RunningMin {
     /// Current minimum estimate.
     pub fn get(&self) -> Option<f64> {
         self.min
+    }
+}
+
+/// Streaming maximum with sample count — the dual of [`RunningMin`]
+/// for worst-case (barrier-dominated) readings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningMax {
+    n: u64,
+    max: Option<f64>,
+}
+
+impl RunningMax {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningMax::default()
+    }
+
+    /// Consumes one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "streaming stats need finite observations");
+        self.n += 1;
+        self.max = Some(match self.max {
+            Some(m) => m.max(x),
+            None => x,
+        });
+    }
+
+    /// Observations consumed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current maximum.
+    pub fn get(&self) -> Option<f64> {
+        self.max
     }
 }
 
@@ -303,6 +340,17 @@ mod tests {
             m.push(x);
         }
         assert_eq!(m.get(), Some(3.0));
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn running_max() {
+        let mut m = RunningMax::new();
+        assert_eq!(m.get(), None);
+        for x in [5.0, 3.0, 7.0, 3.5] {
+            m.push(x);
+        }
+        assert_eq!(m.get(), Some(7.0));
         assert_eq!(m.count(), 4);
     }
 

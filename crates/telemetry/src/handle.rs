@@ -1,0 +1,398 @@
+//! The [`Telemetry`] handle: a cheaply clonable emitter bound to a sink.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::record::{Field, Kind, Record};
+use crate::sink::{MemorySink, NullSink, Sink};
+
+/// Construction options for a [`Telemetry`] handle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TelemetryConfig {
+    /// First span id minus one; lets independent traces (e.g. one per
+    /// harness task) allocate non-overlapping span ids before merging.
+    pub span_base: u64,
+    /// Stamp records with wall-clock nanoseconds. This makes the trace
+    /// scheduling-dependent — leave off on the deterministic path.
+    pub wall: bool,
+    /// Mirror every record to stderr (diagnostics; default quiet).
+    pub verbose: bool,
+}
+
+impl TelemetryConfig {
+    /// Default config, with `verbose` taken from the `HARMONY_VERBOSE`
+    /// environment variable (set and non-`0` means on).
+    pub fn from_env() -> Self {
+        TelemetryConfig {
+            verbose: std::env::var("HARMONY_VERBOSE").is_ok_and(|v| !v.is_empty() && v != "0"),
+            ..Self::default()
+        }
+    }
+}
+
+struct OpenSpan {
+    id: u64,
+    name: String,
+    enter_clock: u64,
+}
+
+struct Inner {
+    sink: Arc<dyn Sink>,
+    clock: AtomicU64,
+    next_span: AtomicU64,
+    stack: Mutex<Vec<OpenSpan>>,
+    wall: bool,
+    verbose: bool,
+    epoch: Instant,
+}
+
+/// A handle for emitting telemetry.
+///
+/// Cloning is cheap (one `Arc`); clones share the sink, the logical
+/// clock, and the span stack. A default-constructed (or
+/// [`Telemetry::disabled`]) handle has no sink and every emit method is
+/// a no-op, so instrumented code can hold one unconditionally.
+///
+/// Timestamps are logical: the owner of the handle drives
+/// [`Telemetry::set_clock`] / [`Telemetry::advance_clock`] with a
+/// deterministic quantity (tuning step, iteration index, task serial).
+/// Wall time is only recorded when [`TelemetryConfig::wall`] was set.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Telemetry(disabled)"),
+            Some(inner) => write!(
+                f,
+                "Telemetry(clock={})",
+                inner.clock.load(Ordering::Relaxed)
+            ),
+        }
+    }
+}
+
+impl Telemetry {
+    /// A no-op handle.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// Binds a handle to `sink` with default options.
+    pub fn new(sink: impl Sink + 'static) -> Self {
+        Self::with_config(Arc::new(sink), TelemetryConfig::default())
+    }
+
+    /// Binds a handle to a shared sink with explicit options.
+    pub fn with_config(sink: Arc<dyn Sink>, cfg: TelemetryConfig) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                sink,
+                clock: AtomicU64::new(0),
+                next_span: AtomicU64::new(cfg.span_base),
+                stack: Mutex::new(Vec::new()),
+                wall: cfg.wall,
+                verbose: cfg.verbose,
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Convenience: a handle over a fresh [`MemorySink`], returning both.
+    pub fn memory() -> (Self, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Self::with_config(sink.clone(), TelemetryConfig::default());
+        (tel, sink)
+    }
+
+    /// Convenience: a handle over a [`NullSink`] (enabled() is false,
+    /// so emit sites skip record construction).
+    pub fn null() -> Self {
+        Self::new(NullSink)
+    }
+
+    /// Whether emissions reach a live sink. Emit sites (and the
+    /// [`crate::event!`] macro) check this before building records.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => inner.sink.enabled(),
+        }
+    }
+
+    /// Current logical clock.
+    pub fn clock(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.clock.load(Ordering::Relaxed))
+    }
+
+    /// Sets the logical clock.
+    pub fn set_clock(&self, clock: u64) {
+        if let Some(inner) = &self.inner {
+            inner.clock.store(clock, Ordering::Relaxed);
+        }
+    }
+
+    /// Advances the logical clock by `ticks`.
+    pub fn advance_clock(&self, ticks: u64) {
+        if let Some(inner) = &self.inner {
+            inner.clock.fetch_add(ticks, Ordering::Relaxed);
+        }
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+
+    fn emit(&self, kind: Kind, name: &str, fields: Vec<Field>) {
+        let Some(inner) = &self.inner else { return };
+        if !inner.sink.enabled() {
+            return;
+        }
+        let record = Record {
+            clock: inner.clock.load(Ordering::Relaxed),
+            parent: inner
+                .stack
+                .lock()
+                .expect("span stack poisoned")
+                .last()
+                .map_or(0, |s| s.id),
+            kind,
+            name: name.to_string(),
+            fields,
+            wall_ns: inner
+                .wall
+                .then(|| u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)),
+        };
+        if inner.verbose {
+            eprintln!("[telemetry] {}", record.to_json());
+        }
+        inner.sink.record(record);
+    }
+
+    /// Emits a structured event. Prefer the [`crate::event!`] macro,
+    /// which skips field construction when disabled.
+    pub fn event(&self, name: &str, fields: Vec<Field>) {
+        self.emit(Kind::Event, name, fields);
+    }
+
+    /// Adds `delta` to the monotonic counter `name`.
+    pub fn counter(&self, name: &str, delta: u64) {
+        self.emit(Kind::Counter { delta }, name, Vec::new());
+    }
+
+    /// Records a gauge reading.
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.emit(Kind::Gauge { value }, name, Vec::new());
+    }
+
+    /// Feeds one observation to the streaming histogram `name`.
+    pub fn sample(&self, name: &str, value: f64) {
+        self.emit(Kind::Sample { value }, name, Vec::new());
+    }
+
+    /// Opens a span and returns its id (0 when disabled). Pair with
+    /// [`Telemetry::span_close`]; for scope-shaped spans prefer
+    /// [`Telemetry::span`].
+    pub fn span_open(&self, name: &str, fields: Vec<Field>) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        if !inner.sink.enabled() {
+            return 0;
+        }
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed) + 1;
+        self.emit(Kind::SpanEnter { id }, name, fields);
+        inner
+            .stack
+            .lock()
+            .expect("span stack poisoned")
+            .push(OpenSpan {
+                id,
+                name: name.to_string(),
+                enter_clock: inner.clock.load(Ordering::Relaxed),
+            });
+        id
+    }
+
+    /// Closes the span `id`, emitting exits for any still-open spans
+    /// nested inside it. Unknown (or 0) ids are ignored.
+    pub fn span_close(&self, id: u64) {
+        let Some(inner) = &self.inner else { return };
+        if id == 0 || !inner.sink.enabled() {
+            return;
+        }
+        let now = inner.clock.load(Ordering::Relaxed);
+        // Pop up to and including `id`, collecting exits innermost-first.
+        let closed: Vec<OpenSpan> = {
+            let mut stack = inner.stack.lock().expect("span stack poisoned");
+            match stack.iter().rposition(|s| s.id == id) {
+                None => return,
+                Some(pos) => stack.drain(pos..).rev().collect(),
+            }
+        };
+        for span in closed {
+            self.emit(
+                Kind::SpanExit {
+                    id: span.id,
+                    ticks: now.saturating_sub(span.enter_clock),
+                },
+                &span.name,
+                Vec::new(),
+            );
+        }
+    }
+
+    /// Opens a span closed automatically when the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_fields(name, Vec::new())
+    }
+
+    /// Like [`Telemetry::span`], with fields on the enter record.
+    pub fn span_fields(&self, name: &str, fields: Vec<Field>) -> SpanGuard {
+        SpanGuard {
+            tel: self.clone(),
+            id: self.span_open(name, fields),
+        }
+    }
+}
+
+/// Closes its span when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tel: Telemetry,
+    id: u64,
+}
+
+impl SpanGuard {
+    /// The span id (0 when telemetry is disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tel.span_close(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.enabled());
+        tel.event("x", vec![Field::new("k", 1u64)]);
+        tel.counter("c", 1);
+        let id = tel.span_open("s", vec![]);
+        assert_eq!(id, 0);
+        tel.span_close(id);
+        assert_eq!(tel.clock(), 0);
+    }
+
+    #[test]
+    fn null_sink_handle_reports_disabled() {
+        let tel = Telemetry::null();
+        assert!(!tel.enabled());
+        assert_eq!(tel.span_open("s", vec![]), 0);
+    }
+
+    #[test]
+    fn events_carry_clock_and_parent() {
+        let (tel, sink) = Telemetry::memory();
+        tel.set_clock(5);
+        let outer = tel.span_open("outer", vec![]);
+        tel.advance_clock(2);
+        tel.event("ping", vec![]);
+        tel.span_close(outer);
+        let records = sink.take();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].kind, Kind::SpanEnter { id: outer });
+        assert_eq!(records[1].parent, outer);
+        assert_eq!(records[1].clock, 7);
+        assert_eq!(
+            records[2].kind,
+            Kind::SpanExit {
+                id: outer,
+                ticks: 2
+            }
+        );
+    }
+
+    #[test]
+    fn closing_outer_span_closes_inner_first() {
+        let (tel, sink) = Telemetry::memory();
+        let outer = tel.span_open("outer", vec![]);
+        let inner = tel.span_open("inner", vec![]);
+        tel.span_close(outer);
+        let names: Vec<(String, bool)> = sink
+            .take()
+            .into_iter()
+            .map(|r| (r.name.clone(), matches!(r.kind, Kind::SpanExit { .. })))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("outer".to_string(), false),
+                ("inner".to_string(), false),
+                ("inner".to_string(), true),
+                ("outer".to_string(), true),
+            ]
+        );
+        tel.span_close(inner); // already closed: no-op
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn span_guard_closes_on_drop() {
+        let (tel, sink) = Telemetry::memory();
+        {
+            let _g = tel.span("scoped");
+            tel.event("inside", vec![]);
+        }
+        let records = sink.take();
+        assert!(matches!(records[2].kind, Kind::SpanExit { .. }));
+    }
+
+    #[test]
+    fn span_base_offsets_ids() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_config(
+            sink.clone(),
+            TelemetryConfig {
+                span_base: 1 << 32,
+                ..TelemetryConfig::default()
+            },
+        );
+        let id = tel.span_open("s", vec![]);
+        assert_eq!(id, (1 << 32) + 1);
+    }
+
+    #[test]
+    fn wall_channel_is_opt_in() {
+        let (tel, sink) = Telemetry::memory();
+        tel.event("e", vec![]);
+        assert_eq!(sink.take()[0].wall_ns, None);
+
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_config(
+            sink.clone(),
+            TelemetryConfig {
+                wall: true,
+                ..TelemetryConfig::default()
+            },
+        );
+        tel.event("e", vec![]);
+        assert!(sink.take()[0].wall_ns.is_some());
+    }
+}

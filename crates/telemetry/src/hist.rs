@@ -1,0 +1,158 @@
+//! A streaming histogram built on `harmony_stats::streaming`.
+//!
+//! Aggregates observations in-process (Welford moments, running min /
+//! max, P² median estimate) and emits a compact gauge set instead of one
+//! record per observation — the cheap way to put a distribution in a
+//! trace.
+
+use harmony_stats::streaming::{P2Quantile, RunningMax, RunningMin, Welford};
+
+use crate::handle::Telemetry;
+
+/// Streaming one-pass summary of a value stream.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    moments: Welford,
+    min: RunningMin,
+    max: RunningMax,
+    median: P2Quantile,
+    skipped: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram; the median tracker estimates the 0.5 quantile.
+    pub fn new() -> Self {
+        Histogram {
+            moments: Welford::new(),
+            min: RunningMin::new(),
+            max: RunningMax::new(),
+            median: P2Quantile::new(0.5),
+            skipped: 0,
+        }
+    }
+
+    /// Feeds one observation; non-finite values are counted but ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.skipped += 1;
+            return;
+        }
+        self.moments.push(x);
+        self.min.push(x);
+        self.max.push(x);
+        self.median.push(x);
+    }
+
+    /// Number of (finite) observations.
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Sample standard deviation (0 with fewer than two observations).
+    pub fn sd(&self) -> f64 {
+        self.moments.sd()
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min.get()
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max.get()
+    }
+
+    /// P² running estimate of the median, if any observations arrived.
+    pub fn median(&self) -> Option<f64> {
+        (self.median.count() > 0).then(|| self.median.get())
+    }
+
+    /// Emits the summary as gauges `{name}.count/mean/sd/min/max/p50`
+    /// (only the gauges that are defined for the observed count).
+    pub fn emit_to(&self, tel: &Telemetry, name: &str) {
+        if !tel.enabled() {
+            return;
+        }
+        tel.gauge(&format!("{name}.count"), self.count() as f64);
+        if self.count() == 0 {
+            return;
+        }
+        tel.gauge(&format!("{name}.mean"), self.mean());
+        if self.count() > 1 {
+            tel.gauge(&format!("{name}.sd"), self.sd());
+        }
+        if let Some(v) = self.min() {
+            tel.gauge(&format!("{name}.min"), v);
+        }
+        if let Some(v) = self.max() {
+            tel.gauge(&format!("{name}.max"), v);
+        }
+        if let Some(v) = self.median() {
+            tel.gauge(&format!("{name}.p50"), v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarises_a_stream() {
+        let mut h = Histogram::new();
+        for x in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            h.push(x);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(5.0));
+        let p50 = h.median().unwrap();
+        assert!((1.0..=5.0).contains(&p50));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut h = Histogram::new();
+        h.push(f64::NAN);
+        h.push(1.0);
+        h.push(f64::INFINITY);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(1.0));
+    }
+
+    #[test]
+    fn emits_gauges() {
+        let (tel, sink) = Telemetry::memory();
+        let mut h = Histogram::new();
+        h.push(2.0);
+        h.push(4.0);
+        h.emit_to(&tel, "step_time");
+        let names: Vec<String> = sink.take().into_iter().map(|r| r.name).collect();
+        assert!(names.contains(&"step_time.count".to_string()));
+        assert!(names.contains(&"step_time.mean".to_string()));
+        assert!(names.contains(&"step_time.sd".to_string()));
+        assert!(names.contains(&"step_time.p50".to_string()));
+    }
+
+    #[test]
+    fn empty_emits_count_only() {
+        let (tel, sink) = Telemetry::memory();
+        Histogram::new().emit_to(&tel, "empty");
+        let records = sink.take();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "empty.count");
+    }
+}

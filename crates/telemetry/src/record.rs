@@ -1,0 +1,318 @@
+//! The wire format: one [`Record`] per telemetry emission.
+//!
+//! Records are serialized as one JSON object per line with a fixed key
+//! order, so a trace written by [`crate::JsonlSink`] is byte-stable: the
+//! same sequence of emissions always produces the same bytes. Timestamps
+//! are *logical* ([`Record::clock`]); the optional `wall_ns` field only
+//! appears when the wall channel was explicitly enabled and is excluded
+//! from determinism guarantees.
+
+use std::borrow::Cow;
+use std::fmt::Write as _;
+
+/// A scalar field value attached to a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point; non-finite values serialize as JSON `null`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A named field on a record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub key: Cow<'static, str>,
+    /// Field value.
+    pub value: Value,
+}
+
+impl Field {
+    /// Builds a field from any supported key/value pair.
+    pub fn new(key: impl Into<Cow<'static, str>>, value: impl Into<Value>) -> Self {
+        Field {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// What kind of emission a record represents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Kind {
+    /// A point-in-time structured event.
+    Event,
+    /// A span was opened; `id` is unique within the trace.
+    SpanEnter {
+        /// Span identity, referenced by the matching [`Kind::SpanExit`].
+        id: u64,
+    },
+    /// A span was closed.
+    SpanExit {
+        /// Span identity from the matching [`Kind::SpanEnter`].
+        id: u64,
+        /// Logical clock ticks elapsed inside the span.
+        ticks: u64,
+    },
+    /// A monotonic counter increment.
+    Counter {
+        /// Amount added to the counter.
+        delta: u64,
+    },
+    /// A point-in-time gauge reading.
+    Gauge {
+        /// The gauge value.
+        value: f64,
+    },
+    /// One observation fed to a streaming histogram.
+    Sample {
+        /// The observed value.
+        value: f64,
+    },
+}
+
+impl Kind {
+    fn label(&self) -> &'static str {
+        match self {
+            Kind::Event => "event",
+            Kind::SpanEnter { .. } => "span_enter",
+            Kind::SpanExit { .. } => "span_exit",
+            Kind::Counter { .. } => "counter",
+            Kind::Gauge { .. } => "gauge",
+            Kind::Sample { .. } => "sample",
+        }
+    }
+}
+
+/// One telemetry emission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Logical timestamp (task serial / iteration index / step index).
+    pub clock: u64,
+    /// Id of the enclosing span, or 0 at top level.
+    pub parent: u64,
+    /// What this record is.
+    pub kind: Kind,
+    /// Dotted name, e.g. `pro.decision` or `cache.hits`.
+    pub name: String,
+    /// Structured payload.
+    pub fields: Vec<Field>,
+    /// Wall-clock nanoseconds since trace start; only present on the
+    /// opt-in wall channel, never on the deterministic path.
+    pub wall_ns: Option<u64>,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Record {
+    /// Serializes the record as one JSON line (no trailing newline).
+    ///
+    /// Key order is fixed, so equal records produce equal bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"clock\":{},\"parent\":{},\"kind\":\"{}\"",
+            self.clock,
+            self.parent,
+            self.kind.label()
+        );
+        match &self.kind {
+            Kind::Event => {}
+            Kind::SpanEnter { id } => {
+                let _ = write!(out, ",\"id\":{id}");
+            }
+            Kind::SpanExit { id, ticks } => {
+                let _ = write!(out, ",\"id\":{id},\"ticks\":{ticks}");
+            }
+            Kind::Counter { delta } => {
+                let _ = write!(out, ",\"delta\":{delta}");
+            }
+            Kind::Gauge { value } | Kind::Sample { value } => {
+                out.push_str(",\"value\":");
+                push_f64(&mut out, *value);
+            }
+        }
+        out.push_str(",\"name\":");
+        push_json_str(&mut out, &self.name);
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, f) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, &f.key);
+                out.push(':');
+                match &f.value {
+                    Value::U64(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    Value::I64(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    Value::F64(v) => push_f64(&mut out, *v),
+                    Value::Bool(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    Value::Str(s) => push_json_str(&mut out, s),
+                }
+            }
+            out.push('}');
+        }
+        if let Some(w) = self.wall_ns {
+            let _ = write!(out, ",\"wall_ns\":{w}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_round_keys_are_stable() {
+        let r = Record {
+            clock: 3,
+            parent: 1,
+            kind: Kind::Event,
+            name: "pro.decision".into(),
+            fields: vec![Field::new("action", "reflect"), Field::new("iter", 2u64)],
+            wall_ns: None,
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"clock\":3,\"parent\":1,\"kind\":\"event\",\"name\":\"pro.decision\",\
+             \"fields\":{\"action\":\"reflect\",\"iter\":2}}"
+        );
+    }
+
+    #[test]
+    fn span_pair_serializes_ids() {
+        let enter = Record {
+            clock: 0,
+            parent: 0,
+            kind: Kind::SpanEnter { id: 7 },
+            name: "s".into(),
+            fields: vec![],
+            wall_ns: None,
+        };
+        let exit = Record {
+            clock: 4,
+            parent: 0,
+            kind: Kind::SpanExit { id: 7, ticks: 4 },
+            name: "s".into(),
+            fields: vec![],
+            wall_ns: Some(12),
+        };
+        assert!(enter.to_json().contains("\"kind\":\"span_enter\",\"id\":7"));
+        assert!(exit.to_json().contains("\"ticks\":4"));
+        assert!(exit.to_json().ends_with("\"wall_ns\":12}"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let r = Record {
+            clock: 0,
+            parent: 0,
+            kind: Kind::Gauge { value: f64::NAN },
+            name: "g".into(),
+            fields: vec![Field::new("x", f64::INFINITY)],
+            wall_ns: None,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"value\":null"));
+        assert!(json.contains("\"x\":null"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let r = Record {
+            clock: 0,
+            parent: 0,
+            kind: Kind::Event,
+            name: "weird \"name\"\n".into(),
+            fields: vec![],
+            wall_ns: None,
+        };
+        assert!(r.to_json().contains("\\\"name\\\"\\n"));
+    }
+}

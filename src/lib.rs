@@ -18,6 +18,9 @@
 //! * [`cluster`] — SPMD time-step execution, `Total_Time`/NTT metrics,
 //!   sample scheduling, a replication thread pool, deterministic fault
 //!   injection,
+//! * [`telemetry`] — deterministic structured tracing: logical-clock
+//!   stamped events, counters, histograms, nestable spans, JSONL
+//!   serialisation and trace summaries,
 //! * [`core`] — the optimizers (PRO, SRO, Nelder–Mead, baselines), the
 //!   estimator layer, the on-line tuning driver, and the threaded
 //!   fault-tolerant Active-Harmony-style server.
@@ -57,6 +60,7 @@ pub use harmony_core as core;
 pub use harmony_params as params;
 pub use harmony_stats as stats;
 pub use harmony_surface as surface;
+pub use harmony_telemetry as telemetry;
 pub use harmony_variability as variability;
 
 /// The most commonly used items in one import.
@@ -64,7 +68,9 @@ pub mod prelude {
     pub use harmony_cluster::{Cluster, FaultPlan, FleetState, SamplingMode, TuningTrace};
     pub use harmony_core::baselines::{GeneticAlgorithm, RandomSearch, SimulatedAnnealing};
     pub use harmony_core::nelder_mead::{NelderMead, NelderMeadConfig};
-    pub use harmony_core::server::{run_distributed, run_resilient, ServerConfig, ServerError};
+    pub use harmony_core::server::{
+        run_distributed, run_resilient, run_resilient_traced, ServerConfig, ServerError,
+    };
     pub use harmony_core::sro::{SroConfig, SroOptimizer};
     pub use harmony_core::{
         Estimator, FaultStats, OnlineTuner, Optimizer, ProConfig, ProOptimizer, TunerConfig,
@@ -74,6 +80,7 @@ pub mod prelude {
     pub use harmony_params::{ParamDef, ParamKind, ParamSpace, Point, Rounding, Simplex};
     pub use harmony_stats::{Ecdf, Histogram, Summary};
     pub use harmony_surface::{best_on_lattice, Gs2Model, Objective, PerfDatabase};
+    pub use harmony_telemetry::{JsonlSink, MemorySink, NullSink, Telemetry, TelemetryConfig};
     pub use harmony_variability::dist::{Distribution, Pareto};
     pub use harmony_variability::noise::{Noise, NoiseModel};
     pub use harmony_variability::{seeded_rng, stream_seed};
