@@ -1,28 +1,37 @@
 //! Regenerates every figure and table at reduced (default) or `--full`
 //! scale on the dependency-aware parallel harness. See EXPERIMENTS.md
-//! for the recorded outputs and DESIGN.md §4d for the determinism
-//! argument.
+//! for the recorded outputs and DESIGN.md §4d/§4f for the determinism
+//! argument and the subtask decomposition.
 //!
 //! Flags:
 //!
 //! * `--full` — paper-scale parameters (default is the quick scale)
-//! * `-jN` / `--workers N` — worker threads (default: hardware count);
-//!   the artifacts are byte-identical for every worker count
+//! * `-jN` / `--workers N` — worker threads (default:
+//!   `std::thread::available_parallelism()`); the artifacts are
+//!   byte-identical for every worker count
 //! * `--seed N` — global experiment seed (default 2005, the committed
 //!   artifacts' seed)
+//! * `--only GLOB` — run only the experiments matching the `*`-glob
+//!   (repeatable; dependencies are pulled in automatically)
+//! * `--list` — print the experiment names and their subtask counts,
+//!   then exit
 //! * `--check-against PATH` — read a previously committed
 //!   `BENCH_harness.json` and exit nonzero when this run's total
 //!   wall-clock regresses by more than 25%
+//! * `--min-speedup X` — exit nonzero when the run's effective speedup
+//!   (serial-equivalent over wall-clock) falls below `X`; meaningful
+//!   only on hosts with at least that many cores (CI timing gates)
 //! * `--trace PATH` — write a JSONL telemetry trace of the run (byte-
 //!   identical for every worker count; read it with `trace_summary`)
 //! * `--trace-wall` — additionally stamp wall-clock nanoseconds and
 //!   pool scheduling statistics into the trace (nondeterministic)
-//! * `--verbose` — stderr progress lines while tasks finish (also
+//! * `--verbose` — stderr progress lines while jobs finish (also
 //!   enabled by a non-empty, non-`0` `HARMONY_VERBOSE`)
 //!
 //! Every invocation writes `BENCH_harness.json` (per-experiment and
-//! total wall-clock, worker count, effective speedup) next to the
-//! results directory.
+//! per-subtask wall-clock, critical-path length, worker count,
+//! effective speedup, parallel efficiency) next to the results
+//! directory.
 
 use harmony_bench::harness::{self, RunConfig};
 
@@ -44,6 +53,9 @@ fn main() {
     // opted into with --verbose or HARMONY_VERBOSE
     cfg.progress = harmony_telemetry::TelemetryConfig::from_env().verbose;
     let mut check_against: Option<String> = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut list = false;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -53,6 +65,15 @@ fn main() {
             cfg.full = false;
         } else if a == "--verbose" {
             cfg.progress = true;
+        } else if a == "--list" {
+            list = true;
+        } else if a == "--only" {
+            i += 1;
+            let Some(p) = args.get(i) else {
+                eprintln!("missing value for --only");
+                std::process::exit(2);
+            };
+            only.push(p.clone());
         } else if a == "--trace" {
             i += 1;
             let Some(p) = args.get(i) else {
@@ -82,6 +103,9 @@ fn main() {
                 std::process::exit(2);
             };
             check_against = Some(p.clone());
+        } else if a == "--min-speedup" {
+            i += 1;
+            min_speedup = Some(parse_or_die("--min-speedup", args.get(i)));
         } else {
             eprintln!("unknown argument: {a}");
             std::process::exit(2);
@@ -89,6 +113,28 @@ fn main() {
         i += 1;
     }
     cfg.workers = cfg.workers.max(1);
+
+    if list {
+        for (e, t) in harness::TASKS.iter().enumerate() {
+            let parts = harness::subtask_count(e);
+            if parts == 0 {
+                println!("{}", t.name);
+            } else {
+                println!("{} ({parts} subtasks)", t.name);
+            }
+        }
+        return;
+    }
+    if !only.is_empty() {
+        let matched = harness::TASKS
+            .iter()
+            .any(|t| only.iter().any(|p| harness::glob_match(p, t.name)));
+        if !matched {
+            eprintln!("--only matched no experiments (see --list)");
+            std::process::exit(2);
+        }
+        cfg.only = Some(only);
+    }
 
     // read the committed baseline *before* running (the run overwrites
     // BENCH_harness.json, which is the usual baseline path)
@@ -123,18 +169,21 @@ fn main() {
     }
     println!(
         "=== done: {} experiments in {:.3}s on {} workers \
-         (serial-equivalent {:.3}s, effective speedup {:.2}x) ===",
+         (serial-equivalent {:.3}s, effective speedup {:.2}x, \
+         critical path {:.3}s) ===",
         report.tasks.len(),
         report.total_wall_s,
         report.workers,
         report.serial_wall_s(),
-        report.speedup()
+        report.speedup(),
+        report.critical_path_s
     );
     println!("[json] {json_path}");
     if let Some(trace) = &cfg.trace {
         println!("[trace] {}", trace.display());
     }
 
+    let mut failed = false;
     if let Some(baseline) = baseline_total {
         let limit = baseline * 1.25;
         println!(
@@ -146,7 +195,23 @@ fn main() {
                 "FAIL: total wall-clock {:.3}s regressed more than 25% over baseline {baseline:.3}s",
                 report.total_wall_s
             );
-            std::process::exit(1);
+            failed = true;
         }
+    }
+    if let Some(min) = min_speedup {
+        println!(
+            "[check] effective speedup {:.2}x vs required {min:.2}x",
+            report.speedup()
+        );
+        if report.speedup() < min {
+            eprintln!(
+                "FAIL: effective speedup {:.2}x below required {min:.2}x",
+                report.speedup()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

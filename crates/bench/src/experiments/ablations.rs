@@ -1,8 +1,9 @@
 //! Ablations A1/A2 plus the projection-rounding study — the design
 //! choices DESIGN.md calls out.
 
-use crate::average_sessions;
 use crate::report::Table;
+use crate::{average_sessions, average_sessions_in};
+use harmony_cluster::pool::worker_count;
 use harmony_cluster::SamplingMode;
 use harmony_core::{Estimator, OnlineTuner, ProConfig, ProOptimizer, TunerConfig};
 use harmony_params::Rounding;
@@ -62,40 +63,78 @@ pub fn expansion_check(steps: usize, reps: usize, rho: f64, seed: u64) -> Table 
     table
 }
 
-/// A2 — estimator comparison under different noise families: the mean
-/// estimator degrades under heavy tails while the min stays effective.
-pub fn estimators(steps: usize, reps: usize, rho: f64, seed: u64) -> Table {
-    let gs2 = Gs2Model::paper_scale();
-    let noises: [(&str, Noise); 4] = [
+/// The A2 noise families, in canonical column order.
+pub fn estimator_noises(rho: f64) -> [(&'static str, Noise); 4] {
+    [
         ("pareto_a1.7", Noise::Pareto { alpha: 1.7, rho }),
         ("pareto_a1.1", Noise::Pareto { alpha: 1.1, rho }),
         ("gaussian", Noise::Gaussian { rho, cv: 0.5 }),
         ("spiky", Noise::Spiky { rho }),
-    ];
-    let estimators: [Estimator; 5] = [
-        Estimator::Single,
-        Estimator::MinOfK(3),
-        Estimator::MeanOfK(3),
-        Estimator::MedianOfK(3),
-        Estimator::MinOfK(5),
-    ];
+    ]
+}
+
+/// The A2 estimators, in canonical row order.
+pub const ESTIMATORS: [Estimator; 5] = [
+    Estimator::Single,
+    Estimator::MinOfK(3),
+    Estimator::MeanOfK(3),
+    Estimator::MedianOfK(3),
+    Estimator::MinOfK(5),
+];
+
+/// A2 — estimator comparison under different noise families: the mean
+/// estimator degrades under heavy tails while the min stays effective.
+pub fn estimators(steps: usize, reps: usize, rho: f64, seed: u64) -> Table {
+    let workers = worker_count(reps);
+    let mut cells = Vec::with_capacity(ESTIMATORS.len() * estimator_noises(rho).len());
+    for ei in 0..ESTIMATORS.len() {
+        for ni in 0..estimator_noises(rho).len() {
+            cells.push(estimators_cell_in(workers, ei, ni, steps, reps, rho, seed));
+        }
+    }
+    assemble_estimators(rho, &cells)
+}
+
+/// One A2 cell: mean best-true cost for `(ESTIMATORS[est_idx],
+/// estimator_noises(rho)[noise_idx])`, with an explicit inner worker
+/// count. The cell seed depends only on the noise index and the
+/// estimator's sample count, exactly as in the monolithic sweep.
+pub fn estimators_cell_in(
+    workers: usize,
+    est_idx: usize,
+    noise_idx: usize,
+    steps: usize,
+    reps: usize,
+    rho: f64,
+    seed: u64,
+) -> f64 {
+    let gs2 = Gs2Model::paper_scale();
+    let est = ESTIMATORS[est_idx];
+    let noises = estimator_noises(rho);
+    let (_, ref noise) = noises[noise_idx];
+    let avg = average_sessions_in(
+        workers,
+        reps,
+        stream_seed(seed, (noise_idx as u64) << 8 | est.samples() as u64),
+        rho,
+        |s| session(&gs2, noise, ProConfig::default(), est, steps, s),
+    );
+    avg.mean_best_true
+}
+
+/// Reassembles A2 from estimator-major cells
+/// (`cells[est_idx * n_noises + noise_idx]`).
+pub fn assemble_estimators(rho: f64, cells: &[f64]) -> Table {
+    let noises = estimator_noises(rho);
+    assert_eq!(cells.len(), ESTIMATORS.len() * noises.len());
     let header: Vec<String> = noises
         .iter()
         .map(|(n, _)| format!("best_true_{n}"))
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new("ablation_estimators", &header_refs);
-    for est in estimators {
-        let mut row = Vec::with_capacity(noises.len());
-        for (i, (_, noise)) in noises.iter().enumerate() {
-            let avg = average_sessions(
-                reps,
-                stream_seed(seed, (i as u64) << 8 | est.samples() as u64),
-                rho,
-                |s| session(&gs2, noise, ProConfig::default(), est, steps, s),
-            );
-            row.push(avg.mean_best_true);
-        }
+    for (ei, est) in ESTIMATORS.iter().enumerate() {
+        let row = cells[ei * noises.len()..(ei + 1) * noises.len()].to_vec();
         table.push_labeled(est.label(), row);
     }
     table
@@ -130,13 +169,63 @@ pub fn projection(steps: usize, reps: usize, rho: f64, seed: u64) -> Table {
     table
 }
 
+/// The monitoring-study idle throughputs, in canonical row order.
+pub const MONITORING_RHOS: [f64; 4] = [0.0, 0.05, 0.2, 0.4];
+
 /// Monitoring-mode study: stop-at-convergence (§3.2.2 as written) vs
 /// continuous re-probing with fresh re-measurement of `v⁰`. Under
 /// heavy-tailed noise the continuous mode acts like a light annealer —
 /// it escapes ridge basins that trap the stopping version — at the cost
 /// of evaluating probe batches forever.
 pub fn monitoring(steps: usize, reps: usize, seed: u64) -> Table {
+    let workers = worker_count(reps);
+    let mut cells = Vec::with_capacity(MONITORING_RHOS.len() * 2);
+    for ri in 0..MONITORING_RHOS.len() {
+        for continuous in [false, true] {
+            cells.push(monitoring_cell_in(
+                workers, ri, continuous, steps, reps, seed,
+            ));
+        }
+    }
+    assemble_monitoring(&cells)
+}
+
+/// One monitoring cell: `(mean NTT, mean best-true)` for
+/// `(MONITORING_RHOS[rho_idx], continuous)`, with an explicit inner
+/// worker count; same seed stream as the monolithic sweep.
+pub fn monitoring_cell_in(
+    workers: usize,
+    rho_idx: usize,
+    continuous: bool,
+    steps: usize,
+    reps: usize,
+    seed: u64,
+) -> (f64, f64) {
     let gs2 = Gs2Model::paper_scale();
+    let rho = MONITORING_RHOS[rho_idx];
+    let noise = if rho == 0.0 {
+        Noise::None
+    } else {
+        Noise::paper_default(rho)
+    };
+    let cfg = ProConfig {
+        continuous,
+        ..ProConfig::default()
+    };
+    let avg = average_sessions_in(
+        workers,
+        reps,
+        stream_seed(seed, u64::from(continuous) + 2),
+        rho,
+        |s| session(&gs2, &noise, cfg, Estimator::Single, steps, s),
+    );
+    (avg.mean_ntt, avg.mean_best_true)
+}
+
+/// Reassembles the monitoring table from ρ-major `(ntt, best_true)`
+/// cells (`cells[rho_idx * 2 + continuous as usize]`).
+pub fn assemble_monitoring(cells: &[(f64, f64)]) -> Table {
+    assert_eq!(cells.len(), MONITORING_RHOS.len() * 2);
     let mut table = Table::new(
         "ablation_monitoring",
         &[
@@ -147,28 +236,10 @@ pub fn monitoring(steps: usize, reps: usize, seed: u64) -> Table {
             "best_true_continuous",
         ],
     );
-    for rho in [0.0, 0.05, 0.2, 0.4] {
-        let noise = if rho == 0.0 {
-            Noise::None
-        } else {
-            Noise::paper_default(rho)
-        };
-        let mut row = vec![rho];
-        for continuous in [false, true] {
-            let cfg = ProConfig {
-                continuous,
-                ..ProConfig::default()
-            };
-            let avg = average_sessions(
-                reps,
-                stream_seed(seed, u64::from(continuous) + 2),
-                rho,
-                |s| session(&gs2, &noise, cfg, Estimator::Single, steps, s),
-            );
-            row.push(avg.mean_ntt);
-            row.push(avg.mean_best_true);
-        }
-        table.push(row);
+    for (ri, &rho) in MONITORING_RHOS.iter().enumerate() {
+        let (ntt_stop, bt_stop) = cells[ri * 2];
+        let (ntt_cont, bt_cont) = cells[ri * 2 + 1];
+        table.push(vec![rho, ntt_stop, bt_stop, ntt_cont, bt_cont]);
     }
     table
 }

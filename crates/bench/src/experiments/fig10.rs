@@ -11,8 +11,9 @@
 //! (`ρ = 0.05` dipping below `ρ = 0`) by kicking the search out of poor
 //! local minima.
 
-use crate::average_sessions;
+use crate::average_sessions_in;
 use crate::report::Table;
+use harmony_cluster::pool::worker_count;
 use harmony_cluster::SamplingMode;
 use harmony_core::{Estimator, OnlineTuner, ProOptimizer, TunerConfig};
 use harmony_surface::{Gs2Model, Objective};
@@ -51,8 +52,20 @@ impl Default for Fig10Config {
     }
 }
 
+/// The extended-sweep idle throughputs (`run_extended` row order).
+pub const EXTENDED_RHOS: [f64; 5] = [0.40, 0.45, 0.50, 0.55, 0.60];
+
 /// Average NTT for one `(ρ, K)` cell, with its standard error.
 pub fn cell_with_sem(rho: f64, k: usize, cfg: &Fig10Config) -> (f64, f64) {
+    cell_with_sem_in(worker_count(cfg.reps), rho, k, cfg)
+}
+
+/// [`cell_with_sem`] with an explicit inner replication worker count.
+///
+/// Harness subtasks pass `workers == 1` so the task-graph pool owns all
+/// parallelism; the cell value is bit-identical for any worker count
+/// because every replication seed is `stream_seed(cell_seed, rep)`.
+pub fn cell_with_sem_in(workers: usize, rho: f64, k: usize, cfg: &Fig10Config) -> (f64, f64) {
     let gs2 = Gs2Model::paper_scale();
     let noise = if rho == 0.0 {
         Noise::None
@@ -62,20 +75,62 @@ pub fn cell_with_sem(rho: f64, k: usize, cfg: &Fig10Config) -> (f64, f64) {
             rho,
         }
     };
-    let avg = average_sessions(cfg.reps, cfg.seed ^ (k as u64) << 32, rho, |seed| {
-        let tuner = OnlineTuner::new(TunerConfig {
-            procs: cfg.procs,
-            max_steps: cfg.steps,
-            estimator: Estimator::MinOfK(k),
-            mode: SamplingMode::SequentialSteps,
-            seed,
-            full_occupancy: false,
-            exploit_width: 6,
-        });
-        let mut opt = ProOptimizer::with_defaults(gs2.space().clone());
-        tuner.run(&gs2, &noise, &mut opt)
-    });
+    let avg = average_sessions_in(
+        workers,
+        cfg.reps,
+        cfg.seed ^ (k as u64) << 32,
+        rho,
+        |seed| {
+            let tuner = OnlineTuner::new(TunerConfig {
+                procs: cfg.procs,
+                max_steps: cfg.steps,
+                estimator: Estimator::MinOfK(k),
+                mode: SamplingMode::SequentialSteps,
+                seed,
+                full_occupancy: false,
+                exploit_width: 6,
+            });
+            let mut opt = ProOptimizer::with_defaults(gs2.space().clone());
+            tuner.run(&gs2, &noise, &mut opt)
+        },
+    );
     (avg.mean_ntt, avg.sem_ntt)
+}
+
+/// Average NTT for one *packed-scheduling* `(ρ, K)` cell (§5.2 sweep).
+///
+/// Seed stream `cfg.seed ^ (k << 40)` is disjoint from the sequential
+/// sweep's `cfg.seed ^ (k << 32)` by construction.
+pub fn packed_cell_in(workers: usize, rho: f64, k: usize, cfg: &Fig10Config) -> f64 {
+    let gs2 = Gs2Model::paper_scale();
+    let noise = if rho == 0.0 {
+        Noise::None
+    } else {
+        Noise::Pareto {
+            alpha: cfg.alpha,
+            rho,
+        }
+    };
+    let avg = average_sessions_in(
+        workers,
+        cfg.reps,
+        cfg.seed ^ ((k as u64) << 40),
+        rho,
+        |seed| {
+            let tuner = OnlineTuner::new(TunerConfig {
+                procs: cfg.procs,
+                max_steps: cfg.steps,
+                estimator: Estimator::MinOfK(k),
+                mode: SamplingMode::Packed,
+                seed,
+                full_occupancy: false,
+                exploit_width: 6,
+            });
+            let mut opt = ProOptimizer::with_defaults(gs2.space().clone());
+            tuner.run(&gs2, &noise, &mut opt)
+        },
+    );
+    avg.mean_ntt
 }
 
 /// Average NTT for one `(ρ, K)` cell.
@@ -89,7 +144,19 @@ pub fn cell(rho: f64, k: usize, cfg: &Fig10Config) -> f64 {
 /// `ρ ∈ {0.40, …, 0.60}` with standard errors so the crossover is
 /// visible beyond replication noise.
 pub fn run_extended(cfg: &Fig10Config) -> Table {
-    let rhos = [0.40, 0.45, 0.50, 0.55, 0.60];
+    let workers = worker_count(cfg.reps);
+    let cells: Vec<(f64, f64)> = EXTENDED_RHOS
+        .iter()
+        .flat_map(|&rho| cfg.ks.iter().map(move |&k| (rho, k)))
+        .map(|(rho, k)| cell_with_sem_in(workers, rho, k, cfg))
+        .collect();
+    assemble_extended(cfg, &cells)
+}
+
+/// Reassembles the extended table from ρ-major `(ntt, sem)` cells
+/// (`cells[ri * ks.len() + ki]`), in exact canonical row/column order.
+pub fn assemble_extended(cfg: &Fig10Config, cells: &[(f64, f64)]) -> Table {
+    assert_eq!(cells.len(), EXTENDED_RHOS.len() * cfg.ks.len());
     let mut header: Vec<String> = vec!["rho".into()];
     for k in &cfg.ks {
         header.push(format!("ntt_k{k}"));
@@ -97,10 +164,10 @@ pub fn run_extended(cfg: &Fig10Config) -> Table {
     }
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new("fig10_extended", &header_refs);
-    for &rho in &rhos {
+    for (ri, &rho) in EXTENDED_RHOS.iter().enumerate() {
         let mut row = vec![rho];
-        for &k in &cfg.ks {
-            let (ntt, sem) = cell_with_sem(rho, k, cfg);
+        for ki in 0..cfg.ks.len() {
+            let (ntt, sem) = cells[ri * cfg.ks.len() + ki];
             row.push(ntt);
             row.push(sem);
         }
@@ -115,53 +182,39 @@ pub fn run_extended(cfg: &Fig10Config) -> Table {
 /// Expected shape: NTT barely grows with K (only estimate quality
 /// changes), so multi-sampling becomes strictly advisable.
 pub fn run_packed(cfg: &Fig10Config) -> Table {
-    let mut header: Vec<String> = vec!["k".into()];
-    header.extend(cfg.rhos.iter().map(|r| format!("rho_{r:.2}")));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table = Table::new("fig10_packed", &header_refs);
-    let gs2 = Gs2Model::paper_scale();
-    for &k in &cfg.ks {
-        let mut row = vec![k as f64];
-        for &rho in &cfg.rhos {
-            let noise = if rho == 0.0 {
-                Noise::None
-            } else {
-                Noise::Pareto {
-                    alpha: cfg.alpha,
-                    rho,
-                }
-            };
-            let avg = average_sessions(cfg.reps, cfg.seed ^ ((k as u64) << 40), rho, |seed| {
-                let tuner = OnlineTuner::new(TunerConfig {
-                    procs: cfg.procs,
-                    max_steps: cfg.steps,
-                    estimator: Estimator::MinOfK(k),
-                    mode: SamplingMode::Packed,
-                    seed,
-                    full_occupancy: false,
-                    exploit_width: 6,
-                });
-                let mut opt = ProOptimizer::with_defaults(gs2.space().clone());
-                tuner.run(&gs2, &noise, &mut opt)
-            });
-            row.push(avg.mean_ntt);
-        }
-        table.push(row);
-    }
-    table
+    let workers = worker_count(cfg.reps);
+    let cells: Vec<f64> = cfg
+        .ks
+        .iter()
+        .flat_map(|&k| cfg.rhos.iter().map(move |&rho| (rho, k)))
+        .map(|(rho, k)| packed_cell_in(workers, rho, k, cfg))
+        .collect();
+    assemble_grid(cfg, "fig10_packed", &cells)
 }
 
 /// The Fig. 10 table: one row per `K`, one column per `ρ`.
 pub fn run(cfg: &Fig10Config) -> Table {
+    let workers = worker_count(cfg.reps);
+    let cells: Vec<f64> = cfg
+        .ks
+        .iter()
+        .flat_map(|&k| cfg.rhos.iter().map(move |&rho| (rho, k)))
+        .map(|(rho, k)| cell_with_sem_in(workers, rho, k, cfg).0)
+        .collect();
+    assemble_grid(cfg, "fig10_multisample", &cells)
+}
+
+/// Reassembles a K×ρ grid table from K-major NTT cells
+/// (`cells[ki * rhos.len() + ri]`), in exact canonical row/column order.
+pub fn assemble_grid(cfg: &Fig10Config, title: &str, cells: &[f64]) -> Table {
+    assert_eq!(cells.len(), cfg.ks.len() * cfg.rhos.len());
     let mut header: Vec<String> = vec!["k".into()];
     header.extend(cfg.rhos.iter().map(|r| format!("rho_{r:.2}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table = Table::new("fig10_multisample", &header_refs);
-    for &k in &cfg.ks {
+    let mut table = Table::new(title, &header_refs);
+    for (ki, &k) in cfg.ks.iter().enumerate() {
         let mut row = vec![k as f64];
-        for &rho in &cfg.rhos {
-            row.push(cell(rho, k, cfg));
-        }
+        row.extend_from_slice(&cells[ki * cfg.rhos.len()..(ki + 1) * cfg.rhos.len()]);
         table.push(row);
     }
     table

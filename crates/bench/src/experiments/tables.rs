@@ -1,8 +1,9 @@
 //! Companion tables T1–T3: queue-model validation, min-operator theory
 //! validation, and the §2 baseline comparison.
 
-use crate::average_sessions;
+use crate::average_sessions_in;
 use crate::report::Table;
+use harmony_cluster::pool::{par_map_indexed_in, worker_count};
 use harmony_cluster::SamplingMode;
 use harmony_core::baselines::{
     ExhaustiveSweep, GeneticAlgorithm, RandomSearch, SimulatedAnnealing,
@@ -120,14 +121,34 @@ pub const BASELINES: [&str; 7] = [
 /// T3 — on-line suitability of global randomized baselines (§2): average
 /// `Total_Time(K)` and the true cost of the returned configuration.
 pub fn baselines(steps: usize, reps: usize, rho: f64, seed: u64) -> Table {
+    let workers = worker_count(reps);
+    let rows: Vec<Vec<f64>> = BASELINES
+        .iter()
+        .map(|name| baselines_row_in(workers, name, steps, reps, rho, seed))
+        .collect();
+    assemble_baselines(&rows)
+}
+
+/// One T3 row (one algorithm), with an explicit inner worker count.
+///
+/// The row's seed stream depends only on `(seed, name)`, so per-name
+/// harness subtasks reproduce the monolithic table bit-for-bit.
+pub fn baselines_row_in(
+    workers: usize,
+    name: &str,
+    steps: usize,
+    reps: usize,
+    rho: f64,
+    seed: u64,
+) -> Vec<f64> {
     let gs2 = Gs2Model::paper_scale();
     let noise = Noise::paper_default(rho);
-    let mut table = Table::new(
-        "table_baselines",
-        &["mean_total", "mean_ntt", "mean_best_true", "converged_frac"],
-    );
-    for name in BASELINES {
-        let avg = average_sessions(reps, stream_seed(seed, hash_name(name)), rho, |s| {
+    let avg = average_sessions_in(
+        workers,
+        reps,
+        stream_seed(seed, hash_name(name)),
+        rho,
+        |s| {
             let tuner = OnlineTuner::new(TunerConfig {
                 procs: 64,
                 max_steps: steps,
@@ -139,16 +160,25 @@ pub fn baselines(steps: usize, reps: usize, rho: f64, seed: u64) -> Table {
             });
             let mut opt = make_optimizer(name, &gs2, s);
             tuner.run(&gs2, &noise, opt.as_mut())
-        });
-        table.push_labeled(
-            name,
-            vec![
-                avg.mean_total,
-                avg.mean_ntt,
-                avg.mean_best_true,
-                avg.converged_frac,
-            ],
-        );
+        },
+    );
+    vec![
+        avg.mean_total,
+        avg.mean_ntt,
+        avg.mean_best_true,
+        avg.converged_frac,
+    ]
+}
+
+/// Reassembles T3 from per-algorithm rows in [`BASELINES`] order.
+pub fn assemble_baselines(rows: &[Vec<f64>]) -> Table {
+    assert_eq!(rows.len(), BASELINES.len());
+    let mut table = Table::new(
+        "table_baselines",
+        &["mean_total", "mean_ntt", "mean_best_true", "converged_frac"],
+    );
+    for (name, row) in BASELINES.iter().zip(rows) {
+        table.push_labeled(*name, row.clone());
     }
     table
 }
@@ -160,10 +190,66 @@ pub fn baselines(steps: usize, reps: usize, rho: f64, seed: u64) -> Table {
 /// fast descent — at the loose threshold the local methods shine, at
 /// the tight one only global searchers reliably arrive.
 pub fn time_to_quality(steps: usize, reps: usize, rho: f64, factors: &[f64], seed: u64) -> Table {
-    use harmony_cluster::pool::par_map_indexed;
+    let workers = worker_count(reps);
+    let rows: Vec<Vec<f64>> = BASELINES
+        .iter()
+        .map(|name| time_to_quality_row_in(workers, name, steps, reps, rho, factors, seed))
+        .collect();
+    assemble_time_to_quality(factors, &rows)
+}
+
+/// One time-to-quality row (one algorithm), with an explicit inner
+/// worker count; same seed stream as the monolithic table.
+pub fn time_to_quality_row_in(
+    workers: usize,
+    name: &str,
+    steps: usize,
+    reps: usize,
+    rho: f64,
+    factors: &[f64],
+    seed: u64,
+) -> Vec<f64> {
     let gs2 = Gs2Model::paper_scale();
     let noise = Noise::paper_default(rho);
     let (_, global) = harmony_surface::best_on_lattice(&gs2).expect("discrete lattice");
+    let rows = par_map_indexed_in(workers, reps, |i| {
+        let s = stream_seed(stream_seed(seed, hash_name(name)), i as u64);
+        let tuner = OnlineTuner::new(TunerConfig {
+            procs: 64,
+            max_steps: steps,
+            estimator: Estimator::Single,
+            mode: SamplingMode::SequentialSteps,
+            seed: s,
+            full_occupancy: false,
+            exploit_width: 6,
+        });
+        let mut opt = make_optimizer(name, &gs2, s);
+        let out = tuner.run(&gs2, &noise, opt.as_mut());
+        let hits: Vec<Option<usize>> = factors
+            .iter()
+            .map(|f| out.steps_to_quality(f * global))
+            .collect();
+        (hits, out.best_true_cost)
+    });
+    let mut row = Vec::new();
+    for (fi, _) in factors.iter().enumerate() {
+        let reached: Vec<usize> = rows.iter().filter_map(|r| r.0[fi]).collect();
+        let mean_steps = if reached.is_empty() {
+            f64::NAN
+        } else {
+            reached.iter().sum::<usize>() as f64 / reached.len() as f64
+        };
+        row.push(mean_steps);
+        row.push(reached.len() as f64 / reps as f64);
+    }
+    row.push(rows.iter().map(|r| r.1).sum::<f64>() / reps as f64);
+    row
+}
+
+/// Reassembles the time-to-quality table from per-algorithm rows in
+/// [`BASELINES`] order.
+pub fn assemble_time_to_quality(factors: &[f64], rows: &[Vec<f64>]) -> Table {
+    assert_eq!(rows.len(), BASELINES.len());
     let mut header: Vec<String> = Vec::new();
     for f in factors {
         header.push(format!("steps_to_{f}x"));
@@ -172,39 +258,8 @@ pub fn time_to_quality(steps: usize, reps: usize, rho: f64, factors: &[f64], see
     header.push("mean_final_true".into());
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new("table_time_to_quality", &header_refs);
-    for name in BASELINES {
-        let rows = par_map_indexed(reps, |i| {
-            let s = stream_seed(stream_seed(seed, hash_name(name)), i as u64);
-            let tuner = OnlineTuner::new(TunerConfig {
-                procs: 64,
-                max_steps: steps,
-                estimator: Estimator::Single,
-                mode: SamplingMode::SequentialSteps,
-                seed: s,
-                full_occupancy: false,
-                exploit_width: 6,
-            });
-            let mut opt = make_optimizer(name, &gs2, s);
-            let out = tuner.run(&gs2, &noise, opt.as_mut());
-            let hits: Vec<Option<usize>> = factors
-                .iter()
-                .map(|f| out.steps_to_quality(f * global))
-                .collect();
-            (hits, out.best_true_cost)
-        });
-        let mut row = Vec::new();
-        for (fi, _) in factors.iter().enumerate() {
-            let reached: Vec<usize> = rows.iter().filter_map(|r| r.0[fi]).collect();
-            let mean_steps = if reached.is_empty() {
-                f64::NAN
-            } else {
-                reached.iter().sum::<usize>() as f64 / reached.len() as f64
-            };
-            row.push(mean_steps);
-            row.push(reached.len() as f64 / reps as f64);
-        }
-        row.push(rows.iter().map(|r| r.1).sum::<f64>() / reps as f64);
-        table.push_labeled(name, row);
+    for (name, row) in BASELINES.iter().zip(rows) {
+        table.push_labeled(*name, row.clone());
     }
     table
 }

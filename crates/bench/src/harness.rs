@@ -3,22 +3,31 @@
 //! `run_all` used to regenerate every figure and table serially; this
 //! module turns the regeneration into a *task graph* executed on the
 //! work-stealing pool ([`harmony_cluster::pool::par_graph_in`]). Every
-//! experiment is a named task; the only edges are the chart renderers,
-//! which consume the figure tables computed by other tasks.
+//! experiment is a named task, and the expensive sweeps (`fig10*`, the
+//! baseline tables, the estimator/monitoring ablations) are further
+//! split into per-cell *subtasks* — one job per `(ρ, K)` cell or per
+//! algorithm — feeding a deterministic fan-in merge job per experiment
+//! that reassembles the table in exact canonical order. The merge jobs
+//! are also where the charts' table dependencies attach.
 //!
 //! Determinism under parallelism is preserved by construction:
 //!
-//! * every task derives its randomness purely from the global seed it is
-//!   handed (experiments decorrelate their internal streams with the
-//!   splittable hashing of `harmony_stats::splitmix` — e.g. table
-//!   experiments hash the algorithm *name* into the stream, replication
-//!   loops hash the replication *index*), never from claim order or
-//!   thread identity;
-//! * each task renders its report into a private buffer and writes only
-//!   its own output files, so the artifact bytes cannot depend on
+//! * every job derives its randomness purely from the global seed and
+//!   its *structural* coordinates (experiments decorrelate their
+//!   internal streams with the splittable hashing of
+//!   `harmony_stats::splitmix` — e.g. table experiments hash the
+//!   algorithm *name* into the stream, fig10 cells fold `K` into the
+//!   seed, replication loops hash the replication *index*), never from
+//!   claim order or thread identity;
+//! * subtask jobs run their replication loops serially (the graph pool
+//!   owns all parallelism) and deposit raw cell values into slots keyed
+//!   by structural position; the merge job reads the slots in canonical
+//!   row/column order, so the table bytes cannot depend on
 //!   interleaving;
-//! * the buffers are printed in canonical task order after the pool
-//!   joins, so the stdout report is identical for every worker count.
+//! * each merge job renders its report into a private buffer and writes
+//!   only its own output files; the buffers are printed in canonical
+//!   task order after the pool joins, so the stdout report is identical
+//!   for every worker count.
 //!
 //! The result: `run_all --full -jN` produces byte-identical CSVs and
 //! SVGs to a serial `-j1` run for every `N`.
@@ -28,7 +37,8 @@ use crate::experiments::{
 };
 use crate::report::{emit_table_telemetry, emit_to, results_dir, Table};
 use harmony_cluster::pool;
-use harmony_telemetry::{to_jsonl, Field, MemorySink, Record, Telemetry, TelemetryConfig};
+use harmony_telemetry::{to_jsonl, Field, Kind, MemorySink, Record, Telemetry, TelemetryConfig};
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -155,6 +165,174 @@ pub const TASKS: &[TaskDef] = &[
     },
 ];
 
+/// Number of canonical experiments (= merge/report jobs).
+const NE: usize = TASKS.len();
+
+/// Estimator-ablation noise count (canonical A2 column count).
+fn estimator_noise_count() -> usize {
+    ablations::estimator_noises(0.3).len()
+}
+
+/// Number of fan-out subtask jobs experiment `e` is split into
+/// (0 = the experiment runs whole inside its report job).
+pub fn subtask_count(e: usize) -> usize {
+    let f = fig10::Fig10Config::default();
+    match e {
+        FIG10 | FIG10_PACKED => f.ks.len() * f.rhos.len(),
+        FIG10_EXTENDED => fig10::EXTENDED_RHOS.len() * f.ks.len(),
+        TABLE_BASELINES | TABLE_TIME_TO_QUALITY => tables::BASELINES.len(),
+        ABLATION_ESTIMATORS => ablations::ESTIMATORS.len() * estimator_noise_count(),
+        ABLATION_MONITORING => ablations::MONITORING_RHOS.len() * 2,
+        _ => 0,
+    }
+}
+
+/// Stable display label of subtask `p` of experiment `e`.
+pub fn subtask_label(e: usize, p: usize) -> String {
+    let f = fig10::Fig10Config::default();
+    match e {
+        FIG10 | FIG10_PACKED => {
+            let (ki, ri) = (p / f.rhos.len(), p % f.rhos.len());
+            format!("{}.k{}.rho{:.2}", TASKS[e].name, f.ks[ki], f.rhos[ri])
+        }
+        FIG10_EXTENDED => {
+            let (ri, ki) = (p / f.ks.len(), p % f.ks.len());
+            format!(
+                "fig10_extended.rho{:.2}.k{}",
+                fig10::EXTENDED_RHOS[ri],
+                f.ks[ki]
+            )
+        }
+        TABLE_BASELINES | TABLE_TIME_TO_QUALITY => {
+            format!("{}.{}", TASKS[e].name, tables::BASELINES[p])
+        }
+        ABLATION_ESTIMATORS => {
+            let noises = ablations::estimator_noises(0.3);
+            let (ei, ni) = (p / noises.len(), p % noises.len());
+            format!(
+                "ablation_estimators.{}.{}",
+                ablations::ESTIMATORS[ei].label(),
+                noises[ni].0
+            )
+        }
+        ABLATION_MONITORING => {
+            let (ri, cont) = (p / 2, p % 2 == 1);
+            format!(
+                "ablation_monitoring.rho{}.{}",
+                ablations::MONITORING_RHOS[ri],
+                if cont { "continuous" } else { "stop" }
+            )
+        }
+        _ => unreachable!("experiment {e} has no subtasks"),
+    }
+}
+
+/// One schedulable unit: either an experiment's fan-in report/merge job
+/// (`part == None`, job index `exp`) or one of its fan-out cells.
+struct Job {
+    exp: usize,
+    part: Option<usize>,
+    label: String,
+}
+
+/// Builds the job list: the `NE` report jobs first (job index ==
+/// canonical experiment index), then every subtask job grouped by
+/// experiment in part order.
+fn build_jobs() -> Vec<Job> {
+    let mut jobs: Vec<Job> = TASKS
+        .iter()
+        .enumerate()
+        .map(|(e, t)| Job {
+            exp: e,
+            part: None,
+            label: t.name.to_string(),
+        })
+        .collect();
+    for e in 0..NE {
+        for p in 0..subtask_count(e) {
+            jobs.push(Job {
+                exp: e,
+                part: Some(p),
+                label: subtask_label(e, p),
+            });
+        }
+    }
+    jobs
+}
+
+/// Total job count (report jobs + subtask jobs).
+pub fn job_count() -> usize {
+    NE + (0..NE).map(subtask_count).sum::<usize>()
+}
+
+/// Dependency lists for [`build_jobs`]' layout: a report job waits on
+/// its own subtasks plus its experiment-level deps (the chart renderer
+/// waits on the *report* jobs of the figures it consumes, which is when
+/// their tables exist); subtask jobs are roots.
+fn job_deps(jobs: &[Job]) -> Vec<Vec<usize>> {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, job)| {
+            if job.part.is_some() {
+                return Vec::new();
+            }
+            let mut d: Vec<usize> = TASKS[job.exp].deps.to_vec();
+            d.extend(
+                jobs.iter()
+                    .enumerate()
+                    .skip(NE)
+                    .filter(|(_, j)| j.exp == job.exp)
+                    .map(|(k, _)| k),
+            );
+            debug_assert!(!d.contains(&i));
+            d
+        })
+        .collect()
+}
+
+/// Minimal `*`-wildcard glob match (no character classes), used by
+/// `run_all --only`.
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    fn rec(p: &[u8], s: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'*') => rec(&p[1..], s) || (!s.is_empty() && rec(p, &s[1..])),
+            Some(&c) => s.first() == Some(&c) && rec(&p[1..], &s[1..]),
+        }
+    }
+    rec(pattern.as_bytes(), name.as_bytes())
+}
+
+/// Which experiments run: those matching any `--only` pattern plus
+/// their transitive dependencies (everything when no filter is set).
+fn selected_exps(only: Option<&[String]>) -> Vec<bool> {
+    let mut sel = vec![only.is_none(); NE];
+    if let Some(pats) = only {
+        for (e, t) in TASKS.iter().enumerate() {
+            if pats.iter().any(|p| glob_match(p, t.name)) {
+                sel[e] = true;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (e, t) in TASKS.iter().enumerate() {
+                if sel[e] {
+                    for &d in t.deps {
+                        if !sel[d] {
+                            sel[d] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    sel
+}
+
 /// Harness invocation parameters.
 pub struct RunConfig {
     /// Full (paper) scale instead of the reduced quick scale.
@@ -166,47 +344,63 @@ pub struct RunConfig {
     pub workers: usize,
     /// Output directory for CSVs and SVGs.
     pub out_dir: PathBuf,
-    /// Emit `[done]` progress lines to stderr while tasks finish.
+    /// Emit `[done]` progress lines to stderr while jobs finish.
     pub progress: bool,
-    /// Write a JSONL telemetry trace of the run to this path. Each task
-    /// records into a private in-memory sink with its own span-id
-    /// namespace; the per-task record streams are concatenated in
-    /// canonical task order after the pool joins, so the trace bytes are
-    /// identical for every worker count.
+    /// Write a JSONL telemetry trace of the run to this path. Each
+    /// experiment records into a private in-memory sink with its own
+    /// span-id namespace; the per-experiment record streams are
+    /// concatenated in canonical task order after the pool joins, so
+    /// the trace bytes are identical for every worker count.
     pub trace: Option<PathBuf>,
     /// Also stamp trace records with wall-clock nanoseconds and append
     /// the pool's scheduling statistics. Wall times and scheduling are
     /// nondeterministic, so this breaks trace byte-identity across runs
     /// — leave off when comparing traces.
     pub trace_wall: bool,
+    /// `--only` experiment-name glob patterns; `None` runs everything.
+    pub only: Option<Vec<String>>,
 }
 
 impl RunConfig {
     /// Defaults: seed 2005, hardware worker count, `results/` (or
-    /// `$HARMONY_RESULTS`), no stderr progress, no trace.
+    /// `$HARMONY_RESULTS`), no stderr progress, no trace, no filter.
     pub fn new(full: bool) -> Self {
         RunConfig {
             full,
             seed: 2005,
-            workers: pool::worker_count(TASKS.len()),
+            workers: pool::worker_count(job_count()),
             out_dir: results_dir(),
             progress: false,
             trace: None,
             trace_wall: false,
+            only: None,
         }
     }
 }
 
-/// Per-task outcome: the rendered stdout block and the wall-clock time.
+/// Wall time of one fan-out subtask job.
+pub struct SubtaskReport {
+    /// Stable subtask label (see [`subtask_label`]).
+    pub label: String,
+    /// Wall-clock seconds spent inside the subtask job.
+    pub wall_s: f64,
+}
+
+/// Per-experiment outcome: the rendered stdout block and wall times.
 pub struct TaskReport {
     /// Task name from [`TASKS`].
     pub name: &'static str,
-    /// Wall-clock seconds spent inside the task.
+    /// Serial-equivalent wall-clock seconds: the sum over the
+    /// experiment's subtask jobs plus its merge job (for unsplit
+    /// experiments, just the report job).
     pub wall_s: f64,
     /// The task's buffered report text.
     pub stdout: String,
     /// The task's telemetry records (empty unless tracing was on).
     pub records: Vec<Record>,
+    /// Per-subtask wall times (empty for unsplit experiments); the
+    /// final entry is the fan-in merge job.
+    pub subtasks: Vec<SubtaskReport>,
 }
 
 /// Whole-run outcome, serialisable as `BENCH_harness.json`.
@@ -219,7 +413,12 @@ pub struct HarnessReport {
     pub seed: u64,
     /// Wall-clock seconds for the whole graph.
     pub total_wall_s: f64,
-    /// Per-task reports in canonical task order.
+    /// Longest dependency chain through the job graph, weighted by
+    /// measured job wall times — the wall-clock lower bound no worker
+    /// count can beat.
+    pub critical_path_s: f64,
+    /// Per-task reports in canonical task order (only the experiments
+    /// selected by `--only`).
     pub tasks: Vec<TaskReport>,
 }
 
@@ -242,6 +441,11 @@ impl HarnessReport {
         }
     }
 
+    /// Speedup per worker (1.0 = perfectly linear scaling).
+    pub fn parallel_efficiency(&self) -> f64 {
+        self.speedup() / self.workers.max(1) as f64
+    }
+
     /// Machine-readable summary (the `BENCH_harness.json` payload).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
@@ -251,14 +455,37 @@ impl HarnessReport {
         let _ = writeln!(s, "  \"total_wall_s\": {:.3},", self.total_wall_s);
         let _ = writeln!(s, "  \"serial_wall_s\": {:.3},", self.serial_wall_s());
         let _ = writeln!(s, "  \"speedup\": {:.2},", self.speedup());
+        let _ = writeln!(s, "  \"critical_path_s\": {:.3},", self.critical_path_s);
+        let _ = writeln!(
+            s,
+            "  \"parallel_efficiency\": {:.3},",
+            self.parallel_efficiency()
+        );
         s.push_str("  \"experiments\": [\n");
         for (i, t) in self.tasks.iter().enumerate() {
             let comma = if i + 1 < self.tasks.len() { "," } else { "" };
-            let _ = writeln!(
-                s,
-                "    {{\"name\": \"{}\", \"wall_s\": {:.3}}}{comma}",
-                t.name, t.wall_s
-            );
+            if t.subtasks.is_empty() {
+                let _ = writeln!(
+                    s,
+                    "    {{\"name\": \"{}\", \"wall_s\": {:.3}}}{comma}",
+                    t.name, t.wall_s
+                );
+            } else {
+                let _ = writeln!(
+                    s,
+                    "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"subtasks\": [",
+                    t.name, t.wall_s
+                );
+                for (j, sub) in t.subtasks.iter().enumerate() {
+                    let sc = if j + 1 < t.subtasks.len() { "," } else { "" };
+                    let _ = writeln!(
+                        s,
+                        "      {{\"name\": \"{}\", \"wall_s\": {:.3}}}{sc}",
+                        sub.label, sub.wall_s
+                    );
+                }
+                let _ = writeln!(s, "    ]}}{comma}");
+            }
         }
         s.push_str("  ]\n}\n");
         s
@@ -279,22 +506,46 @@ pub fn json_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Builds task `i`'s private telemetry: an in-memory sink and a handle
-/// whose span ids live in the task's own `(i+1) << 32` namespace, so
-/// the per-task streams can be merged without id collisions. The
-/// logical clock counts tables emitted by the task.
-fn task_telemetry(cfg: &RunConfig, i: usize) -> Option<(Telemetry, Arc<MemorySink>)> {
+/// Builds experiment `e`'s private telemetry: an in-memory sink and a
+/// handle whose span ids live in the experiment's own `(e+1) << 32`
+/// namespace, so the per-experiment streams can be merged without id
+/// collisions. Namespaces are keyed by the *canonical experiment
+/// index*, never by the (dynamic) job index, so the subtask fan-out
+/// cannot move or collide span ids. The logical clock counts tables
+/// emitted by the experiment.
+fn task_telemetry(cfg: &RunConfig, e: usize) -> Option<(Telemetry, Arc<MemorySink>)> {
     cfg.trace.as_ref()?;
     let sink = Arc::new(MemorySink::new());
     let tel = Telemetry::with_config(
         sink.clone(),
         TelemetryConfig {
-            span_base: (i as u64 + 1) << 32,
+            span_base: (e as u64 + 1) << 32,
             wall: cfg.trace_wall,
             ..TelemetryConfig::from_env()
         },
     );
     Some((tel, sink))
+}
+
+/// Asserts every span id sits inside its experiment's `(e+1) << 32`
+/// namespace and that no id is reused across the merged trace —
+/// the guard the dynamic job count relies on.
+fn assert_no_span_collisions(exps: &[(usize, &[Record])]) {
+    let mut seen: HashSet<u64> = HashSet::new();
+    for &(e, records) in exps {
+        let lo = (e as u64 + 1) << 32;
+        let hi = (e as u64 + 2) << 32;
+        for r in records {
+            if let Kind::SpanEnter { id } = r.kind {
+                assert!(
+                    (lo..hi).contains(&id),
+                    "span id {id:#x} of task {} escapes its namespace [{lo:#x}, {hi:#x})",
+                    TASKS[e].name
+                );
+                assert!(seen.insert(id), "span id {id:#x} collides across tasks");
+            }
+        }
+    }
 }
 
 /// Serialises the merged trace: per-task records in canonical task
@@ -313,47 +564,141 @@ fn write_trace(path: &Path, tasks: &[TaskReport], trailer: &[Record]) -> std::io
     std::fs::write(path, out)
 }
 
-/// Executes the full task graph and returns the per-task reports in
-/// canonical task order.
+/// Longest dependency chain through the measured job graph.
+fn critical_path(deps: &[Vec<usize>], walls: &[f64]) -> f64 {
+    fn longest(i: usize, deps: &[Vec<usize>], walls: &[f64], memo: &mut [Option<f64>]) -> f64 {
+        if let Some(v) = memo[i] {
+            return v;
+        }
+        let below = deps[i]
+            .iter()
+            .map(|&d| longest(d, deps, walls, memo))
+            .fold(0.0, f64::max);
+        let v = walls[i] + below;
+        memo[i] = Some(v);
+        v
+    }
+    let mut memo = vec![None; deps.len()];
+    (0..deps.len())
+        .map(|i| longest(i, deps, walls, &mut memo))
+        .fold(0.0, f64::max)
+}
+
+/// Per-job outcome inside the pool.
+struct JobOut {
+    wall_s: f64,
+    stdout: String,
+    records: Vec<Record>,
+}
+
+/// Executes the full job graph and returns the per-experiment reports
+/// in canonical task order.
 pub fn run(cfg: &RunConfig) -> HarnessReport {
-    let n = TASKS.len();
-    let slots: Vec<OnceLock<Vec<Table>>> = (0..n).map(|_| OnceLock::new()).collect();
-    let deps: Vec<Vec<usize>> = TASKS.iter().map(|t| t.deps.to_vec()).collect();
+    let jobs = build_jobs();
+    let deps = job_deps(&jobs);
+    let sel = selected_exps(cfg.only.as_deref());
+    let n = jobs.len();
+    let n_sel = jobs.iter().filter(|j| sel[j.exp]).count();
+    let slots: Vec<OnceLock<Vec<Table>>> = (0..NE).map(|_| OnceLock::new()).collect();
+    let part_slots: Vec<OnceLock<Vec<f64>>> = (NE..n).map(|_| OnceLock::new()).collect();
     let done = AtomicUsize::new(0);
     let start = Instant::now();
-    let (tasks, pool_stats) = pool::par_graph_stats_in(cfg.workers, n, &deps, |i| {
+    let (mut outs, pool_stats) = pool::par_graph_stats_in(cfg.workers, n, &deps, |i| {
+        let job = &jobs[i];
+        if !sel[job.exp] {
+            return JobOut {
+                wall_s: 0.0,
+                stdout: String::new(),
+                records: Vec::new(),
+            };
+        }
         let t0 = Instant::now();
         let mut buf = String::new();
-        let telemetry = task_telemetry(cfg, i);
-        let tel = telemetry
-            .as_ref()
-            .map_or_else(Telemetry::disabled, |(t, _)| t.clone());
-        let span = tel.span_open(
-            &format!("task.{}", TASKS[i].name),
-            vec![Field::new("task", i)],
-        );
-        let produced = run_task(i, cfg, &slots, &mut buf);
-        for t in &produced {
-            emit_table_telemetry(&tel, t);
-            tel.counter("harness.tables", 1);
-            tel.counter("harness.rows", t.rows.len() as u64);
-            tel.advance_clock(1);
+        let mut records = Vec::new();
+        if let Some(p) = job.part {
+            let vals = run_part(job.exp, p, cfg);
+            let _ = part_slots[i - NE].set(vals);
+        } else {
+            let telemetry = task_telemetry(cfg, job.exp);
+            let tel = telemetry
+                .as_ref()
+                .map_or_else(Telemetry::disabled, |(t, _)| t.clone());
+            let span = tel.span_open(
+                &format!("task.{}", TASKS[job.exp].name),
+                vec![Field::new("task", job.exp)],
+            );
+            let parts: Vec<Vec<f64>> = (0..subtask_count(job.exp))
+                .map(|p| {
+                    part_slots[part_base(&jobs, job.exp) + p - NE]
+                        .get()
+                        .expect("subtask completed before merge")
+                        .clone()
+                })
+                .collect();
+            let produced = run_report(job.exp, cfg, &slots, &parts, &mut buf);
+            for t in &produced {
+                emit_table_telemetry(&tel, t);
+                tel.counter("harness.tables", 1);
+                tel.counter("harness.rows", t.rows.len() as u64);
+                tel.advance_clock(1);
+            }
+            tel.span_close(span);
+            records = telemetry.map_or_else(Vec::new, |(_, sink)| sink.take());
+            let _ = slots[job.exp].set(produced);
         }
-        tel.span_close(span);
-        let records = telemetry.map_or_else(Vec::new, |(_, sink)| sink.take());
-        let _ = slots[i].set(produced);
         let wall_s = t0.elapsed().as_secs_f64();
         if cfg.progress {
             let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-            eprintln!("[{k:>2}/{n}] {} done in {wall_s:.3}s", TASKS[i].name);
+            eprintln!("[{k:>3}/{n_sel}] {} done in {wall_s:.3}s", job.label);
         }
-        TaskReport {
-            name: TASKS[i].name,
+        JobOut {
             wall_s,
             stdout: buf,
             records,
         }
     });
+    let walls: Vec<f64> = outs.iter().map(|o| o.wall_s).collect();
+    let critical_path_s = critical_path(&deps, &walls);
+    let collision_view: Vec<(usize, &[Record])> = (0..NE)
+        .filter(|&e| sel[e])
+        .map(|e| (e, outs[e].records.as_slice()))
+        .collect();
+    assert_no_span_collisions(&collision_view);
+    let mut tasks = Vec::new();
+    for e in 0..NE {
+        if !sel[e] {
+            continue;
+        }
+        let mut subtasks: Vec<SubtaskReport> = jobs
+            .iter()
+            .enumerate()
+            .skip(NE)
+            .filter(|(_, j)| j.exp == e)
+            .map(|(k, j)| SubtaskReport {
+                label: j.label.clone(),
+                wall_s: outs[k].wall_s,
+            })
+            .collect();
+        if !subtasks.is_empty() {
+            subtasks.push(SubtaskReport {
+                label: format!("{}.merge", TASKS[e].name),
+                wall_s: outs[e].wall_s,
+            });
+        }
+        let wall_s = outs[e].wall_s
+            + subtasks
+                .iter()
+                .take(subtasks.len().saturating_sub(1))
+                .map(|s| s.wall_s)
+                .sum::<f64>();
+        tasks.push(TaskReport {
+            name: TASKS[e].name,
+            wall_s,
+            stdout: std::mem::take(&mut outs[e].stdout),
+            records: std::mem::take(&mut outs[e].records),
+            subtasks,
+        });
+    }
     if let Some(path) = &cfg.trace {
         // pool scheduling statistics are nondeterministic, so they ride
         // only on the opt-in wall channel
@@ -377,8 +722,14 @@ pub fn run(cfg: &RunConfig) -> HarnessReport {
         workers: cfg.workers,
         seed: cfg.seed,
         total_wall_s: start.elapsed().as_secs_f64(),
+        critical_path_s,
         tasks,
     }
+}
+
+/// Job index of experiment `e`'s first subtask.
+fn part_base(jobs: &[Job], e: usize) -> usize {
+    NE + jobs.iter().skip(NE).take_while(|j| j.exp != e).count()
 }
 
 fn fig10_config(quick: bool, seed: u64) -> fig10::Fig10Config {
@@ -396,18 +747,102 @@ fn fig10_config(quick: bool, seed: u64) -> fig10::Fig10Config {
     }
 }
 
-/// Runs task `i`, emitting its report into `buf` and returning the
-/// tables it wants to share with dependent tasks.
-fn run_task(
-    i: usize,
+/// Scale parameters shared by the T3/time-to-quality tables.
+fn table_scale(quick: bool) -> (usize, usize) {
+    if quick {
+        (100, 20)
+    } else {
+        (300, 200)
+    }
+}
+
+/// Scale parameters shared by the ablation studies.
+fn ablation_scale(quick: bool) -> (usize, usize) {
+    if quick {
+        (100, 30)
+    } else {
+        (200, 300)
+    }
+}
+
+/// Runs subtask `p` of experiment `e` and returns its raw cell values.
+/// The replication loop inside every cell runs serially (`workers ==
+/// 1`): the graph pool owns all parallelism, and the cell value is
+/// worker-count-independent either way.
+fn run_part(e: usize, p: usize, cfg: &RunConfig) -> Vec<f64> {
+    let quick = !cfg.full;
+    let seed = cfg.seed;
+    match e {
+        FIG10 => {
+            let c = fig10_config(quick, seed);
+            let (ki, ri) = (p / c.rhos.len(), p % c.rhos.len());
+            vec![fig10::cell_with_sem_in(1, c.rhos[ri], c.ks[ki], &c).0]
+        }
+        FIG10_PACKED => {
+            let c = fig10_config(quick, seed);
+            let (ki, ri) = (p / c.rhos.len(), p % c.rhos.len());
+            vec![fig10::packed_cell_in(1, c.rhos[ri], c.ks[ki], &c)]
+        }
+        FIG10_EXTENDED => {
+            let c = fig10_config(quick, seed);
+            let (ri, ki) = (p / c.ks.len(), p % c.ks.len());
+            let (ntt, sem) = fig10::cell_with_sem_in(1, fig10::EXTENDED_RHOS[ri], c.ks[ki], &c);
+            vec![ntt, sem]
+        }
+        TABLE_BASELINES => {
+            let (steps, reps) = table_scale(quick);
+            tables::baselines_row_in(1, tables::BASELINES[p], steps, reps, 0.1, seed)
+        }
+        TABLE_TIME_TO_QUALITY => {
+            let (steps, reps) = table_scale(quick);
+            tables::time_to_quality_row_in(
+                1,
+                tables::BASELINES[p],
+                steps,
+                reps,
+                0.1,
+                &[1.25, 1.1],
+                seed,
+            )
+        }
+        ABLATION_ESTIMATORS => {
+            let (steps, reps) = ablation_scale(quick);
+            let nn = estimator_noise_count();
+            vec![ablations::estimators_cell_in(
+                1,
+                p / nn,
+                p % nn,
+                steps,
+                reps,
+                0.3,
+                seed,
+            )]
+        }
+        ABLATION_MONITORING => {
+            let (steps, reps) = ablation_scale(quick);
+            let (ntt, bt) = ablations::monitoring_cell_in(1, p / 2, p % 2 == 1, steps, reps, seed);
+            vec![ntt, bt]
+        }
+        _ => unreachable!("experiment {e} has no subtasks"),
+    }
+}
+
+/// Runs experiment `e`'s report job: unsplit experiments compute their
+/// tables whole; split experiments reassemble them from the already
+/// computed `parts` (in canonical part order), byte-identical to the
+/// monolithic computation. Emits the report into `buf` and returns the
+/// tables shared with dependent tasks.
+fn run_report(
+    e: usize,
     cfg: &RunConfig,
     slots: &[OnceLock<Vec<Table>>],
+    parts: &[Vec<f64>],
     buf: &mut String,
 ) -> Vec<Table> {
     let quick = !cfg.full;
     let seed = cfg.seed;
     let dir = &cfg.out_dir;
-    match i {
+    match e {
         FIG01 => {
             let c = if quick {
                 fig01::Fig01Config {
@@ -457,8 +892,8 @@ fn run_task(
                 },
                 ..Default::default()
             };
-            let (a, b, c2, d, e) = fig04_07::run(&c);
-            let all = vec![a, b, c2, d, e];
+            let (a, b, c2, d, e2) = fig04_07::run(&c);
+            let all = vec![a, b, c2, d, e2];
             for t in &all {
                 emit_to(buf, dir, t);
             }
@@ -489,19 +924,24 @@ fn run_task(
         }
         FIG10 => {
             let c = fig10_config(quick, seed);
-            let t = fig10::run(&c);
+            let cells: Vec<f64> = parts.iter().map(|v| v[0]).collect();
+            let t = fig10::assemble_grid(&c, "fig10_multisample", &cells);
             emit_to(buf, dir, &t);
             let k = fig10::optimal_k(&t);
             emit_to(buf, dir, &k);
             vec![t]
         }
         FIG10_EXTENDED => {
-            let t = fig10::run_extended(&fig10_config(quick, seed));
+            let c = fig10_config(quick, seed);
+            let cells: Vec<(f64, f64)> = parts.iter().map(|v| (v[0], v[1])).collect();
+            let t = fig10::assemble_extended(&c, &cells);
             emit_to(buf, dir, &t);
             vec![t]
         }
         FIG10_PACKED => {
-            let t = fig10::run_packed(&fig10_config(quick, seed));
+            let c = fig10_config(quick, seed);
+            let cells: Vec<f64> = parts.iter().map(|v| v[0]).collect();
+            let t = fig10::assemble_grid(&c, "fig10_packed", &cells);
             emit_to(buf, dir, &t);
             vec![t]
         }
@@ -523,7 +963,7 @@ fn run_task(
         }
         TABLE_QUEUE_VALIDATION | TABLE_MIN_OPERATOR => {
             let reps = if quick { 20_000 } else { 200_000 };
-            let t = if i == TABLE_QUEUE_VALIDATION {
+            let t = if e == TABLE_QUEUE_VALIDATION {
                 tables::queue_validation(reps, seed)
             } else {
                 tables::min_operator(reps, seed)
@@ -531,23 +971,33 @@ fn run_task(
             emit_to(buf, dir, &t);
             vec![t]
         }
-        TABLE_BASELINES | TABLE_TIME_TO_QUALITY => {
-            let (steps, reps) = if quick { (100, 20) } else { (300, 200) };
-            let t = if i == TABLE_BASELINES {
-                tables::baselines(steps, reps, 0.1, seed)
-            } else {
-                tables::time_to_quality(steps, reps, 0.1, &[1.25, 1.1], seed)
-            };
+        TABLE_BASELINES => {
+            let t = tables::assemble_baselines(parts);
             emit_to(buf, dir, &t);
             vec![t]
         }
-        ABLATION_EXPANSION_CHECK..=ABLATION_ADAPTIVE_K => {
-            let (steps, reps) = if quick { (100, 30) } else { (200, 300) };
-            let t = match i {
+        TABLE_TIME_TO_QUALITY => {
+            let t = tables::assemble_time_to_quality(&[1.25, 1.1], parts);
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        ABLATION_ESTIMATORS => {
+            let cells: Vec<f64> = parts.iter().map(|v| v[0]).collect();
+            let t = ablations::assemble_estimators(0.3, &cells);
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        ABLATION_MONITORING => {
+            let cells: Vec<(f64, f64)> = parts.iter().map(|v| (v[0], v[1])).collect();
+            let t = ablations::assemble_monitoring(&cells);
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
+        ABLATION_EXPANSION_CHECK | ABLATION_PROJECTION | ABLATION_ADAPTIVE_K => {
+            let (steps, reps) = ablation_scale(quick);
+            let t = match e {
                 ABLATION_EXPANSION_CHECK => ablations::expansion_check(steps, reps, 0.1, seed),
-                ABLATION_ESTIMATORS => ablations::estimators(steps, reps, 0.3, seed),
                 ABLATION_PROJECTION => ablations::projection(steps, reps, 0.1, seed),
-                ABLATION_MONITORING => ablations::monitoring(steps, reps, seed),
                 _ => ablations::adaptive_k(steps, reps, seed),
             };
             emit_to(buf, dir, &t);
@@ -559,7 +1009,7 @@ fn run_task(
             emit_to(buf, dir, &t);
             vec![t]
         }
-        _ => unreachable!("unknown task index {i}"),
+        _ => unreachable!("unknown task index {e}"),
     }
 }
 
@@ -583,24 +1033,106 @@ mod tests {
     }
 
     #[test]
+    fn job_graph_is_well_formed() {
+        let jobs = build_jobs();
+        assert_eq!(jobs.len(), job_count());
+        let deps = job_deps(&jobs);
+        // report jobs sit at their canonical experiment index
+        for (e, job) in jobs.iter().enumerate().take(NE) {
+            assert_eq!(job.exp, e);
+            assert!(job.part.is_none());
+        }
+        // every subtask job feeds exactly its own experiment's merge
+        for (i, job) in jobs.iter().enumerate().skip(NE) {
+            assert!(job.part.is_some());
+            assert!(deps[i].is_empty());
+            assert!(deps[job.exp].contains(&i));
+        }
+        // labels are unique (trace/report keys)
+        let mut labels: Vec<&str> = jobs.iter().map(|j| j.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), jobs.len());
+        // the fan-out actually splits the heavy experiments
+        assert_eq!(subtask_count(FIG10), 45);
+        assert_eq!(subtask_count(FIG10_PACKED), 45);
+        assert_eq!(subtask_count(FIG10_EXTENDED), 25);
+        assert_eq!(subtask_count(TABLE_BASELINES), 7);
+        assert_eq!(subtask_count(ABLATION_ESTIMATORS), 20);
+        assert_eq!(subtask_count(ABLATION_MONITORING), 8);
+    }
+
+    #[test]
+    fn glob_matching() {
+        assert!(glob_match("fig10*", "fig10_packed"));
+        assert!(glob_match("fig10", "fig10"));
+        assert!(!glob_match("fig10", "fig10_packed"));
+        assert!(glob_match("*baselines", "table_baselines"));
+        assert!(glob_match("*", "anything"));
+        assert!(!glob_match("table_*", "fig01"));
+    }
+
+    #[test]
+    fn only_selection_pulls_chart_deps() {
+        let pats = vec!["charts".to_string()];
+        let sel = selected_exps(Some(&pats));
+        assert!(sel[CHARTS] && sel[FIG01] && sel[FIG10]);
+        assert!(!sel[FIG02] && !sel[TABLE_BASELINES]);
+        let none: Option<&[String]> = None;
+        assert!(selected_exps(none).iter().all(|&s| s));
+    }
+
+    #[test]
+    fn span_collision_guard_trips_on_reuse() {
+        let (tel, sink) = Telemetry::memory();
+        let span = tel.span_open("task.a", Vec::new());
+        tel.span_close(span);
+        let records = sink.take();
+        // same records claimed by two experiments → duplicate ids
+        let dup = vec![(0usize, records.as_slice()), (0usize, records.as_slice())];
+        let err = std::panic::catch_unwind(|| assert_no_span_collisions(&dup));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn critical_path_follows_longest_chain() {
+        // 2 -> 1 -> 0 chain plus a free task 3
+        let deps = vec![vec![1], vec![2], vec![], vec![]];
+        let walls = vec![1.0, 2.0, 3.0, 5.5];
+        assert!((critical_path(&deps, &walls) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn json_report_roundtrips_key_numbers() {
         let r = HarnessReport {
             scale: "quick",
             workers: 4,
             seed: 2005,
             total_wall_s: 1.5,
+            critical_path_s: 1.25,
             tasks: vec![
                 TaskReport {
                     name: "a",
                     wall_s: 1.0,
                     stdout: String::new(),
                     records: Vec::new(),
+                    subtasks: Vec::new(),
                 },
                 TaskReport {
                     name: "b",
                     wall_s: 2.0,
                     stdout: String::new(),
                     records: Vec::new(),
+                    subtasks: vec![
+                        SubtaskReport {
+                            label: "b.k1".into(),
+                            wall_s: 1.5,
+                        },
+                        SubtaskReport {
+                            label: "b.merge".into(),
+                            wall_s: 0.5,
+                        },
+                    ],
                 },
             ],
         };
@@ -609,8 +1141,12 @@ mod tests {
         assert_eq!(json_number(&json, "serial_wall_s"), Some(3.0));
         assert_eq!(json_number(&json, "workers"), Some(4.0));
         assert_eq!(json_number(&json, "speedup"), Some(2.0));
+        assert_eq!(json_number(&json, "critical_path_s"), Some(1.25));
+        assert_eq!(json_number(&json, "parallel_efficiency"), Some(0.5));
         assert!(json.contains("{\"name\": \"a\", \"wall_s\": 1.000},"));
-        assert!(json.contains("{\"name\": \"b\", \"wall_s\": 2.000}\n"));
+        assert!(json.contains("{\"name\": \"b\", \"wall_s\": 2.000, \"subtasks\": ["));
+        assert!(json.contains("{\"name\": \"b.k1\", \"wall_s\": 1.500},"));
+        assert!(json.contains("{\"name\": \"b.merge\", \"wall_s\": 0.500}\n"));
     }
 
     #[test]
@@ -628,8 +1164,10 @@ mod tests {
             workers: 1,
             seed: 0,
             total_wall_s: 0.0,
+            critical_path_s: 0.0,
             tasks: Vec::new(),
         };
         assert_eq!(r.speedup(), 1.0);
+        assert_eq!(r.parallel_efficiency(), 1.0);
     }
 }

@@ -15,7 +15,7 @@ pub mod harness;
 pub mod plot;
 pub mod report;
 
-use harmony_cluster::pool::par_map_indexed;
+use harmony_cluster::pool::par_map_indexed_in;
 use harmony_core::tuner::TuningOutcome;
 use harmony_variability::stream_seed;
 
@@ -44,8 +44,33 @@ pub fn average_sessions<F>(reps: usize, base_seed: u64, rho: f64, session: F) ->
 where
     F: Fn(u64) -> TuningOutcome + Sync,
 {
+    average_sessions_in(
+        harmony_cluster::pool::worker_count(reps),
+        reps,
+        base_seed,
+        rho,
+        session,
+    )
+}
+
+/// [`average_sessions`] with an explicit inner worker count.
+///
+/// Harness subtasks run their replication loops with `workers == 1` so
+/// that the graph pool owns all parallelism (no oversubscription) — the
+/// aggregate is bit-identical either way because [`par_map_indexed_in`]
+/// returns results in index order and the sums below are left-to-right.
+pub fn average_sessions_in<F>(
+    workers: usize,
+    reps: usize,
+    base_seed: u64,
+    rho: f64,
+    session: F,
+) -> AvgResult
+where
+    F: Fn(u64) -> TuningOutcome + Sync,
+{
     assert!(reps > 0, "need at least one replication");
-    let rows = par_map_indexed(reps, |i| {
+    let rows = par_map_indexed_in(workers, reps, |i| {
         let out = session(stream_seed(base_seed, i as u64));
         (
             out.total_time(),

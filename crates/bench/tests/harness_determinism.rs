@@ -43,27 +43,37 @@ fn parallel_run_byte_identical_to_serial() {
     let base = std::env::temp_dir().join("harmony_harness_determinism");
     let d1 = base.join("w1");
     let d4 = base.join("w4");
-    for d in [&d1, &d4] {
+    let d8 = base.join("w8");
+    for d in [&d1, &d4, &d8] {
         let _ = fs::remove_dir_all(d);
         fs::create_dir_all(d).expect("temp results dir");
     }
 
     let r1 = harness::run(&quick_config(1, 2005, &d1));
     let r4 = harness::run(&quick_config(4, 2005, &d4));
+    let r8 = harness::run(&quick_config(8, 2005, &d8));
 
     // reports come back in canonical task order for every worker count
     let names1: Vec<&str> = r1.tasks.iter().map(|t| t.name).collect();
     let names4: Vec<&str> = r4.tasks.iter().map(|t| t.name).collect();
+    let names8: Vec<&str> = r8.tasks.iter().map(|t| t.name).collect();
     assert_eq!(names1, names4);
+    assert_eq!(names1, names8);
     assert_eq!(names1.len(), harness::TASKS.len());
 
     // stdout blocks are identical once the output directory is masked
-    for (a, b) in r1.tasks.iter().zip(&r4.tasks) {
+    for ((a, b), c) in r1.tasks.iter().zip(&r4.tasks).zip(&r8.tasks) {
         let sa = a.stdout.replace(&d1.display().to_string(), "DIR");
         let sb = b.stdout.replace(&d4.display().to_string(), "DIR");
+        let sc = c.stdout.replace(&d8.display().to_string(), "DIR");
         assert_eq!(
             sa, sb,
-            "stdout of task {} differs across worker counts",
+            "stdout of task {} differs between 1 and 4 workers",
+            a.name
+        );
+        assert_eq!(
+            sa, sc,
+            "stdout of task {} differs between 1 and 8 workers",
             a.name
         );
     }
@@ -71,13 +81,63 @@ fn parallel_run_byte_identical_to_serial() {
     // every artifact is byte-identical
     let f1 = dir_fingerprint(&d1);
     let f4 = dir_fingerprint(&d4);
+    let f8 = dir_fingerprint(&d8);
     assert!(
         f1.len() >= 33,
         "expected the full artifact set, got {} files",
         f1.len()
     );
     assert_eq!(f1, f4, "artifacts differ between 1 and 4 workers");
+    assert_eq!(f1, f8, "artifacts differ between 1 and 8 workers");
 
+    let _ = fs::remove_dir_all(&base);
+}
+
+/// The per-cell fan-out must be invisible in the output: the harness's
+/// fig10 merge jobs reassemble tables byte-identical to the pre-split
+/// monolithic `fig10::run*` computations, for serial and parallel
+/// schedules alike.
+#[test]
+fn fig10_merge_matches_presplit_monolithic_output() {
+    use harmony_bench::experiments::fig10;
+
+    // the monolithic (pre-split) reference at harness quick scale
+    let cfg10 = fig10::Fig10Config {
+        reps: 50,
+        seed: 2005,
+        ..Default::default()
+    };
+    let multisample = fig10::run(&cfg10);
+    let reference = [
+        multisample.to_csv(),
+        fig10::optimal_k(&multisample).to_csv(),
+        fig10::run_extended(&cfg10).to_csv(),
+        fig10::run_packed(&cfg10).to_csv(),
+    ];
+
+    let base = std::env::temp_dir().join("harmony_fig10_presplit");
+    for workers in [1usize, 4, 8] {
+        let dir = base.join(format!("w{workers}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("temp results dir");
+        let mut cfg = quick_config(workers, 2005, &dir);
+        cfg.only = Some(vec!["fig10*".to_string()]);
+        let report = harness::run(&cfg);
+        assert_eq!(report.tasks.len(), 3, "fig10* selects the three sweeps");
+        for (file, want) in [
+            ("fig10_multisample.csv", &reference[0]),
+            ("fig10_optimal_k.csv", &reference[1]),
+            ("fig10_extended.csv", &reference[2]),
+            ("fig10_packed.csv", &reference[3]),
+        ] {
+            let got = fs::read_to_string(dir.join(file)).expect("merged artifact");
+            assert_eq!(
+                &got, want,
+                "{file} from the split harness at -j{workers} differs from \
+                 the monolithic computation"
+            );
+        }
+    }
     let _ = fs::remove_dir_all(&base);
 }
 

@@ -178,18 +178,36 @@ impl Cluster {
     ) -> Vec<Vec<f64>> {
         let schedule = Schedule::plan(point_costs.len(), k_samples, self.procs, mode);
         let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(k_samples); point_costs.len()];
+        // scratch buffers reused across every step of the batch — the
+        // schedule is fixed up front, so the old per-step cost/observation
+        // vectors were pure allocator churn on the simulator's hottest
+        // loop. Draw order and the left-to-right max are unchanged, so
+        // the result is bit-identical to per-step `execute_step` calls.
+        let mut costs: Vec<f64> = Vec::with_capacity(self.procs);
+        let mut observed: Vec<f64> = Vec::with_capacity(self.procs);
         for step in &schedule.steps {
-            let mut costs: Vec<f64> = step.iter().map(|slot| point_costs[slot.point]).collect();
+            costs.clear();
+            costs.extend(step.iter().map(|slot| point_costs[slot.point]));
             if full_occupancy {
                 let active = costs.len();
                 for i in active..self.procs {
-                    costs.push(costs[i % active]);
+                    let repeat = costs[i % active];
+                    costs.push(repeat);
                 }
             }
-            let outcome = self.execute_step(&costs, noise, rng);
-            trace.push(outcome.t_k);
-            for (slot, obs) in step.iter().zip(outcome.observed.iter()) {
-                samples[slot.point].push(*obs);
+            assert!(!costs.is_empty(), "a time step must run something");
+            assert!(
+                costs.len() <= self.procs,
+                "{} evaluations exceed {} processors",
+                costs.len(),
+                self.procs
+            );
+            observed.clear();
+            observed.extend(costs.iter().map(|&c| noise.observe(c, rng)));
+            let t_k = observed.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            trace.push(t_k);
+            for (slot, &obs) in step.iter().zip(observed.iter()) {
+                samples[slot.point].push(obs);
             }
         }
         samples

@@ -298,10 +298,20 @@ impl OnlineTuner {
         };
         tel.set_clock(trace.len() as u64);
         let exploit_start = trace.len();
-        let exploit_costs = vec![best_true_cost; width];
+        // every exploit step runs `width` instances of the same cost, so
+        // draw each step's observations through the batch observe_n path
+        // into one reusable scratch buffer: the per-draw constants (eq.
+        // 17's β) derive once per step instead of once per draw, and no
+        // step allocates. The uniform stream and the left-to-right max
+        // are exactly those of per-draw `execute_step` calls.
+        let mut exploit_obs = vec![0.0_f64; width];
         while trace.len() < self.cfg.max_steps {
-            let outcome = cluster.execute_step(&exploit_costs, noise, &mut rng);
-            trace.push(outcome.t_k);
+            noise.observe_n(best_true_cost, &mut rng, &mut exploit_obs);
+            let t_k = exploit_obs
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            trace.push(t_k);
         }
 
         if let Some(id) = session {
@@ -432,10 +442,15 @@ impl OnlineTuner {
         } else {
             self.cfg.exploit_width.clamp(1, self.cfg.procs)
         };
+        let mut exploit_obs = vec![0.0_f64; width];
         while trace.len() < self.cfg.max_steps {
             let cost = objective_at(trace.len()).eval(&best_point);
-            let outcome = cluster.execute_step(&vec![cost; width], noise, &mut rng);
-            trace.push(outcome.t_k);
+            noise.observe_n(cost, &mut rng, &mut exploit_obs);
+            let t_k = exploit_obs
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            trace.push(t_k);
         }
 
         TuningOutcome {

@@ -8,6 +8,12 @@
 
 use rand::Rng;
 
+/// Lane width of the batched sampling kernels: uniforms are drawn and
+/// transformed in blocks of this many values so the transform loops
+/// operate on short, fixed-size runs LLVM can unroll and vectorize,
+/// while the uniform stream itself stays in exactly the scalar order.
+pub const LANES: usize = 8;
+
 /// A univariate distribution that can be sampled and interrogated.
 pub trait Distribution {
     /// Draws one sample.
@@ -130,11 +136,17 @@ impl Distribution for Pareto {
     fn fill_samples<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
         // hoist the loop-invariant exponent; `u.powf(exp)` with the
         // precomputed quotient is the exact same operation as the
-        // scalar path's `u.powf(-1.0 / self.alpha)`
+        // scalar path's `u.powf(-1.0 / self.alpha)`. Two passes per
+        // lane block: draw the uniforms into the output slice (same
+        // stream order as the scalar path), then transform in place.
         let exp = -1.0 / self.alpha;
-        for slot in out.iter_mut() {
-            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-            *slot = self.beta * u.powf(exp);
+        for chunk in out.chunks_mut(LANES) {
+            for slot in chunk.iter_mut() {
+                *slot = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            }
+            for slot in chunk.iter_mut() {
+                *slot = self.beta * slot.powf(exp);
+            }
         }
     }
 }
@@ -221,10 +233,14 @@ impl Distribution for BoundedPareto {
         // performs the identical float ops as quantile(random())
         let norm = self.norm();
         let exp = -1.0 / self.alpha;
-        for slot in out.iter_mut() {
-            let p: f64 = rng.random();
-            let t = 1.0 - p * norm;
-            *slot = self.lo * t.powf(exp);
+        for chunk in out.chunks_mut(LANES) {
+            for slot in chunk.iter_mut() {
+                *slot = rng.random::<f64>();
+            }
+            for slot in chunk.iter_mut() {
+                let t = 1.0 - *slot * norm;
+                *slot = self.lo * t.powf(exp);
+            }
         }
     }
 }
@@ -277,6 +293,20 @@ impl Distribution for Exponential {
 
     fn variance(&self) -> f64 {
         1.0 / (self.rate * self.rate)
+    }
+
+    fn fill_samples<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        // same `-ln(u)/rate` expression as the scalar path (dividing by
+        // a hoisted reciprocal would change the rounding); the two-pass
+        // block layout lets the ln/divide loop run over a dense slice
+        for chunk in out.chunks_mut(LANES) {
+            for slot in chunk.iter_mut() {
+                *slot = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            }
+            for slot in chunk.iter_mut() {
+                *slot = -slot.ln() / self.rate;
+            }
+        }
     }
 }
 
@@ -395,6 +425,25 @@ impl Distribution for Gaussian {
     fn variance(&self) -> f64 {
         self.sd * self.sd
     }
+
+    fn fill_samples<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        // batched Box–Muller: stage each block's (u1, u2) pairs into
+        // stack lanes — drawn strictly interleaved, exactly as the
+        // scalar path consumes them — then run the ln/sqrt/cos
+        // transform over the dense lanes
+        let mut u1 = [0.0_f64; LANES];
+        let mut u2 = [0.0_f64; LANES];
+        for chunk in out.chunks_mut(LANES) {
+            for j in 0..chunk.len() {
+                u1[j] = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                u2[j] = rng.random::<f64>();
+            }
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                let z = (-2.0 * u1[j].ln()).sqrt() * (2.0 * std::f64::consts::PI * u2[j]).cos();
+                *slot = self.mean + self.sd * z;
+            }
+        }
+    }
 }
 
 /// Lognormal distribution: `exp(N(mu, sigma²))`.
@@ -441,6 +490,17 @@ impl Distribution for LogNormal {
     fn variance(&self) -> f64 {
         let s2 = self.sigma * self.sigma;
         (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn fill_samples<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        // hoist the Gaussian construction (the scalar path rebuilds it
+        // per draw; building it consumes no randomness) and ride its
+        // batched Box–Muller kernel, then exponentiate in place
+        let g = Gaussian::new(self.mu, self.sigma);
+        g.fill_samples(rng, out);
+        for slot in out.iter_mut() {
+            *slot = slot.exp();
+        }
     }
 }
 
@@ -528,9 +588,13 @@ impl Distribution for Weibull {
 
     fn fill_samples<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
         let exp = 1.0 / self.shape;
-        for slot in out.iter_mut() {
-            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-            *slot = self.scale * (-u.ln()).powf(exp);
+        for chunk in out.chunks_mut(LANES) {
+            for slot in chunk.iter_mut() {
+                *slot = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            }
+            for slot in chunk.iter_mut() {
+                *slot = self.scale * (-slot.ln()).powf(exp);
+            }
         }
     }
 }
