@@ -1,0 +1,12 @@
+//! T6: crash/recovery sweep — journalled sessions vs plain, plus
+//! kill-at-midpoint resume exactness, over crash rate × snapshot
+//! cadence on GS2.
+use harmony_bench::experiments::recovery::table_recovery;
+use harmony_bench::report::emit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (steps, reps) = if quick { (30, 3) } else { (60, 6) };
+    println!("T6: crash/recovery sweep, 8 clients, {steps} steps, {reps} reps/cell");
+    emit(&table_recovery(8, steps, reps, 0.1, 2005));
+}

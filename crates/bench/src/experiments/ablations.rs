@@ -29,7 +29,9 @@ fn session(
         exploit_width: 6,
     });
     let mut opt = ProOptimizer::new(gs2.space().clone(), pro_cfg);
-    tuner.run(gs2, noise, &mut opt)
+    tuner
+        .run(gs2, noise, &mut opt)
+        .expect("tuning session produced a recommendation")
 }
 
 /// A1 — the expansion-check heuristic (Algorithm 2 line 8) on vs off:
@@ -292,7 +294,9 @@ pub fn adaptive_k(steps: usize, reps: usize, seed: u64) -> Table {
                 exploit_width: 6,
             });
             let mut opt = ProOptimizer::with_defaults(gs2.space().clone());
-            tuner.run(&gs2, &noise, &mut opt)
+            tuner
+                .run(&gs2, &noise, &mut opt)
+                .expect("tuning session produced a recommendation")
         });
         table.push(vec![
             rho,

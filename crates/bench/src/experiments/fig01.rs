@@ -80,7 +80,9 @@ fn algorithm_series(name: &str, cfg: &Fig01Config) -> (Vec<f64>, Vec<f64>) {
             exploit_width: 6,
         });
         let mut opt = make_optimizer(name, &gs2);
-        let out = tuner.run(&gs2, &noise, opt.as_mut());
+        let out = tuner
+            .run(&gs2, &noise, opt.as_mut())
+            .expect("tuning session produced a recommendation");
         out.trace.step_times()[..cfg.steps].to_vec()
     });
     let mut tk = vec![0.0; cfg.steps];

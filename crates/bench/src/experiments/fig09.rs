@@ -65,7 +65,9 @@ pub fn avg_ntt(shape: InitialShape, r: f64, cfg: &Fig09Config) -> f64 {
             exploit_width: 6,
         });
         let mut opt = ProOptimizer::new(gs2.space().clone(), pro_cfg);
-        tuner.run(&gs2, &noise, &mut opt)
+        tuner
+            .run(&gs2, &noise, &mut opt)
+            .expect("tuning session produced a recommendation")
     })
     .mean_ntt
 }

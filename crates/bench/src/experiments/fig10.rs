@@ -91,7 +91,9 @@ pub fn cell_with_sem_in(workers: usize, rho: f64, k: usize, cfg: &Fig10Config) -
                 exploit_width: 6,
             });
             let mut opt = ProOptimizer::with_defaults(gs2.space().clone());
-            tuner.run(&gs2, &noise, &mut opt)
+            tuner
+                .run(&gs2, &noise, &mut opt)
+                .expect("tuning session produced a recommendation")
         },
     );
     (avg.mean_ntt, avg.sem_ntt)
@@ -127,7 +129,9 @@ pub fn packed_cell_in(workers: usize, rho: f64, k: usize, cfg: &Fig10Config) -> 
                 exploit_width: 6,
             });
             let mut opt = ProOptimizer::with_defaults(gs2.space().clone());
-            tuner.run(&gs2, &noise, &mut opt)
+            tuner
+                .run(&gs2, &noise, &mut opt)
+                .expect("tuning session produced a recommendation")
         },
     );
     avg.mean_ntt

@@ -10,4 +10,5 @@ pub mod fig04_07;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;
+pub mod recovery;
 pub mod tables;

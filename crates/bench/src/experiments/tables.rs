@@ -159,7 +159,9 @@ pub fn baselines_row_in(
                 exploit_width: 6,
             });
             let mut opt = make_optimizer(name, &gs2, s);
-            tuner.run(&gs2, &noise, opt.as_mut())
+            tuner
+                .run(&gs2, &noise, opt.as_mut())
+                .expect("tuning session produced a recommendation")
         },
     );
     vec![
@@ -224,7 +226,9 @@ pub fn time_to_quality_row_in(
             exploit_width: 6,
         });
         let mut opt = make_optimizer(name, &gs2, s);
-        let out = tuner.run(&gs2, &noise, opt.as_mut());
+        let out = tuner
+            .run(&gs2, &noise, opt.as_mut())
+            .expect("tuning session produced a recommendation");
         let hits: Vec<Option<usize>> = factors
             .iter()
             .map(|f| out.steps_to_quality(f * global))

@@ -33,7 +33,7 @@
 //! SVGs to a serial `-j1` run for every `N`.
 
 use crate::experiments::{
-    ablations, charts, fault, fig01, fig02, fig03, fig04_07, fig08, fig09, fig10, tables,
+    ablations, charts, fault, fig01, fig02, fig03, fig04_07, fig08, fig09, fig10, recovery, tables,
 };
 use crate::report::{emit_table_telemetry, emit_to, results_dir, Table};
 use harmony_cluster::pool;
@@ -74,6 +74,7 @@ const ABLATION_PROJECTION: usize = 17;
 const ABLATION_MONITORING: usize = 18;
 const ABLATION_ADAPTIVE_K: usize = 19;
 const TABLE_FAULT_TOLERANCE: usize = 20;
+const TABLE_RECOVERY: usize = 21;
 
 /// The full task graph, in canonical report order. Only the chart
 /// renderer has dependencies — it consumes the already-computed figure
@@ -163,6 +164,10 @@ pub const TASKS: &[TaskDef] = &[
         name: "table_fault_tolerance",
         deps: &[],
     },
+    TaskDef {
+        name: "table_recovery",
+        deps: &[],
+    },
 ];
 
 /// Number of canonical experiments (= merge/report jobs).
@@ -183,6 +188,7 @@ pub fn subtask_count(e: usize) -> usize {
         TABLE_BASELINES | TABLE_TIME_TO_QUALITY => tables::BASELINES.len(),
         ABLATION_ESTIMATORS => ablations::ESTIMATORS.len() * estimator_noise_count(),
         ABLATION_MONITORING => ablations::MONITORING_RHOS.len() * 2,
+        TABLE_RECOVERY => recovery::CRASH_RATES.len() * recovery::SNAPSHOT_EVERY.len(),
         _ => 0,
     }
 }
@@ -221,6 +227,14 @@ pub fn subtask_label(e: usize, p: usize) -> String {
                 "ablation_monitoring.rho{}.{}",
                 ablations::MONITORING_RHOS[ri],
                 if cont { "continuous" } else { "stop" }
+            )
+        }
+        TABLE_RECOVERY => {
+            let n = recovery::SNAPSHOT_EVERY.len();
+            format!(
+                "table_recovery.crash{:.2}.snap{}",
+                recovery::CRASH_RATES[p / n],
+                recovery::SNAPSHOT_EVERY[p % n]
             )
         }
         _ => unreachable!("experiment {e} has no subtasks"),
@@ -420,6 +434,10 @@ pub struct HarnessReport {
     /// Per-task reports in canonical task order (only the experiments
     /// selected by `--only`).
     pub tasks: Vec<TaskReport>,
+    /// Median journalled-session slowdown over plain sessions, percent
+    /// (see [`measure_recovery_overhead`]); `None` when the gate was
+    /// not requested.
+    pub recovery_overhead_pct: Option<f64>,
 }
 
 impl HarnessReport {
@@ -461,6 +479,9 @@ impl HarnessReport {
             "  \"parallel_efficiency\": {:.3},",
             self.parallel_efficiency()
         );
+        if let Some(pct) = self.recovery_overhead_pct {
+            let _ = writeln!(s, "  \"recovery_overhead_pct\": {pct:.2},");
+        }
         s.push_str("  \"experiments\": [\n");
         for (i, t) in self.tasks.iter().enumerate() {
             let comma = if i + 1 < self.tasks.len() { "," } else { "" };
@@ -504,6 +525,100 @@ pub fn json_number(json: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Cost of session persistence ([`measure_recovery_overhead`]).
+pub struct RecoveryOverhead {
+    /// Median seconds per plain resilient session.
+    pub plain_s: f64,
+    /// Median seconds per journalled session (WAL + snapshots every 2
+    /// batches, in-memory journal).
+    pub journaled_s: f64,
+    /// Median over pairs of the within-pair journalled/plain time
+    /// ratio.
+    pub ratio: f64,
+}
+
+impl RecoveryOverhead {
+    /// Journalled slowdown over plain, in percent (from the paired
+    /// ratio, which cancels clock drift the separate medians keep).
+    pub fn overhead_pct(&self) -> f64 {
+        (self.ratio - 1.0) * 100.0
+    }
+}
+
+fn median_of(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    xs[xs.len() / 2]
+}
+
+/// Times `reps` back-to-back pairs of identical GS2 tuning sessions —
+/// plain resilient vs. additionally writing the WAL and a snapshot
+/// every 2 batches into an in-memory journal — and summarises the
+/// journalled slowdown as the *median of the within-pair time ratios*:
+/// each pair runs adjacently, so frequency scaling and noisy neighbours
+/// cancel inside the ratio, and the median discards scheduler outliers.
+/// A warm-up pair asserts the outcomes equal first (persistence must be
+/// observationally free), so the timing cannot be satisfied by skipping
+/// work.
+pub fn measure_recovery_overhead(reps: usize, steps: usize) -> RecoveryOverhead {
+    use harmony_core::server::{run_recoverable, run_resilient, RecoveryConfig, ServerConfig};
+    use harmony_core::{Estimator, ProOptimizer};
+    use harmony_surface::Objective;
+
+    let gs2 = harmony_surface::Gs2Model::paper_scale();
+    let noise = harmony_variability::noise::Noise::paper_default(0.1);
+    let plan = harmony_cluster::FaultPlan::none();
+    let recovery = RecoveryConfig::default();
+    let cfg = |seed: u64| {
+        ServerConfig::new(8, steps, Estimator::Single, seed).expect("valid overhead-gate config")
+    };
+    let plain = |seed: u64| {
+        let mut opt = ProOptimizer::with_defaults(gs2.space().clone());
+        let t0 = Instant::now();
+        let out = run_resilient(&gs2, &noise, &mut opt, cfg(seed), &plan)
+            .expect("fault-free session terminates");
+        (t0.elapsed().as_secs_f64(), out)
+    };
+    let journaled = |seed: u64| {
+        let mut journal = harmony_recovery::SessionJournal::in_memory();
+        let mut opt = ProOptimizer::with_defaults(gs2.space().clone());
+        let t0 = Instant::now();
+        let out = run_recoverable(
+            &gs2,
+            &noise,
+            &mut opt,
+            cfg(seed),
+            &plan,
+            &mut journal,
+            recovery,
+        )
+        .expect("fault-free journalled session terminates");
+        (t0.elapsed().as_secs_f64(), out)
+    };
+
+    // warm-up pair doubles as the observational-freeness check
+    let (_, a) = plain(2005);
+    let (_, b) = journaled(2005);
+    assert_eq!(a, b, "journalling must not change the outcome");
+
+    let reps = reps.max(3);
+    let mut plain_times = Vec::with_capacity(reps);
+    let mut journaled_times = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let seed = 2005 + i as u64;
+        let p = plain(seed).0;
+        let j = journaled(seed).0;
+        plain_times.push(p);
+        journaled_times.push(j);
+        ratios.push(j / p);
+    }
+    RecoveryOverhead {
+        plain_s: median_of(plain_times),
+        journaled_s: median_of(journaled_times),
+        ratio: median_of(ratios),
+    }
 }
 
 /// Builds experiment `e`'s private telemetry: an in-memory sink and a
@@ -724,6 +839,7 @@ pub fn run(cfg: &RunConfig) -> HarnessReport {
         total_wall_s: start.elapsed().as_secs_f64(),
         critical_path_s,
         tasks,
+        recovery_overhead_pct: None,
     }
 }
 
@@ -822,6 +938,11 @@ fn run_part(e: usize, p: usize, cfg: &RunConfig) -> Vec<f64> {
             let (steps, reps) = ablation_scale(quick);
             let (ntt, bt) = ablations::monitoring_cell_in(1, p / 2, p % 2 == 1, steps, reps, seed);
             vec![ntt, bt]
+        }
+        TABLE_RECOVERY => {
+            let (steps, reps) = if quick { (30, 3) } else { (60, 6) };
+            let n = recovery::SNAPSHOT_EVERY.len();
+            recovery::recovery_cell_in(1, p / n, p % n, 8, steps, reps, 0.1, seed)
         }
         _ => unreachable!("experiment {e} has no subtasks"),
     }
@@ -1009,6 +1130,11 @@ fn run_report(
             emit_to(buf, dir, &t);
             vec![t]
         }
+        TABLE_RECOVERY => {
+            let t = recovery::assemble_recovery(parts);
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
         _ => unreachable!("unknown task index {e}"),
     }
 }
@@ -1060,6 +1186,7 @@ mod tests {
         assert_eq!(subtask_count(TABLE_BASELINES), 7);
         assert_eq!(subtask_count(ABLATION_ESTIMATORS), 20);
         assert_eq!(subtask_count(ABLATION_MONITORING), 8);
+        assert_eq!(subtask_count(TABLE_RECOVERY), 9);
     }
 
     #[test]
@@ -1135,9 +1262,11 @@ mod tests {
                     ],
                 },
             ],
+            recovery_overhead_pct: Some(1.75),
         };
         let json = r.to_json();
         assert_eq!(json_number(&json, "total_wall_s"), Some(1.5));
+        assert_eq!(json_number(&json, "recovery_overhead_pct"), Some(1.75));
         assert_eq!(json_number(&json, "serial_wall_s"), Some(3.0));
         assert_eq!(json_number(&json, "workers"), Some(4.0));
         assert_eq!(json_number(&json, "speedup"), Some(2.0));
@@ -1166,6 +1295,7 @@ mod tests {
             total_wall_s: 0.0,
             critical_path_s: 0.0,
             tasks: Vec::new(),
+            recovery_overhead_pct: None,
         };
         assert_eq!(r.speedup(), 1.0);
         assert_eq!(r.parallel_efficiency(), 1.0);

@@ -114,7 +114,9 @@ mod tests {
         let avg = average_sessions(8, 1, rho, |seed| {
             let tuner = OnlineTuner::new(TunerConfig::paper_default(40, Estimator::Single, seed));
             let mut opt = ProOptimizer::with_defaults(space.clone());
-            tuner.run(&obj, &Noise::paper_default(rho), &mut opt)
+            tuner
+                .run(&obj, &Noise::paper_default(rho), &mut opt)
+                .unwrap()
         });
         assert_eq!(avg.reps, 8);
         assert!(avg.mean_total > 0.0);
@@ -132,7 +134,9 @@ mod tests {
                 let tuner =
                     OnlineTuner::new(TunerConfig::paper_default(30, Estimator::MinOfK(2), seed));
                 let mut opt = ProOptimizer::with_defaults(space.clone());
-                tuner.run(&obj, &Noise::paper_default(0.1), &mut opt)
+                tuner
+                    .run(&obj, &Noise::paper_default(0.1), &mut opt)
+                    .unwrap()
             })
         };
         assert_eq!(run(), run());

@@ -80,7 +80,9 @@ fn pro_session_emits_exact_decision_sequence() {
         let (tel, sink) = Telemetry::memory();
         let mut opt = ProOptimizer::with_defaults(space());
         opt.set_telemetry(tel.clone());
-        let out = tuner.run_traced(&bowl(), &Noise::None, &mut opt, &tel);
+        let out = tuner
+            .run_traced(&bowl(), &Noise::None, &mut opt, &tel)
+            .unwrap();
         assert!(out.converged);
         sink.take()
     };

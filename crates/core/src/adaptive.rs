@@ -21,6 +21,7 @@
 //! `λ` up front.
 
 use crate::optimizer::Optimizer;
+use crate::server::ServerError;
 use crate::tuner::{FaultStats, TuningOutcome};
 use harmony_cluster::{Cluster, TuningTrace};
 use harmony_surface::Objective;
@@ -154,12 +155,16 @@ impl AdaptiveTuner {
 
     /// Runs one session; semantics mirror `OnlineTuner::run` with the
     /// fixed-K schedule replaced by per-batch adaptive rounds.
+    ///
+    /// # Errors
+    /// [`ServerError::NoObservations`] when the optimizer never produced
+    /// a recommendation (it proposed no batches at all).
     pub fn run<O, M>(
         &self,
         objective: &O,
         noise: &M,
         optimizer: &mut dyn Optimizer,
-    ) -> TuningOutcome
+    ) -> Result<TuningOutcome, ServerError>
     where
         O: Objective + ?Sized,
         M: NoiseModel + ?Sized,
@@ -187,9 +192,9 @@ impl AdaptiveTuner {
             }
         }
 
-        let (best_point, best_estimate) = optimizer
-            .recommendation()
-            .expect("adaptive session observed at least one batch");
+        let Some((best_point, best_estimate)) = optimizer.recommendation() else {
+            return Err(ServerError::NoObservations);
+        };
         let best_true_cost = objective.eval(&best_point);
         let exploit_costs = vec![best_true_cost; self.cfg.exploit_width.clamp(1, self.cfg.procs)];
         while trace.len() < self.cfg.max_steps {
@@ -197,7 +202,7 @@ impl AdaptiveTuner {
             trace.push(outcome.t_k);
         }
 
-        TuningOutcome {
+        Ok(TuningOutcome {
             trace,
             steps_budget: self.cfg.max_steps,
             best_point,
@@ -207,7 +212,7 @@ impl AdaptiveTuner {
             evaluations,
             quality_curve,
             faults: FaultStats::default(),
-        }
+        })
     }
 }
 
@@ -330,7 +335,9 @@ mod tests {
             exploit_width: 6,
         });
         let mut opt = ProOptimizer::with_defaults(space());
-        let out = tuner.run(&obj, &Noise::paper_default(0.2), &mut opt);
+        let out = tuner
+            .run(&obj, &Noise::paper_default(0.2), &mut opt)
+            .unwrap();
         assert!(out.best_true_cost < 3.0, "bt={}", out.best_true_cost);
         assert!(out.trace.len() >= 120);
     }
@@ -354,7 +361,7 @@ mod tests {
             exploit_width: 6,
         });
         let mut opt = ProOptimizer::with_defaults(space());
-        let out = tuner.run(&obj, &noise, &mut opt);
+        let out = tuner.run(&obj, &noise, &mut opt).unwrap();
         let fixed6 = crate::tuner::OnlineTuner::new(crate::tuner::TunerConfig {
             procs: 64,
             max_steps: 100,
@@ -365,7 +372,7 @@ mod tests {
             exploit_width: 6,
         });
         let mut opt6 = ProOptimizer::with_defaults(space());
-        let out6 = fixed6.run(&obj, &noise, &mut opt6);
+        let out6 = fixed6.run(&obj, &noise, &mut opt6).unwrap();
         assert!(
             out.evaluations < out6.evaluations,
             "adaptive={} fixed6={}",

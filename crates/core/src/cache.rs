@@ -18,6 +18,7 @@
 //! objective automatically.
 
 use harmony_params::{ParamSpace, Point};
+use harmony_recovery::{Checkpoint, CodecError, StateReader, StateWriter};
 use harmony_surface::Objective;
 use harmony_telemetry::Telemetry;
 use std::collections::HashMap;
@@ -83,6 +84,38 @@ impl<'a, O: Objective + ?Sized> CachedObjective<'a, O> {
         tel.counter("cache.hits", self.hits() as u64);
         tel.counter("cache.misses", self.misses() as u64);
         tel.counter("cache.entries", self.len() as u64);
+    }
+}
+
+impl<O: Objective + ?Sized> Checkpoint for CachedObjective<'_, O> {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.tag("memo");
+        w.usize(self.hits());
+        w.usize(self.misses());
+        let memo = self.memo.read().unwrap_or_else(|e| e.into_inner());
+        // HashMap iteration order is unstable; sort by key so identical
+        // logical state always serialises to identical bytes
+        let mut entries: Vec<(&Vec<u64>, &f64)> = memo.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        w.usize(entries.len());
+        for (k, v) in entries {
+            w.u64_slice(k);
+            w.f64(*v);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), CodecError> {
+        r.tag("memo")?;
+        self.hits.store(r.usize()?, Ordering::Relaxed);
+        self.misses.store(r.usize()?, Ordering::Relaxed);
+        let n = r.usize()?;
+        let mut memo = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let k = r.u64_vec()?;
+            memo.insert(k, r.f64()?);
+        }
+        *self.memo.write().unwrap_or_else(|e| e.into_inner()) = memo;
+        Ok(())
     }
 }
 

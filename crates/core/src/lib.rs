@@ -68,5 +68,8 @@ pub use optimizer::Optimizer;
 pub use pro::{ProConfig, ProOptimizer};
 pub use restart::{restarting_pro, Restarting};
 pub use sampling::Estimator;
-pub use server::{run_distributed, run_resilient, ServerConfig, ServerError};
+pub use server::{
+    run_distributed, run_recoverable, run_resilient, run_session_traced, run_supervised,
+    RecoveryConfig, ServerConfig, ServerError, SupervisedOutcome, SupervisorReport,
+};
 pub use tuner::{FaultStats, OnlineTuner, TunerConfig, TuningOutcome};

@@ -261,7 +261,9 @@ mod tests {
     fn session_log_exports_a_database() {
         let obj = bowl();
         let mut logged = Logged::new(ProOptimizer::with_defaults(space()));
-        let out = OnlineTuner::new(cfg(5)).run(&obj, &Noise::None, &mut logged);
+        let out = OnlineTuner::new(cfg(5))
+            .run(&obj, &Noise::None, &mut logged)
+            .unwrap();
         let log = logged.log().clone();
         assert!(log.len() >= 10, "only {} points logged", log.len());
         assert_eq!(
@@ -284,13 +286,17 @@ mod tests {
         let obj = bowl();
         let noise = Noise::paper_default(0.2);
         let mut cold_logged = Logged::new(ProOptimizer::with_defaults(space()));
-        let cold = OnlineTuner::new(cfg(1)).run(&obj, &noise, &mut cold_logged);
+        let cold = OnlineTuner::new(cfg(1))
+            .run(&obj, &noise, &mut cold_logged)
+            .unwrap();
         let prior_best = cold_logged.log().best().unwrap().point.clone();
 
         let mut warm_inner = ProOptimizer::with_defaults(space());
         warm_inner.recenter(&prior_best);
         let mut warm = Logged::new(warm_inner);
-        let warm_out = OnlineTuner::new(cfg(2)).run(&obj, &noise, &mut warm);
+        let warm_out = OnlineTuner::new(cfg(2))
+            .run(&obj, &noise, &mut warm)
+            .unwrap();
 
         // the warm session reaches good quality at least as fast
         let threshold = 2.0; // within 2x of the optimum (1.0)

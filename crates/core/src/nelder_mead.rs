@@ -15,8 +15,10 @@
 //! sequential: proposals are singletons except for the shrink step.
 
 use crate::optimizer::{HistoryInterpolator, Incumbent, Optimizer};
+use crate::pro::simplex_from_vertices;
 use harmony_params::init::{initial_simplex, InitialShape, DEFAULT_RELATIVE_SIZE};
 use harmony_params::{ParamSpace, Point, Rounding, Simplex};
+use harmony_recovery::{Checkpoint, CodecError, StateReader, StateWriter};
 
 /// Configuration of the Nelder–Mead baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -218,6 +220,63 @@ impl NelderMead {
     }
 }
 
+impl Checkpoint for NelderMead {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.tag("nm");
+        w.points(self.simplex.vertices());
+        w.f64_slice(&self.values);
+        w.u8(match self.phase {
+            Phase::Init => 0,
+            Phase::Reflect => 1,
+            Phase::Expand => 2,
+            Phase::Contract => 3,
+            Phase::Shrink => 4,
+            Phase::Done => 5,
+        });
+        w.points(&self.queue);
+        w.f64_slice(&self.got);
+        match &self.reflected {
+            Some((p, v)) => {
+                w.bool(true);
+                w.point(p);
+                w.f64(*v);
+            }
+            None => w.bool(false),
+        }
+        self.incumbent.save_state(w);
+        self.history.save_state(w);
+        w.usize(self.iterations);
+        w.bool(self.converged);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), CodecError> {
+        r.tag("nm")?;
+        self.simplex = simplex_from_vertices(r.points()?)?;
+        self.values = r.f64_vec()?;
+        self.phase = match r.u8()? {
+            0 => Phase::Init,
+            1 => Phase::Reflect,
+            2 => Phase::Expand,
+            3 => Phase::Contract,
+            4 => Phase::Shrink,
+            5 => Phase::Done,
+            b => return Err(CodecError::BadValue(format!("bad nm phase {b}"))),
+        };
+        self.queue = r.points()?;
+        self.got = r.f64_vec()?;
+        self.reflected = if r.bool()? {
+            Some((r.point()?, r.f64()?))
+        } else {
+            None
+        };
+        self.incumbent.restore_state(r)?;
+        self.history.restore_state(r)?;
+        self.iterations = r.usize()?;
+        self.converged = r.bool()?;
+        Ok(())
+    }
+}
+
 impl Optimizer for NelderMead {
     fn space(&self) -> &ParamSpace {
         &self.space
@@ -282,6 +341,14 @@ impl Optimizer for NelderMead {
 
     fn name(&self) -> &str {
         "nelder-mead"
+    }
+
+    fn as_checkpoint(&self) -> Option<&dyn Checkpoint> {
+        Some(self)
+    }
+
+    fn as_checkpoint_mut(&mut self) -> Option<&mut dyn Checkpoint> {
+        Some(self)
     }
 }
 

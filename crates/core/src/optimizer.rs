@@ -1,6 +1,7 @@
 //! The batch ask/tell optimizer interface.
 
 use harmony_params::{ParamSpace, Point};
+use harmony_recovery::{Checkpoint, CodecError, StateReader, StateWriter};
 use harmony_surface::PerfDatabase;
 
 /// A direct-search optimizer driven in batches.
@@ -76,6 +77,20 @@ pub trait Optimizer {
 
     /// Algorithm name for reports.
     fn name(&self) -> &str;
+
+    /// The optimizer's checkpointable state, when it supports
+    /// snapshot/restore persistence. The default (`None`) marks the
+    /// algorithm as non-checkpointable; recovery-enabled sessions then
+    /// fall back to pure write-ahead-log replay.
+    fn as_checkpoint(&self) -> Option<&dyn Checkpoint> {
+        None
+    }
+
+    /// Mutable access to the optimizer's checkpointable state; must
+    /// return `Some` exactly when [`Optimizer::as_checkpoint`] does.
+    fn as_checkpoint_mut(&mut self) -> Option<&mut dyn Checkpoint> {
+        None
+    }
 }
 
 /// Neighbours blended by [`HistoryInterpolator`] when estimating a
@@ -148,6 +163,16 @@ impl HistoryInterpolator {
     }
 }
 
+impl Checkpoint for HistoryInterpolator {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.db.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), CodecError> {
+        self.db.restore_state(r)
+    }
+}
+
 /// Book-keeping shared by all optimizers: remembers the best estimate
 /// ever observed (the incumbent the cluster keeps running after
 /// convergence).
@@ -172,6 +197,30 @@ impl Incumbent {
     /// Current best, if any.
     pub fn get(&self) -> Option<(Point, f64)> {
         self.best.clone()
+    }
+}
+
+impl Checkpoint for Incumbent {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.tag("incumbent");
+        match &self.best {
+            Some((p, v)) => {
+                w.bool(true);
+                w.point(p);
+                w.f64(*v);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), CodecError> {
+        r.tag("incumbent")?;
+        self.best = if r.bool()? {
+            Some((r.point()?, r.f64()?))
+        } else {
+            None
+        };
+        Ok(())
     }
 }
 

@@ -33,7 +33,32 @@
 use crate::optimizer::{HistoryInterpolator, Incumbent, Optimizer};
 use harmony_params::init::{initial_simplex, InitialShape, DEFAULT_RELATIVE_SIZE};
 use harmony_params::{ParamSpace, Point, Rounding, Simplex, StepKind};
+use harmony_recovery::{Checkpoint, CodecError, StateReader, StateWriter};
 use harmony_telemetry::{event, Field, Telemetry};
+
+/// Writes a `(point, value)` list (a carried reflection set).
+pub(crate) fn write_pairs(w: &mut StateWriter, pairs: &[(Point, f64)]) {
+    w.usize(pairs.len());
+    for (p, v) in pairs {
+        w.point(p);
+        w.f64(*v);
+    }
+}
+
+/// Reads a [`write_pairs`] list.
+pub(crate) fn read_pairs(r: &mut StateReader) -> Result<Vec<(Point, f64)>, CodecError> {
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push((r.point()?, r.f64()?));
+    }
+    Ok(out)
+}
+
+/// Rebuilds a simplex from checkpointed vertices.
+pub(crate) fn simplex_from_vertices(verts: Vec<Point>) -> Result<Simplex, CodecError> {
+    Simplex::new(verts).map_err(|e| CodecError::BadValue(format!("bad simplex: {e:?}")))
+}
 
 /// Tunable knobs of the PRO algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -569,6 +594,62 @@ impl ProOptimizer {
     }
 }
 
+impl Checkpoint for ProOptimizer {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.tag("pro");
+        w.points(self.simplex.vertices());
+        w.f64_slice(&self.values);
+        match &self.state {
+            State::Init => w.u8(0),
+            State::Reflect => w.u8(1),
+            State::ExpandCheck { reflections } => {
+                w.u8(2);
+                write_pairs(w, reflections);
+            }
+            State::Expand { reflections } => {
+                w.u8(3);
+                write_pairs(w, reflections);
+            }
+            State::Shrink => w.u8(4),
+            State::Probe => w.u8(5),
+            State::Done => w.u8(6),
+        }
+        w.points(&self.pending);
+        self.incumbent.save_state(w);
+        self.history.save_state(w);
+        w.usize(self.iterations);
+        w.bool(self.converged);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), CodecError> {
+        r.tag("pro")?;
+        self.simplex = simplex_from_vertices(r.points()?)?;
+        self.values = r.f64_vec()?;
+        self.state = match r.u8()? {
+            0 => State::Init,
+            1 => State::Reflect,
+            2 => State::ExpandCheck {
+                reflections: read_pairs(r)?,
+            },
+            3 => State::Expand {
+                reflections: read_pairs(r)?,
+            },
+            4 => State::Shrink,
+            5 => State::Probe,
+            6 => State::Done,
+            b => return Err(CodecError::BadValue(format!("bad pro state {b}"))),
+        };
+        self.pending = r.points()?;
+        self.incumbent.restore_state(r)?;
+        self.history.restore_state(r)?;
+        self.iterations = r.usize()?;
+        self.converged = r.bool()?;
+        // span bookkeeping belongs to the previous process's telemetry
+        self.iter_span = 0;
+        Ok(())
+    }
+}
+
 impl Optimizer for ProOptimizer {
     fn space(&self) -> &ParamSpace {
         &self.space
@@ -642,6 +723,14 @@ impl Optimizer for ProOptimizer {
 
     fn name(&self) -> &str {
         "pro"
+    }
+
+    fn as_checkpoint(&self) -> Option<&dyn Checkpoint> {
+        Some(self)
+    }
+
+    fn as_checkpoint_mut(&mut self) -> Option<&mut dyn Checkpoint> {
+        Some(self)
     }
 }
 

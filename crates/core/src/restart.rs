@@ -15,6 +15,7 @@
 
 use crate::optimizer::{Incumbent, Optimizer};
 use harmony_params::{ParamSpace, Point};
+use harmony_recovery::{Checkpoint, CodecError, StateReader, StateWriter};
 use harmony_variability::seeded_rng;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -39,6 +40,10 @@ pub struct Restarting {
     max_starts: usize,
     incumbent: Incumbent,
     name: String,
+    /// Factory arguments that built the *current* inner optimizer, so a
+    /// checkpoint restore can rebuild it before restoring its state.
+    current_start: usize,
+    current_center: Point,
 }
 
 impl Restarting {
@@ -67,6 +72,8 @@ impl Restarting {
             max_starts,
             incumbent: Incumbent::new(),
             name,
+            current_start: 0,
+            current_center: center,
         }
     }
 
@@ -80,6 +87,43 @@ impl Restarting {
             .map(|_| self.rng.random::<f64>())
             .collect();
         self.space.point_from_unit(&unit)
+    }
+}
+
+impl Checkpoint for Restarting {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.tag("restart");
+        w.u64_slice(&self.rng.state());
+        w.usize(self.starts);
+        w.usize(self.current_start);
+        w.point(&self.current_center);
+        self.incumbent.save_state(w);
+        self.inner
+            .as_checkpoint()
+            .expect("restarting wrapper checkpoints require a checkpointable inner optimizer")
+            .save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), CodecError> {
+        r.tag("restart")?;
+        let state: [u64; 4] = r
+            .u64_vec()?
+            .try_into()
+            .map_err(|_| CodecError::BadValue("bad rng state length".into()))?;
+        self.rng = SmallRng::from_state(state);
+        self.starts = r.usize()?;
+        self.current_start = r.usize()?;
+        self.current_center = r.point()?;
+        self.incumbent.restore_state(r)?;
+        // rebuild the inner optimizer exactly as the factory originally
+        // did, then restore its internal state on top
+        self.inner = (self.factory)(self.current_start, &self.current_center);
+        match self.inner.as_checkpoint_mut() {
+            Some(c) => c.restore_state(r),
+            None => Err(CodecError::BadValue(
+                "factory built a non-checkpointable optimizer".into(),
+            )),
+        }
     }
 }
 
@@ -99,6 +143,8 @@ impl Optimizer for Restarting {
             }
             let center = self.random_center();
             self.inner = (self.factory)(self.starts, &center);
+            self.current_start = self.starts;
+            self.current_center = center;
             self.starts += 1;
         }
     }
@@ -137,6 +183,19 @@ impl Optimizer for Restarting {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_checkpoint(&self) -> Option<&dyn Checkpoint> {
+        // checkpointable exactly when the current inner optimizer is
+        self.inner.as_checkpoint().map(|_| self as &dyn Checkpoint)
+    }
+
+    fn as_checkpoint_mut(&mut self) -> Option<&mut dyn Checkpoint> {
+        if self.inner.as_checkpoint().is_some() {
+            Some(self)
+        } else {
+            None
+        }
     }
 }
 
@@ -251,5 +310,46 @@ mod tests {
     #[should_panic(expected = "at least one start")]
     fn zero_starts_rejected() {
         restarting_pro(space(), ProConfig::default(), 0, 1);
+    }
+
+    #[test]
+    fn checkpoint_restores_start_index_and_incumbent() {
+        // run past at least one restart, snapshot, keep driving; a fresh
+        // wrapper restored from the snapshot must continue identically
+        let mut multi = restarting_pro(space(), ProConfig::default(), 6, 7);
+        drive(&mut multi, 120);
+        assert!(multi.starts() > 1, "want a mid-restart snapshot");
+        let bytes = harmony_recovery::save_to_vec(
+            multi
+                .as_checkpoint()
+                .expect("restarting pro is checkpointable"),
+        );
+        let snap_starts = multi.starts();
+        let snap_best = multi.best();
+
+        let mut resumed = restarting_pro(space(), ProConfig::default(), 6, 7);
+        harmony_recovery::restore_from_slice(
+            resumed.as_checkpoint_mut().expect("checkpointable"),
+            &bytes,
+        )
+        .unwrap();
+        assert_eq!(resumed.starts(), snap_starts);
+        assert_eq!(resumed.best(), snap_best);
+
+        // both copies must propose and evolve identically from here on,
+        // including through further RNG-driven restarts
+        for _ in 0..2_000 {
+            let a = multi.propose();
+            let b = resumed.propose();
+            assert_eq!(a, b);
+            if a.is_empty() {
+                break;
+            }
+            let vals: Vec<f64> = a.iter().map(deceptive).collect();
+            multi.observe(&vals);
+            resumed.observe(&vals);
+        }
+        assert_eq!(multi.starts(), resumed.starts());
+        assert_eq!(multi.recommendation(), resumed.recommendation());
     }
 }

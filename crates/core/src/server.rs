@@ -56,8 +56,14 @@ use crate::tuner::{FaultStats, TuningOutcome};
 use harmony_cluster::fault::{Delivery, FaultPlan};
 use harmony_cluster::TuningTrace;
 use harmony_params::Point;
+use harmony_recovery::{
+    BatchRecord, Checkpoint, ExploitKind, ExploitRecord, HeaderRecord, HealthTracker, RoundDelta,
+    SessionJournal, StateReader, StateWriter, SupervisorConfig, TransitionKind, WalRecord,
+    WAL_VERSION,
+};
 use harmony_surface::Objective;
 use harmony_telemetry::{event, Field, Telemetry};
+use harmony_variability::counting::CountingRng;
 use harmony_variability::noise::NoiseModel;
 use harmony_variability::{seeded_rng, stream_seed};
 use std::collections::HashMap;
@@ -91,6 +97,10 @@ pub enum ServerError {
     },
     /// The optimizer never produced an observable batch.
     NoObservations,
+    /// The session journal could not be used to resume: corrupt records,
+    /// a configuration mismatch with the WAL header, or state that no
+    /// longer replays against the given optimizer.
+    Recovery(String),
 }
 
 impl fmt::Display for ServerError {
@@ -111,6 +121,7 @@ impl fmt::Display for ServerError {
             ServerError::NoObservations => {
                 write!(f, "session ended before any batch was observed")
             }
+            ServerError::Recovery(why) => write!(f, "session recovery failed: {why}"),
         }
     }
 }
@@ -225,10 +236,23 @@ enum Event {
         observed: f64,
         late: bool,
         duplicate: bool,
+        /// Reporting client, with its post-task progress meters: tasks
+        /// processed and cumulative RNG words consumed. The server
+        /// journals the meters so a resumed client can fast-forward to
+        /// the exact stream position the killed run reached.
+        client: usize,
+        serial: usize,
+        draws: u64,
     },
     /// The report was dropped in transit; the deadline expired with
-    /// nothing to show.
-    Lost { assign: Assignment },
+    /// nothing to show. The client still ran the task, so its meters
+    /// advanced.
+    Lost {
+        assign: Assignment,
+        client: usize,
+        serial: usize,
+        draws: u64,
+    },
     /// The client crashed while running the assignment.
     Died { client: usize, assign: Assignment },
 }
@@ -283,6 +307,259 @@ where
     )
 }
 
+/// Persistence policy of a checkpointed session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Take a full state snapshot every this many committed batches
+    /// (`0` = never; the WAL alone still recovers, by replaying every
+    /// record from the start). Snapshots bound replay work at the cost
+    /// of snapshot bytes; WAL-only recovery additionally reproduces the
+    /// *telemetry trace* byte-identically, because every record is
+    /// re-emitted.
+    pub snapshot_every: u64,
+}
+
+/// What the supervisor did during one session — all replay-derivable, so
+/// a resumed session reports identical numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorReport {
+    /// Whether the session completed in degraded mode (at least one
+    /// batch advanced below quorum, or breakers narrowed dispatch).
+    pub degraded: bool,
+    /// Batches the supervisor forced below quorum instead of failing
+    /// with [`ServerError::QuorumNotReached`].
+    pub forced_batches: usize,
+    /// Circuit-breaker trips (client quarantined from dispatch).
+    pub breaker_opens: usize,
+    /// Circuit-breaker recoveries (probe succeeded, client readmitted).
+    pub breaker_closes: usize,
+    /// Narrowest dispatch width any round used (`usize::MAX` when no
+    /// round ran).
+    pub min_width: usize,
+}
+
+/// A [`TuningOutcome`] plus the supervisor's account of the session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedOutcome {
+    /// The tuning result.
+    pub outcome: TuningOutcome,
+    /// Supervisor counters; `degraded` tells whether the result came
+    /// from a full-width run or a degraded one.
+    pub supervisor: SupervisorReport,
+}
+
+/// [`run_resilient`] with snapshot/WAL persistence: the session journals
+/// every committed batch (and exploit step) into `journal` and takes
+/// periodic snapshots per `recovery`. When `journal` is non-empty the
+/// session **resumes** instead of starting over — the optimizer and
+/// session state are restored (snapshot + WAL-tail replay) and clients
+/// fast-forward their RNG streams to the journaled positions, so the
+/// resumed run's [`TuningOutcome`] is byte-identical to an uninterrupted
+/// one.
+pub fn run_recoverable<O, M>(
+    objective: &O,
+    noise: &M,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+    plan: &FaultPlan,
+    journal: &mut SessionJournal,
+    recovery: RecoveryConfig,
+) -> Result<TuningOutcome, ServerError>
+where
+    O: Objective + Sync + ?Sized,
+    M: NoiseModel + Sync + ?Sized,
+{
+    run_session_traced(
+        objective,
+        noise,
+        optimizer,
+        cfg,
+        plan,
+        &Telemetry::disabled(),
+        Some(journal),
+        recovery,
+        None,
+    )
+    .map(|s| s.outcome)
+}
+
+/// [`run_recoverable`] with structured tracing. A WAL-only resume
+/// (no snapshot taken yet) re-emits the replayed records' telemetry, so
+/// the resumed trace is byte-identical to the uninterrupted one; a
+/// snapshot resume skips the pre-snapshot events (the outcome is still
+/// byte-identical).
+#[allow(clippy::too_many_arguments)]
+pub fn run_recoverable_traced<O, M>(
+    objective: &O,
+    noise: &M,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+    plan: &FaultPlan,
+    tel: &Telemetry,
+    journal: &mut SessionJournal,
+    recovery: RecoveryConfig,
+) -> Result<TuningOutcome, ServerError>
+where
+    O: Objective + Sync + ?Sized,
+    M: NoiseModel + Sync + ?Sized,
+{
+    run_session_traced(
+        objective,
+        noise,
+        optimizer,
+        cfg,
+        plan,
+        tel,
+        Some(journal),
+        recovery,
+        None,
+    )
+    .map(|s| s.outcome)
+}
+
+/// [`run_resilient`] under a supervisor: per-client circuit breakers
+/// narrow dispatch around unhealthy clients (recovering width when they
+/// return), and a batch that finishes below quorum is salvaged with
+/// escalating re-dispatches and — when at least one estimate survives —
+/// forced through `observe_partial` as a *degraded* advance instead of
+/// failing with [`ServerError::QuorumNotReached`]. Every supervisor
+/// state transition is emitted as a `recovery.*` telemetry event in
+/// canonical order.
+pub fn run_supervised<O, M>(
+    objective: &O,
+    noise: &M,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+    plan: &FaultPlan,
+    supervisor: SupervisorConfig,
+) -> Result<SupervisedOutcome, ServerError>
+where
+    O: Objective + Sync + ?Sized,
+    M: NoiseModel + Sync + ?Sized,
+{
+    run_session_traced(
+        objective,
+        noise,
+        optimizer,
+        cfg,
+        plan,
+        &Telemetry::disabled(),
+        None,
+        RecoveryConfig::default(),
+        Some(supervisor),
+    )
+}
+
+/// [`run_supervised`] with structured tracing.
+pub fn run_supervised_traced<O, M>(
+    objective: &O,
+    noise: &M,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+    plan: &FaultPlan,
+    tel: &Telemetry,
+    supervisor: SupervisorConfig,
+) -> Result<SupervisedOutcome, ServerError>
+where
+    O: Objective + Sync + ?Sized,
+    M: NoiseModel + Sync + ?Sized,
+{
+    run_session_traced(
+        objective,
+        noise,
+        optimizer,
+        cfg,
+        plan,
+        tel,
+        None,
+        RecoveryConfig::default(),
+        Some(supervisor),
+    )
+}
+
+/// The master session entry point: [`run_resilient_traced`] plus
+/// optional journaled persistence/resume and optional supervision, in
+/// any combination. With both options off it reduces to the legacy
+/// resilient session exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn run_session_traced<O, M>(
+    objective: &O,
+    noise: &M,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+    plan: &FaultPlan,
+    tel: &Telemetry,
+    mut journal: Option<&mut SessionJournal>,
+    recovery: RecoveryConfig,
+    supervisor: Option<SupervisorConfig>,
+) -> Result<SupervisedOutcome, ServerError>
+where
+    O: Objective + Sync + ?Sized,
+    M: NoiseModel + Sync + ?Sized,
+{
+    let cfg = cfg.validated()?;
+    let k = cfg.estimator.samples();
+    let resume = match journal.as_deref() {
+        Some(j) => scan_journal(j, &cfg, k, supervisor.is_some())?,
+        None => ResumePlan::fresh(cfg.procs),
+    };
+    if resume.fresh {
+        if let Some(j) = journal.as_deref_mut() {
+            let header = WalRecord::Header(HeaderRecord {
+                version: WAL_VERSION,
+                procs: cfg.procs,
+                max_steps: cfg.max_steps,
+                k,
+                seed: cfg.seed,
+                deadline: cfg.deadline,
+                max_retries: cfg.max_retries,
+                backoff: cfg.backoff,
+                quorum: cfg.quorum,
+                supervised: supervisor.is_some(),
+            });
+            journal_append(j, header)?;
+        }
+    }
+    std::thread::scope(|scope| {
+        let (event_tx, event_rx) = channel::<Event>();
+        let mut client_txs: Vec<Sender<Task>> = Vec::with_capacity(cfg.procs);
+        for c in 0..cfg.procs {
+            let (task_tx, task_rx) = channel::<Task>();
+            client_txs.push(task_tx);
+            let event_tx = event_tx.clone();
+            let start = resume.starts[c];
+            scope.spawn(move || {
+                client_loop(
+                    c, task_rx, event_tx, objective, noise, cfg.seed, plan, start,
+                )
+            });
+        }
+        drop(event_tx);
+
+        let outcome = serve(
+            objective,
+            optimizer,
+            cfg,
+            &client_txs,
+            &event_rx,
+            tel,
+            SessionExtras {
+                journal,
+                snapshot_every: recovery.snapshot_every,
+                supervisor,
+                resume,
+            },
+        );
+        // tolerant shutdown: crashed clients have already dropped their
+        // receivers, so sends may fail — that is fine, the thread is
+        // gone. The scope joins every client on both Ok and Err paths.
+        for tx in &client_txs {
+            let _ = tx.send(Task::Stop);
+        }
+        outcome
+    })
+}
+
 /// [`run_resilient`] with structured tracing: the session becomes a
 /// `server.session` span, every fault-handling decision (miss, retry,
 /// abandonment, eviction, duplicate, partial batch) becomes an event,
@@ -307,33 +584,24 @@ where
     O: Objective + Sync + ?Sized,
     M: NoiseModel + Sync + ?Sized,
 {
-    let cfg = cfg.validated()?;
-    std::thread::scope(|scope| {
-        let (event_tx, event_rx) = channel::<Event>();
-        let mut client_txs: Vec<Sender<Task>> = Vec::with_capacity(cfg.procs);
-        for c in 0..cfg.procs {
-            let (task_tx, task_rx) = channel::<Task>();
-            client_txs.push(task_tx);
-            let event_tx = event_tx.clone();
-            scope
-                .spawn(move || client_loop(c, task_rx, event_tx, objective, noise, cfg.seed, plan));
-        }
-        drop(event_tx);
-
-        let outcome = serve(objective, optimizer, cfg, &client_txs, &event_rx, tel);
-        // tolerant shutdown: crashed clients have already dropped their
-        // receivers, so sends may fail — that is fine, the thread is
-        // gone. The scope joins every client on both Ok and Err paths.
-        for tx in &client_txs {
-            let _ = tx.send(Task::Stop);
-        }
-        outcome
-    })
+    run_session_traced(
+        objective,
+        noise,
+        optimizer,
+        cfg,
+        plan,
+        tel,
+        None,
+        RecoveryConfig::default(),
+        None,
+    )
+    .map(|s| s.outcome)
 }
 
 /// One simulated SPMD process: fetch task, run (evaluate objective under
 /// local noise), report — with the [`FaultPlan`] deciding whether this
 /// client crashes and how each report is delivered.
+#[allow(clippy::too_many_arguments)]
 fn client_loop<O, M>(
     id: usize,
     tasks: Receiver<Task>,
@@ -342,13 +610,19 @@ fn client_loop<O, M>(
     noise: &M,
     seed: u64,
     plan: &FaultPlan,
+    start: (usize, u64),
 ) where
     O: Objective + ?Sized,
     M: NoiseModel + ?Sized,
 {
-    let mut rng = seeded_rng(stream_seed(seed, id as u64 + 1));
+    // a resumed client reseeds the same stream and fast-forwards to the
+    // meter position the journal recorded, so the noise sequence
+    // continues exactly where the killed run left it
+    let mut rng = CountingRng::new(seeded_rng(stream_seed(seed, id as u64 + 1)));
+    let (start_serial, start_draws) = start;
+    rng.fast_forward(start_draws);
     let crash_at = plan.crash_point(id);
-    let mut serial = 0usize;
+    let mut serial = start_serial;
     while let Ok(task) = tasks.recv() {
         match task {
             Task::Run { assign, point } => {
@@ -360,13 +634,18 @@ fn client_loop<O, M>(
                 }
                 let cost = objective.eval(&point);
                 let observed = noise.observe(cost, &mut rng);
-                let sent = match plan.delivery(id, serial) {
+                serial += 1;
+                let draws = rng.draws();
+                let sent = match plan.delivery(id, serial - 1) {
                     Delivery::OnTime => events
                         .send(Event::Report {
                             assign,
                             observed,
                             late: false,
                             duplicate: false,
+                            client: id,
+                            serial,
+                            draws,
                         })
                         .is_ok(),
                     Delivery::Duplicated => {
@@ -375,6 +654,9 @@ fn client_loop<O, M>(
                             observed,
                             late: false,
                             duplicate: true,
+                            client: id,
+                            serial,
+                            draws,
                         };
                         let _ = events.send(copy.clone());
                         events.send(copy).is_ok()
@@ -385,11 +667,20 @@ fn client_loop<O, M>(
                             observed,
                             late: true,
                             duplicate: false,
+                            client: id,
+                            serial,
+                            draws,
                         })
                         .is_ok(),
-                    Delivery::Lost => events.send(Event::Lost { assign }).is_ok(),
+                    Delivery::Lost => events
+                        .send(Event::Lost {
+                            assign,
+                            client: id,
+                            serial,
+                            draws,
+                        })
+                        .is_ok(),
                 };
-                serial += 1;
                 if !sent {
                     break; // server gone
                 }
@@ -399,11 +690,263 @@ fn client_loop<O, M>(
     }
 }
 
+/// Options threaded into [`serve`] by [`run_session_traced`].
+struct SessionExtras<'a> {
+    journal: Option<&'a mut SessionJournal>,
+    snapshot_every: u64,
+    supervisor: Option<SupervisorConfig>,
+    resume: ResumePlan,
+}
+
+/// What a journal scan found: the snapshot to restore (if any), the WAL
+/// tail to replay on top of it, and the per-client stream positions to
+/// respawn clients at.
+struct ResumePlan {
+    fresh: bool,
+    snapshot: Option<Vec<u8>>,
+    replay: Vec<WalRecord>,
+    starts: Vec<(usize, u64)>,
+}
+
+impl ResumePlan {
+    fn fresh(procs: usize) -> Self {
+        ResumePlan {
+            fresh: true,
+            snapshot: None,
+            replay: Vec::new(),
+            starts: vec![(0, 0); procs],
+        }
+    }
+}
+
+fn recovery_err(why: impl Into<String>) -> ServerError {
+    ServerError::Recovery(why.into())
+}
+
+fn journal_io(e: std::io::Error) -> ServerError {
+    recovery_err(format!("journal I/O: {e}"))
+}
+
+fn journal_append(journal: &mut SessionJournal, record: WalRecord) -> Result<(), ServerError> {
+    journal.append_record(record).map_err(journal_io)
+}
+
+/// Validates the journal against the session parameters and extracts the
+/// resume plan. Floats are compared bitwise — the WAL header echoes them
+/// as bits, so any drift in configuration fails loudly instead of
+/// replaying against different semantics. A torn final line (a kill
+/// mid-append) is dropped; corruption anywhere earlier is an error.
+fn scan_journal(
+    journal: &SessionJournal,
+    cfg: &ServerConfig,
+    k: usize,
+    supervised: bool,
+) -> Result<ResumePlan, ServerError> {
+    let lines = journal.wal_lines().map_err(journal_io)?;
+    if lines.is_empty() {
+        return Ok(ResumePlan::fresh(cfg.procs));
+    }
+    let WalRecord::Header(header) = WalRecord::from_line(&lines[0])
+        .map_err(|e| recovery_err(format!("bad WAL header: {e}")))?
+    else {
+        return Err(recovery_err("first WAL line is not a header"));
+    };
+    if header.version != WAL_VERSION {
+        return Err(recovery_err(format!(
+            "WAL version {} (expected {WAL_VERSION})",
+            header.version
+        )));
+    }
+    let matches = header.procs == cfg.procs
+        && header.max_steps == cfg.max_steps
+        && header.k == k
+        && header.seed == cfg.seed
+        && header.deadline.to_bits() == cfg.deadline.to_bits()
+        && header.max_retries == cfg.max_retries
+        && header.backoff.to_bits() == cfg.backoff.to_bits()
+        && header.quorum.to_bits() == cfg.quorum.to_bits()
+        && header.supervised == supervised;
+    if !matches {
+        return Err(recovery_err(
+            "WAL header does not match this session's configuration",
+        ));
+    }
+    let mut records: Vec<WalRecord> = Vec::with_capacity(lines.len() - 1);
+    let last = lines.len() - 1;
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        match WalRecord::from_line(line) {
+            Ok(WalRecord::Header(_)) => {
+                return Err(recovery_err(format!(
+                    "unexpected second header at line {i}"
+                )))
+            }
+            Ok(rec) => records.push(rec),
+            // a torn tail is the expected shape of a kill mid-append:
+            // the previous commit point is the resume point
+            Err(_) if i == last => break,
+            Err(e) => return Err(recovery_err(format!("corrupt WAL line {i}: {e}"))),
+        }
+    }
+    let record_batch = |r: &WalRecord| match r {
+        WalRecord::Batch(b) => b.batch,
+        WalRecord::Exploit(e) => e.batch,
+        WalRecord::Header(_) => unreachable!("headers rejected above"),
+    };
+    let starts = match records.last() {
+        None => vec![(0, 0); cfg.procs],
+        Some(rec) => {
+            let (serials, draws) = match rec {
+                WalRecord::Batch(b) => (&b.serials, &b.draws),
+                WalRecord::Exploit(e) => (&e.serials, &e.draws),
+                WalRecord::Header(_) => unreachable!("headers rejected above"),
+            };
+            if serials.len() != cfg.procs || draws.len() != cfg.procs {
+                return Err(recovery_err("journal meters do not cover every client"));
+            }
+            serials.iter().copied().zip(draws.iter().copied()).collect()
+        }
+    };
+    let snapshot = match journal.latest_snapshot().map_err(journal_io)? {
+        None => None,
+        Some((snap_batch, bytes)) => {
+            let max_batch = records.iter().map(record_batch).max().unwrap_or(0);
+            if snap_batch > max_batch {
+                return Err(recovery_err(format!(
+                    "snapshot at batch {snap_batch} is ahead of the WAL (last record {max_batch})"
+                )));
+            }
+            records.retain(|r| record_batch(r) > snap_batch);
+            Some(bytes)
+        }
+    };
+    Ok(ResumePlan {
+        fresh: false,
+        snapshot,
+        replay: records,
+        starts,
+    })
+}
+
+/// Cumulative fault counters in the WAL's canonical order.
+fn stats_to_array(s: &FaultStats) -> [usize; 6] {
+    [
+        s.missed_reports,
+        s.retries,
+        s.abandoned_slots,
+        s.duplicate_reports,
+        s.evicted_clients,
+        s.partial_batches,
+    ]
+}
+
+fn stats_from_array(a: [usize; 6]) -> FaultStats {
+    FaultStats {
+        missed_reports: a[0],
+        retries: a[1],
+        abandoned_slots: a[2],
+        duplicate_reports: a[3],
+        evicted_clients: a[4],
+        partial_batches: a[5],
+    }
+}
+
+/// Serialises the full mid-session state at a batch boundary: session
+/// progress, the optimizer, the objective memo, and (when supervised)
+/// the health tracker.
+#[allow(clippy::too_many_arguments)]
+fn save_snapshot<O: Objective + ?Sized>(
+    optimizer: &dyn Checkpoint,
+    cache: &CachedObjective<'_, O>,
+    health: Option<&HealthTracker>,
+    trace: &TuningTrace,
+    evaluations: usize,
+    quality_curve: &[(usize, f64)],
+    batch_id: u64,
+    fleet: &Fleet,
+) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    w.tag("session");
+    w.u64(batch_id);
+    w.f64_slice(trace.step_times());
+    w.usize(evaluations);
+    w.usize(quality_curve.len());
+    for &(step, q) in quality_curve {
+        w.usize(step);
+        w.f64(q);
+    }
+    w.usize_slice(&fleet.live);
+    w.usize_slice(&stats_to_array(&fleet.stats));
+    optimizer.save_state(&mut w);
+    cache.save_state(&mut w);
+    w.bool(health.is_some());
+    if let Some(h) = health {
+        h.save_state(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Mirror of [`save_snapshot`]: restores the session state in place.
+#[allow(clippy::too_many_arguments)]
+fn restore_snapshot<O: Objective + ?Sized>(
+    bytes: &[u8],
+    optimizer: &mut dyn Optimizer,
+    cache: &mut CachedObjective<'_, O>,
+    health: Option<&mut HealthTracker>,
+    trace: &mut TuningTrace,
+    evaluations: &mut usize,
+    quality_curve: &mut Vec<(usize, f64)>,
+    batch_id: &mut u64,
+    fleet: &mut Fleet,
+) -> Result<(), ServerError> {
+    let snap = |e: harmony_recovery::CodecError| recovery_err(format!("snapshot: {e}"));
+    let mut r = StateReader::new(bytes).map_err(snap)?;
+    r.tag("session").map_err(snap)?;
+    *batch_id = r.u64().map_err(snap)?;
+    for t_k in r.f64_vec().map_err(snap)? {
+        trace
+            .try_push(t_k)
+            .map_err(|e| recovery_err(format!("snapshot trace: {e}")))?;
+    }
+    *evaluations = r.usize().map_err(snap)?;
+    let n = r.usize().map_err(snap)?;
+    quality_curve.clear();
+    for _ in 0..n {
+        let step = r.usize().map_err(snap)?;
+        let q = r.f64().map_err(snap)?;
+        quality_curve.push((step, q));
+    }
+    fleet.live = r.usize_vec().map_err(snap)?;
+    let stats: [usize; 6] = r
+        .usize_vec()
+        .map_err(snap)?
+        .try_into()
+        .map_err(|_| recovery_err("snapshot stats arity"))?;
+    fleet.stats = stats_from_array(stats);
+    optimizer
+        .as_checkpoint_mut()
+        .ok_or_else(|| recovery_err("optimizer is not checkpointable"))?
+        .restore_state(&mut r)
+        .map_err(snap)?;
+    cache.restore_state(&mut r).map_err(snap)?;
+    let has_health = r.bool().map_err(snap)?;
+    match (has_health, health) {
+        (true, Some(h)) => h.restore_state(&mut r).map_err(snap)?,
+        (false, None) => {}
+        _ => return Err(recovery_err("snapshot supervision flag mismatch")),
+    }
+    r.finish().map_err(snap)
+}
+
 /// Running state of the server's fault handling.
 struct Fleet {
     /// Indices of clients still alive, ascending.
     live: Vec<usize>,
     stats: FaultStats,
+    /// Per-client progress meters `(serial, rng words)`, updated from
+    /// every received event and journaled at each commit point so a
+    /// resumed session respawns clients at the exact stream positions
+    /// the killed run reached.
+    meters: Vec<(usize, u64)>,
 }
 
 impl Fleet {
@@ -412,6 +955,35 @@ impl Fleet {
             self.live.remove(pos);
             self.stats.evicted_clients += 1;
         }
+    }
+
+    /// Folds one received event's progress meters into the fleet.
+    /// Events from one client arrive in send order (per-sender FIFO),
+    /// so plain assignment is monotonic.
+    fn note(&mut self, event: &Event) {
+        match *event {
+            Event::Report {
+                client,
+                serial,
+                draws,
+                ..
+            }
+            | Event::Lost {
+                client,
+                serial,
+                draws,
+                ..
+            } => self.meters[client] = (serial, draws),
+            Event::Died { .. } => {}
+        }
+    }
+
+    fn serials(&self) -> Vec<usize> {
+        self.meters.iter().map(|&(s, _)| s).collect()
+    }
+
+    fn draws(&self) -> Vec<u64> {
+        self.meters.iter().map(|&(_, d)| d).collect()
     }
 }
 
@@ -433,6 +1005,7 @@ fn session_fail(tel: &Telemetry, session: Option<u64>, err: ServerError) -> Serv
             ServerError::QuorumNotReached { .. } => "server.quorum_fail",
             ServerError::NoObservations => "server.no_observations",
             ServerError::InvalidConfig(_) => "server.invalid_config",
+            ServerError::Recovery(_) => "server.recovery_fail",
         };
         tel.event(name, vec![Field::new("error", err.to_string())]);
         if let Some(id) = session {
@@ -440,6 +1013,102 @@ fn session_fail(tel: &Telemetry, session: Option<u64>, err: ServerError) -> Serv
         }
     }
     err
+}
+
+/// Emits supervisor breaker transitions in the deterministic order the
+/// health tracker produced them, folding trip/recovery counts into the
+/// report.
+fn emit_transitions(
+    tel: &Telemetry,
+    transitions: &[harmony_recovery::Transition],
+    report: &mut SupervisorReport,
+) {
+    for t in transitions {
+        match t.kind {
+            TransitionKind::Open => {
+                report.breaker_opens += 1;
+                event!(tel, "recovery.breaker_open", client = t.client);
+            }
+            TransitionKind::HalfOpen => {
+                event!(tel, "recovery.breaker_probe", client = t.client);
+            }
+            TransitionKind::Close => {
+                report.breaker_closes += 1;
+                event!(tel, "recovery.breaker_close", client = t.client);
+            }
+        }
+    }
+}
+
+/// Computes the dispatch order for one round. Unsupervised sessions
+/// dispatch to every live client in index order; supervised sessions
+/// first advance the breaker clock (emitting any expiry transitions) and
+/// then order live clients closed-first with half-open probes last.
+fn open_round(
+    tel: &Telemetry,
+    health: Option<&mut HealthTracker>,
+    report: &mut SupervisorReport,
+    fleet: &Fleet,
+    trace: &TuningTrace,
+) -> Vec<usize> {
+    match health {
+        Some(h) => {
+            tel.set_clock(trace.len() as u64);
+            let ts = h.begin_round();
+            emit_transitions(tel, &ts, report);
+            h.dispatch_order(&fleet.live)
+        }
+        None => fleet.live.clone(),
+    }
+}
+
+/// The post-round bookkeeping shared by tuning and salvage rounds:
+/// canonical fault telemetry, breaker updates, the supervisor width
+/// floor, and (when journalling) the [`RoundDelta`] capturing exactly
+/// what replay must re-emit.
+#[allow(clippy::too_many_arguments)]
+fn finish_round(
+    tel: &Telemetry,
+    health: Option<&mut HealthTracker>,
+    report: &mut SupervisorReport,
+    rounds_rec: Option<&mut Vec<RoundDelta>>,
+    trace: &TuningTrace,
+    order: &[usize],
+    width: usize,
+    ok_flags: &[bool],
+    live_before: &[usize],
+    fleet: &Fleet,
+    stats_before: FaultStats,
+) {
+    tel.set_clock(trace.len() as u64);
+    emit_round_faults(tel, live_before, fleet, stats_before);
+    if let Some(h) = health {
+        let mut ts = Vec::new();
+        for (&c, &ok) in order[..width].iter().zip(ok_flags) {
+            if let Some(t) = h.record(c, ok) {
+                ts.push(t);
+            }
+        }
+        emit_transitions(tel, &ts, report);
+    }
+    report.min_width = report.min_width.min(width);
+    if let Some(rec) = rounds_rec {
+        let evicted = live_before
+            .iter()
+            .copied()
+            .filter(|c| !fleet.live.contains(c))
+            .collect();
+        rec.push(RoundDelta {
+            step: *trace.step_times().last().expect("round pushed a step"),
+            clients: order[..width].to_vec(),
+            ok: ok_flags.to_vec(),
+            evicted,
+            missed: fleet.stats.missed_reports - stats_before.missed_reports,
+            retries: fleet.stats.retries - stats_before.retries,
+            abandoned: fleet.stats.abandoned_slots - stats_before.abandoned_slots,
+            duplicates: fleet.stats.duplicate_reports - stats_before.duplicate_reports,
+        });
+    }
 }
 
 /// Emits the fault handling of one dispatch round in canonical order:
@@ -476,7 +1145,10 @@ fn emit_round_faults(tel: &Telemetry, live_before: &[usize], fleet: &Fleet, befo
 }
 
 /// The server side: batch scheduling, deadline/retry accounting,
-/// optimizer advancement, exploit fill.
+/// optimizer advancement, exploit fill — plus, per [`SessionExtras`],
+/// WAL/snapshot persistence with mid-run resume and supervised
+/// degraded-mode operation. With the extras off this is exactly the
+/// legacy resilient session.
 fn serve<O>(
     objective: &O,
     optimizer: &mut dyn Optimizer,
@@ -484,23 +1156,36 @@ fn serve<O>(
     clients: &[Sender<Task>],
     events: &Receiver<Event>,
     tel: &Telemetry,
-) -> Result<TuningOutcome, ServerError>
+    extras: SessionExtras<'_>,
+) -> Result<SupervisedOutcome, ServerError>
 where
     O: Objective + ?Sized,
 {
+    let SessionExtras {
+        mut journal,
+        snapshot_every,
+        supervisor,
+        resume,
+    } = extras;
     // objectives are deterministic (noise is applied per-client), so
     // memoizing the recommendation probes is exact — the quality curve
     // and best_true_cost revisit the same points heavily
-    let objective = CachedObjective::new(objective);
+    let mut objective = CachedObjective::new(objective);
     let mut trace = TuningTrace::new();
     let mut evaluations = 0usize;
     let mut quality_curve: Vec<(usize, f64)> = Vec::new();
     let mut fleet = Fleet {
         live: (0..clients.len()).collect(),
         stats: FaultStats::default(),
+        meters: resume.starts.clone(),
     };
     let k = cfg.estimator.samples();
     let mut batch_id = 0u64;
+    let mut health = supervisor.map(|sc| HealthTracker::new(clients.len(), sc));
+    let mut report = SupervisorReport {
+        min_width: usize::MAX,
+        ..SupervisorReport::default()
+    };
     let session = tel.enabled().then(|| {
         tel.set_clock(0);
         tel.span_open(
@@ -514,6 +1199,138 @@ where
         )
     });
 
+    // ---- resume: restore the snapshot, then replay the WAL tail ----
+    if let Some(bytes) = &resume.snapshot {
+        if let Err(e) = restore_snapshot(
+            bytes,
+            optimizer,
+            &mut objective,
+            health.as_mut(),
+            &mut trace,
+            &mut evaluations,
+            &mut quality_curve,
+            &mut batch_id,
+            &mut fleet,
+        ) {
+            return Err(session_fail(tel, session, e));
+        }
+    }
+    for rec in &resume.replay {
+        match rec {
+            WalRecord::Batch(b) => {
+                tel.set_clock(trace.len() as u64);
+                let batch = optimizer.propose();
+                if batch.len() != b.estimates.len() {
+                    return Err(session_fail(
+                        tel,
+                        session,
+                        recovery_err(format!(
+                            "replayed batch {} proposes {} points, WAL has {}",
+                            b.batch,
+                            batch.len(),
+                            b.estimates.len()
+                        )),
+                    ));
+                }
+                batch_id = b.batch;
+                for round in &b.rounds {
+                    if let Some(h) = health.as_mut() {
+                        tel.set_clock(trace.len() as u64);
+                        let ts = h.begin_round();
+                        emit_transitions(tel, &ts, &mut report);
+                    }
+                    report.min_width = report.min_width.min(round.clients.len());
+                    trace.push(round.step);
+                    tel.set_clock(trace.len() as u64);
+                    for &c in &round.evicted {
+                        event!(tel, "server.evict", client = c);
+                    }
+                    if round.missed > 0 {
+                        event!(tel, "server.miss", count = round.missed);
+                    }
+                    if round.retries > 0 {
+                        event!(tel, "server.retry", count = round.retries);
+                    }
+                    if round.abandoned > 0 {
+                        event!(tel, "server.abandon", count = round.abandoned);
+                    }
+                    if round.duplicates > 0 {
+                        tel.counter("server.duplicate_reports", round.duplicates as u64);
+                    }
+                    if let Some(h) = health.as_mut() {
+                        let mut ts = Vec::new();
+                        for (&c, &ok) in round.clients.iter().zip(&round.ok) {
+                            if let Some(t) = h.record(c, ok) {
+                                ts.push(t);
+                            }
+                        }
+                        emit_transitions(tel, &ts, &mut report);
+                    }
+                }
+                evaluations = b.evaluations;
+                fleet.live = b.live.clone();
+                fleet.stats = stats_from_array(b.stats);
+                let reported = b.estimates.iter().filter(|e| e.is_some()).count();
+                if b.forced {
+                    report.forced_batches += 1;
+                    event!(
+                        tel,
+                        "recovery.forced_partial",
+                        reported = reported,
+                        total = b.estimates.len()
+                    );
+                    optimizer.observe_partial(&b.estimates);
+                } else if reported == b.estimates.len() {
+                    let complete: Vec<f64> = b.estimates.iter().map(|e| e.unwrap()).collect();
+                    optimizer.observe(&complete);
+                } else {
+                    event!(
+                        tel,
+                        "server.partial_batch",
+                        reported = reported,
+                        total = b.estimates.len()
+                    );
+                    optimizer.observe_partial(&b.estimates);
+                }
+                event!(
+                    tel,
+                    "server.batch",
+                    batch = batch_id,
+                    points = batch.len(),
+                    steps = trace.len(),
+                    live = fleet.live.len()
+                );
+                if let Some((rec_point, _)) = optimizer.recommendation() {
+                    quality_curve.push((trace.len(), objective.eval(&rec_point)));
+                }
+            }
+            WalRecord::Exploit(e) => {
+                tel.set_clock(trace.len() as u64);
+                for &c in &e.pre_evicted {
+                    event!(tel, "server.evict", client = c);
+                }
+                batch_id = e.batch;
+                if e.duplicate {
+                    tel.counter("server.duplicate_reports", 1);
+                }
+                match e.kind {
+                    ExploitKind::OnTime => {}
+                    ExploitKind::Late | ExploitKind::Lost => {
+                        event!(tel, "server.miss", count = 1usize);
+                    }
+                    ExploitKind::Died(c) => {
+                        event!(tel, "server.evict", client = c);
+                        event!(tel, "server.miss", count = 1usize);
+                    }
+                }
+                trace.push(e.step);
+                fleet.live = e.live.clone();
+                fleet.stats = stats_from_array(e.stats);
+            }
+            WalRecord::Header(_) => unreachable!("scan_journal rejects stray headers"),
+        }
+    }
+
     while trace.len() < cfg.max_steps && !optimizer.converged() {
         tel.set_clock(trace.len() as u64);
         let batch = optimizer.propose();
@@ -521,6 +1338,7 @@ where
             break;
         }
         batch_id += 1;
+        let mut rounds_rec: Vec<RoundDelta> = Vec::new();
         // flat (point, sample) slots, packed densely over live clients;
         // missed slots requeue with the next attempt number
         let mut pending: std::collections::VecDeque<(usize, u32)> =
@@ -534,12 +1352,14 @@ where
                     ServerError::AllClientsDead { step: trace.len() },
                 ));
             }
-            let take = fleet.live.len().min(pending.len());
+            let order = open_round(tel, health.as_mut(), &mut report, &fleet, &trace);
+            let take = order.len().min(pending.len());
             let round: Vec<(usize, u32)> = pending.drain(..take).collect();
             let live_before = fleet.live.clone();
             let stats_before = fleet.stats;
             let resolutions = match run_round(
                 &round,
+                &order,
                 batch_id,
                 &batch,
                 k,
@@ -553,7 +1373,11 @@ where
                 Ok(r) => r,
                 Err(e) => return Err(session_fail(tel, session, e)),
             };
-            for ((slot, attempt), resolution) in round.into_iter().zip(resolutions) {
+            let ok_flags: Vec<bool> = resolutions
+                .iter()
+                .map(|r| matches!(r, Resolution::Observed(_)))
+                .collect();
+            for (&(slot, attempt), resolution) in round.iter().zip(resolutions) {
                 match resolution {
                     Resolution::Observed(obs) => samples[slot / k].push(obs),
                     Resolution::Missed => {
@@ -567,10 +1391,21 @@ where
                     }
                 }
             }
-            tel.set_clock(trace.len() as u64);
-            emit_round_faults(tel, &live_before, &fleet, stats_before);
+            finish_round(
+                tel,
+                health.as_mut(),
+                &mut report,
+                journal.is_some().then_some(&mut rounds_rec),
+                &trace,
+                &order,
+                round.len(),
+                &ok_flags,
+                &live_before,
+                &fleet,
+                stats_before,
+            );
         }
-        let estimates: Vec<Option<f64>> = samples
+        let mut estimates: Vec<Option<f64>> = samples
             .iter()
             .map(|s| {
                 if s.is_empty() {
@@ -580,24 +1415,135 @@ where
                 }
             })
             .collect();
-        let reported = estimates.iter().filter(|e| e.is_some()).count();
-        if reported == batch.len() {
+        let mut reported = estimates.iter().filter(|e| e.is_some()).count();
+        let needed = quorum_needed(batch.len(), cfg.quorum);
+        if reported < needed {
+            if let Some(sup) = supervisor {
+                // salvage: re-dispatch each missing point's first sample
+                // slot with attempt numbers past the retry budget, so the
+                // deadline charge keeps escalating; re-reduce after every
+                // salvage round before deciding whether to try again
+                let mut salvage = 0u32;
+                while reported < needed && salvage < sup.salvage_retries && !fleet.live.is_empty() {
+                    let mut missing: std::collections::VecDeque<(usize, u32)> = estimates
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.is_none())
+                        .map(|(i, _)| (i * k, cfg.max_retries + 1 + salvage))
+                        .collect();
+                    while !missing.is_empty() && !fleet.live.is_empty() {
+                        let order = open_round(tel, health.as_mut(), &mut report, &fleet, &trace);
+                        let take = order.len().min(missing.len());
+                        let round: Vec<(usize, u32)> = missing.drain(..take).collect();
+                        let live_before = fleet.live.clone();
+                        let stats_before = fleet.stats;
+                        fleet.stats.retries += round.len();
+                        let resolutions = match run_round(
+                            &round,
+                            &order,
+                            batch_id,
+                            &batch,
+                            k,
+                            cfg,
+                            clients,
+                            events,
+                            &mut fleet,
+                            &mut trace,
+                            &mut evaluations,
+                        ) {
+                            Ok(r) => r,
+                            Err(e) => return Err(session_fail(tel, session, e)),
+                        };
+                        let ok_flags: Vec<bool> = resolutions
+                            .iter()
+                            .map(|r| matches!(r, Resolution::Observed(_)))
+                            .collect();
+                        for (&(slot, _), resolution) in round.iter().zip(resolutions) {
+                            match resolution {
+                                Resolution::Observed(obs) => samples[slot / k].push(obs),
+                                Resolution::Missed => fleet.stats.missed_reports += 1,
+                            }
+                        }
+                        finish_round(
+                            tel,
+                            health.as_mut(),
+                            &mut report,
+                            journal.is_some().then_some(&mut rounds_rec),
+                            &trace,
+                            &order,
+                            round.len(),
+                            &ok_flags,
+                            &live_before,
+                            &fleet,
+                            stats_before,
+                        );
+                    }
+                    estimates = samples
+                        .iter()
+                        .map(|s| {
+                            if s.is_empty() {
+                                None
+                            } else {
+                                Some(cfg.estimator.reduce_available(s))
+                            }
+                        })
+                        .collect();
+                    reported = estimates.iter().filter(|e| e.is_some()).count();
+                    salvage += 1;
+                }
+            }
+        }
+        let forced = reported < needed && reported > 0 && supervisor.is_some();
+        if reported < needed && !forced {
+            return Err(session_fail(
+                tel,
+                session,
+                ServerError::QuorumNotReached {
+                    step: trace.len(),
+                    reported,
+                    needed,
+                },
+            ));
+        }
+        let partial = !forced && reported < batch.len();
+        if partial {
+            fleet.stats.partial_batches += 1;
+        }
+        // write-ahead commit point: the record lands *before* the
+        // optimizer advances, so a kill on either side of `observe`
+        // replays to the same state
+        if let Some(j) = journal.as_deref_mut() {
+            if let Err(e) = journal_append(
+                j,
+                WalRecord::Batch(BatchRecord {
+                    batch: batch_id,
+                    estimates: estimates.clone(),
+                    rounds: std::mem::take(&mut rounds_rec),
+                    partial,
+                    forced,
+                    evaluations,
+                    live: fleet.live.clone(),
+                    serials: fleet.serials(),
+                    draws: fleet.draws(),
+                    stats: stats_to_array(&fleet.stats),
+                }),
+            ) {
+                return Err(session_fail(tel, session, e));
+            }
+        }
+        if forced {
+            report.forced_batches += 1;
+            event!(
+                tel,
+                "recovery.forced_partial",
+                reported = reported,
+                total = batch.len()
+            );
+            optimizer.observe_partial(&estimates);
+        } else if reported == batch.len() {
             let complete: Vec<f64> = estimates.into_iter().map(|e| e.unwrap()).collect();
             optimizer.observe(&complete);
         } else {
-            let needed = quorum_needed(batch.len(), cfg.quorum);
-            if reported < needed {
-                return Err(session_fail(
-                    tel,
-                    session,
-                    ServerError::QuorumNotReached {
-                        step: trace.len(),
-                        reported,
-                        needed,
-                    },
-                ));
-            }
-            fleet.stats.partial_batches += 1;
             event!(
                 tel,
                 "server.partial_batch",
@@ -617,6 +1563,23 @@ where
         if let Some((rec, _)) = optimizer.recommendation() {
             quality_curve.push((trace.len(), objective.eval(&rec)));
         }
+        if snapshot_every > 0 && batch_id.is_multiple_of(snapshot_every) {
+            if let (Some(j), Some(ckpt)) = (journal.as_deref_mut(), optimizer.as_checkpoint()) {
+                let bytes = save_snapshot(
+                    ckpt,
+                    &objective,
+                    health.as_ref(),
+                    &trace,
+                    evaluations,
+                    &quality_curve,
+                    batch_id,
+                    &fleet,
+                );
+                if let Err(e) = j.put_snapshot(batch_id, &bytes) {
+                    return Err(session_fail(tel, session, journal_io(e)));
+                }
+            }
+        }
     }
 
     let Some((best_point, best_estimate)) = optimizer.recommendation() else {
@@ -626,6 +1589,7 @@ where
 
     // exploit: one live client keeps running the tuned configuration;
     // if it dies the next live client takes over
+    let mut pre_evicted: Vec<usize> = Vec::new();
     while trace.len() < cfg.max_steps {
         let Some(&runner) = fleet.live.first() else {
             return Err(session_fail(
@@ -650,10 +1614,11 @@ where
         {
             fleet.evict(runner);
             event!(tel, "server.evict", client = runner);
+            pre_evicted.push(runner);
             continue;
         }
-        loop {
-            match events.recv() {
+        let (kind, dup, step_val) = loop {
+            let event = match events.recv() {
                 Err(_) => {
                     return Err(session_fail(
                         tel,
@@ -661,12 +1626,17 @@ where
                         ServerError::AllClientsDead { step: trace.len() },
                     ))
                 }
-                Ok(Event::Report {
+                Ok(event) => event,
+            };
+            fleet.note(&event);
+            match event {
+                Event::Report {
                     assign: a,
                     observed,
                     late,
                     duplicate,
-                }) if a == assign => {
+                    ..
+                } if a == assign => {
                     if duplicate {
                         fleet.stats.duplicate_reports += 1;
                         tel.counter("server.duplicate_reports", 1);
@@ -675,26 +1645,44 @@ where
                         fleet.stats.missed_reports += 1;
                         event!(tel, "server.miss", count = 1usize);
                         trace.push(cfg.deadline);
-                    } else {
-                        trace.push(observed);
+                        break (ExploitKind::Late, duplicate, cfg.deadline);
                     }
-                    break;
+                    trace.push(observed);
+                    break (ExploitKind::OnTime, duplicate, observed);
                 }
-                Ok(Event::Lost { assign: a }) if a == assign => {
+                Event::Lost { assign: a, .. } if a == assign => {
                     fleet.stats.missed_reports += 1;
                     event!(tel, "server.miss", count = 1usize);
                     trace.push(cfg.deadline);
-                    break;
+                    break (ExploitKind::Lost, false, cfg.deadline);
                 }
-                Ok(Event::Died { client, assign: a }) if a == assign => {
+                Event::Died { client, assign: a } if a == assign => {
                     fleet.evict(client);
                     fleet.stats.missed_reports += 1;
                     event!(tel, "server.evict", client = client);
                     event!(tel, "server.miss", count = 1usize);
                     trace.push(cfg.deadline);
-                    break;
+                    break (ExploitKind::Died(client), false, cfg.deadline);
                 }
-                Ok(_) => {} // stale or extra copy: discard silently
+                _ => {} // stale or extra copy: discard silently
+            }
+        };
+        if let Some(j) = journal.as_deref_mut() {
+            if let Err(e) = journal_append(
+                j,
+                WalRecord::Exploit(ExploitRecord {
+                    batch: batch_id,
+                    step: step_val,
+                    pre_evicted: std::mem::take(&mut pre_evicted),
+                    duplicate: dup,
+                    kind,
+                    live: fleet.live.clone(),
+                    serials: fleet.serials(),
+                    draws: fleet.draws(),
+                    stats: stats_to_array(&fleet.stats),
+                }),
+            ) {
+                return Err(session_fail(tel, session, e));
             }
         }
     }
@@ -715,16 +1703,20 @@ where
         tel.span_close(id);
     }
 
-    Ok(TuningOutcome {
-        trace,
-        steps_budget: cfg.max_steps,
-        best_point,
-        best_estimate,
-        best_true_cost,
-        converged: optimizer.converged(),
-        evaluations,
-        quality_curve,
-        faults: fleet.stats,
+    report.degraded = report.forced_batches > 0 || report.breaker_opens > 0;
+    Ok(SupervisedOutcome {
+        outcome: TuningOutcome {
+            trace,
+            steps_budget: cfg.max_steps,
+            best_point,
+            best_estimate,
+            best_true_cost,
+            converged: optimizer.converged(),
+            evaluations,
+            quality_curve,
+            faults: fleet.stats,
+        },
+        supervisor: report,
     })
 }
 
@@ -736,6 +1728,7 @@ where
 #[allow(clippy::too_many_arguments)]
 fn run_round(
     round: &[(usize, u32)],
+    order: &[usize],
     batch_id: u64,
     batch: &[Point],
     k: usize,
@@ -752,9 +1745,7 @@ fn run_round(
     let mut resolutions: Vec<Option<Resolution>> = Vec::with_capacity(round.len());
     let mut t_k = f64::NEG_INFINITY;
     let mut waiting = 0usize;
-    for (pos, (&client, &(slot, attempt))) in
-        fleet.live.clone().iter().zip(round.iter()).enumerate()
-    {
+    for (pos, (&client, &(slot, attempt))) in order.iter().zip(round.iter()).enumerate() {
         let assign = Assignment {
             batch: batch_id,
             slot,
@@ -777,17 +1768,19 @@ fn run_round(
         let event = events
             .recv()
             .map_err(|_| ServerError::AllClientsDead { step: trace.len() })?;
+        fleet.note(&event);
         let (assign, resolution, duplicate) = match event {
             Event::Report {
                 assign,
                 observed,
                 late: false,
                 duplicate,
+                ..
             } => (assign, Resolution::Observed(observed), duplicate),
             Event::Report {
                 assign, late: true, ..
             } => (assign, Resolution::Missed, false),
-            Event::Lost { assign } => (assign, Resolution::Missed, false),
+            Event::Lost { assign, .. } => (assign, Resolution::Missed, false),
             Event::Died { client, assign } => {
                 fleet.evict(client);
                 if let Some(pos) = outstanding.remove(&assign) {
@@ -1108,5 +2101,363 @@ mod tests {
         assert_eq!(quorum_needed(4, 0.0), 1);
         assert_eq!(quorum_needed(4, 1.0), 4);
         assert_eq!(quorum_needed(1, 0.5), 1);
+    }
+
+    /// An optimizer that never proposes: the session observes nothing.
+    struct NeverProposes(ParamSpace);
+
+    impl Optimizer for NeverProposes {
+        fn space(&self) -> &ParamSpace {
+            &self.0
+        }
+        fn propose(&mut self) -> Vec<Point> {
+            Vec::new()
+        }
+        fn observe(&mut self, _: &[f64]) {}
+        fn best(&self) -> Option<(Point, f64)> {
+            None
+        }
+        fn name(&self) -> &str {
+            "never-proposes"
+        }
+    }
+
+    #[test]
+    fn no_observations_is_a_typed_error() {
+        let obj = bowl();
+        let mut opt = NeverProposes(space());
+        let out = run_resilient(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            cfg(Estimator::Single, 10, 2),
+            &FaultPlan::none(),
+        );
+        assert!(matches!(out, Err(ServerError::NoObservations)));
+    }
+
+    #[test]
+    fn fresh_recoverable_run_matches_resilient_and_journals() {
+        let obj = bowl();
+        let noise = Noise::paper_default(0.2);
+        let config = cfg(Estimator::MinOfK(2), 60, 8);
+        let plan = FaultPlan::new(12, 0.4, 0.0, 0.0, 0.0);
+
+        let mut plain_opt = ProOptimizer::with_defaults(space());
+        let plain = run_resilient(&obj, &noise, &mut plain_opt, config, &plan).unwrap();
+
+        let mut journal = SessionJournal::in_memory();
+        let mut opt = ProOptimizer::with_defaults(space());
+        let journaled = run_recoverable(
+            &obj,
+            &noise,
+            &mut opt,
+            config,
+            &plan,
+            &mut journal,
+            RecoveryConfig::default(),
+        )
+        .unwrap();
+
+        assert_eq!(plain, journaled, "journalling must not perturb the session");
+        let lines = journal.wal_lines().unwrap();
+        assert!(lines[0].starts_with("{\"t\":\"hdr\""));
+        assert!(lines.len() > 1, "batches were journalled");
+    }
+
+    #[test]
+    fn resume_from_every_kill_point_is_identical() {
+        let obj = bowl();
+        let config = cfg(Estimator::Single, 40, 8);
+        let plan = FaultPlan::new(12, 0.3, 0.0, 0.2, 0.0);
+
+        let mut journal = SessionJournal::in_memory();
+        let mut opt = ProOptimizer::with_defaults(space());
+        let full = run_recoverable(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            config,
+            &plan,
+            &mut journal,
+            RecoveryConfig::default(),
+        )
+        .unwrap();
+
+        let records = journal.wal_lines().unwrap().len() - 1;
+        assert!(records > 2, "session committed several records");
+        for kill in 0..=records {
+            let mut part = journal.clone();
+            part.truncate_records(kill).unwrap();
+            let mut opt = ProOptimizer::with_defaults(space());
+            let resumed = run_recoverable(
+                &obj,
+                &Noise::None,
+                &mut opt,
+                config,
+                &plan,
+                &mut part,
+                RecoveryConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                full, resumed,
+                "kill after record {kill} must resume exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn wal_only_resume_re_emits_identical_telemetry() {
+        let obj = bowl();
+        let config = cfg(Estimator::Single, 30, 8);
+        let plan = FaultPlan::new(7, 0.3, 0.0, 0.0, 0.0);
+
+        let (tel, sink) = harmony_telemetry::Telemetry::memory();
+        let mut journal = SessionJournal::in_memory();
+        let mut opt = ProOptimizer::with_defaults(space());
+        let full = run_recoverable_traced(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            config,
+            &plan,
+            &tel,
+            &mut journal,
+            RecoveryConfig::default(),
+        )
+        .unwrap();
+        let full_records = sink.take();
+
+        let mut part = journal.clone();
+        assert_eq!(part.truncate_records(3).unwrap(), 3);
+        let (tel2, sink2) = harmony_telemetry::Telemetry::memory();
+        let mut opt2 = ProOptimizer::with_defaults(space());
+        let resumed = run_recoverable_traced(
+            &obj,
+            &Noise::None,
+            &mut opt2,
+            config,
+            &plan,
+            &tel2,
+            &mut part,
+            RecoveryConfig::default(),
+        )
+        .unwrap();
+
+        assert_eq!(full, resumed);
+        assert_eq!(
+            full_records,
+            sink2.take(),
+            "WAL-only resume must replay the exact telemetry stream"
+        );
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_outcome() {
+        let obj = bowl();
+        let config = cfg(Estimator::Single, 40, 8);
+        let plan = FaultPlan::new(12, 0.3, 0.0, 0.2, 0.0);
+        let recovery = RecoveryConfig { snapshot_every: 2 };
+
+        let mut journal = SessionJournal::in_memory();
+        let mut opt = ProOptimizer::with_defaults(space());
+        let full = run_recoverable(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            config,
+            &plan,
+            &mut journal,
+            recovery,
+        )
+        .unwrap();
+
+        let (wal_bytes, snap_bytes) = journal.size_bytes().unwrap();
+        assert!(wal_bytes > 0 && snap_bytes > 0, "snapshots were taken");
+        let records = journal.wal_lines().unwrap().len() - 1;
+        for kill in (0..=records).step_by(3) {
+            let mut part = journal.clone();
+            part.truncate_records(kill).unwrap();
+            let mut opt = ProOptimizer::with_defaults(space());
+            let resumed = run_recoverable(
+                &obj,
+                &Noise::None,
+                &mut opt,
+                config,
+                &plan,
+                &mut part,
+                recovery,
+            )
+            .unwrap();
+            assert_eq!(full, resumed, "snapshot resume at record {kill}");
+        }
+    }
+
+    #[test]
+    fn torn_final_wal_line_is_dropped_on_resume() {
+        let obj = bowl();
+        let config = cfg(Estimator::Single, 30, 8);
+        let plan = FaultPlan::new(7, 0.3, 0.0, 0.0, 0.0);
+
+        let mut journal = SessionJournal::in_memory();
+        let mut opt = ProOptimizer::with_defaults(space());
+        let full = run_recoverable(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            config,
+            &plan,
+            &mut journal,
+            RecoveryConfig::default(),
+        )
+        .unwrap();
+
+        let mut part = journal.clone();
+        part.truncate_records(4).unwrap();
+        // a kill mid-append leaves a torn, unparsable tail line
+        part.append_wal("{\"t\":\"batch\",\"b\":9,\"est\"").unwrap();
+        let mut opt2 = ProOptimizer::with_defaults(space());
+        let resumed = run_recoverable(
+            &obj,
+            &Noise::None,
+            &mut opt2,
+            config,
+            &plan,
+            &mut part,
+            RecoveryConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(full, resumed, "torn tail is dropped, not fatal");
+    }
+
+    #[test]
+    fn config_drift_fails_resume_loudly() {
+        let obj = bowl();
+        let config = cfg(Estimator::Single, 30, 8);
+        let plan = FaultPlan::none();
+
+        let mut journal = SessionJournal::in_memory();
+        let mut opt = ProOptimizer::with_defaults(space());
+        let _ = run_recoverable(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            config,
+            &plan,
+            &mut journal,
+            RecoveryConfig::default(),
+        )
+        .unwrap();
+
+        let drifted = ServerConfig { seed: 43, ..config };
+        let mut opt2 = ProOptimizer::with_defaults(space());
+        let out = run_recoverable(
+            &obj,
+            &Noise::None,
+            &mut opt2,
+            drifted,
+            &plan,
+            &mut journal,
+            RecoveryConfig::default(),
+        );
+        assert!(matches!(out, Err(ServerError::Recovery(_))), "{out:?}");
+    }
+
+    #[test]
+    fn supervised_fault_free_run_matches_resilient() {
+        let obj = bowl();
+        let noise = Noise::paper_default(0.2);
+        let config = cfg(Estimator::MinOfK(2), 60, 8);
+
+        let mut plain_opt = ProOptimizer::with_defaults(space());
+        let plain =
+            run_resilient(&obj, &noise, &mut plain_opt, config, &FaultPlan::none()).unwrap();
+
+        let mut opt = ProOptimizer::with_defaults(space());
+        let sup = run_supervised(
+            &obj,
+            &noise,
+            &mut opt,
+            config,
+            &FaultPlan::none(),
+            SupervisorConfig::default(),
+        )
+        .unwrap();
+
+        assert_eq!(plain, sup.outcome, "healthy supervision must not perturb");
+        assert!(!sup.supervisor.degraded);
+        assert_eq!(sup.supervisor.forced_batches, 0);
+        assert_eq!(sup.supervisor.breaker_opens, 0);
+    }
+
+    #[test]
+    fn supervisor_degrades_instead_of_failing_quorum() {
+        let obj = bowl();
+        // every point must report — with half the reports dropped the
+        // plain session dies on the first abandoned slot
+        let config = ServerConfig {
+            quorum: 1.0,
+            ..cfg(Estimator::Single, 30, 8)
+        };
+        let plan = FaultPlan::new(11, 0.0, 0.0, 0.5, 0.0);
+
+        let mut plain_opt = ProOptimizer::with_defaults(space());
+        let plain = run_resilient(&obj, &Noise::None, &mut plain_opt, config, &plan);
+        assert!(matches!(plain, Err(ServerError::QuorumNotReached { .. })));
+
+        let mut opt = ProOptimizer::with_defaults(space());
+        let sup = run_supervised(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            config,
+            &plan,
+            SupervisorConfig::default(),
+        )
+        .expect("supervisor completes the session degraded");
+        assert!(sup.outcome.trace.len() >= 30);
+        assert!(
+            sup.supervisor.degraded,
+            "forced={} opens={}",
+            sup.supervisor.forced_batches, sup.supervisor.breaker_opens
+        );
+    }
+
+    #[test]
+    fn supervised_total_loss_is_still_a_quorum_error() {
+        let obj = bowl();
+        let plan = FaultPlan::new(5, 0.0, 0.0, 1.0, 0.0);
+        let mut opt = ProOptimizer::with_defaults(space());
+        let out = run_supervised(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            cfg(Estimator::Single, 30, 8),
+            &plan,
+            SupervisorConfig::default(),
+        );
+        assert!(matches!(out, Err(ServerError::QuorumNotReached { .. })));
+    }
+
+    #[test]
+    fn breakers_open_on_repeat_offenders() {
+        let obj = bowl();
+        let config = cfg(Estimator::Single, 60, 4);
+        // heavy hangs: some client strings 3 consecutive misses together
+        let plan = FaultPlan::new(17, 0.0, 0.6, 0.0, 0.0);
+        let mut opt = ProOptimizer::with_defaults(space());
+        let sup = run_supervised(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            config,
+            &plan,
+            SupervisorConfig::default(),
+        )
+        .expect("hang-only plan is survivable under supervision");
+        assert!(sup.supervisor.breaker_opens > 0);
+        assert!(sup.supervisor.degraded);
+        assert!(sup.supervisor.min_width <= 4);
     }
 }

@@ -10,8 +10,10 @@
 //! parallelised the algorithm.
 
 use crate::optimizer::{HistoryInterpolator, Incumbent, Optimizer};
+use crate::pro::simplex_from_vertices;
 use harmony_params::init::{initial_simplex, InitialShape, DEFAULT_RELATIVE_SIZE};
 use harmony_params::{ParamSpace, Point, Rounding, Simplex, StepKind};
+use harmony_recovery::{Checkpoint, CodecError, StateReader, StateWriter};
 use harmony_telemetry::{event, Field, Telemetry};
 
 /// Configuration of Sequential Rank Ordering.
@@ -361,6 +363,57 @@ impl SroOptimizer {
     }
 }
 
+impl Checkpoint for SroOptimizer {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.tag("sro");
+        w.points(self.simplex.vertices());
+        w.f64_slice(&self.values);
+        w.u8(match self.phase {
+            Phase::Init => 0,
+            Phase::ReflectCheck => 1,
+            Phase::ExpandCheck => 2,
+            Phase::ReflectAll => 3,
+            Phase::ExpandAll => 4,
+            Phase::Shrink => 5,
+            Phase::Probe => 6,
+            Phase::Done => 7,
+        });
+        w.points(&self.queue);
+        w.f64_slice(&self.got);
+        w.f64(self.reflect_check_val);
+        self.incumbent.save_state(w);
+        self.history.save_state(w);
+        w.usize(self.iterations);
+        w.bool(self.converged);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), CodecError> {
+        r.tag("sro")?;
+        self.simplex = simplex_from_vertices(r.points()?)?;
+        self.values = r.f64_vec()?;
+        self.phase = match r.u8()? {
+            0 => Phase::Init,
+            1 => Phase::ReflectCheck,
+            2 => Phase::ExpandCheck,
+            3 => Phase::ReflectAll,
+            4 => Phase::ExpandAll,
+            5 => Phase::Shrink,
+            6 => Phase::Probe,
+            7 => Phase::Done,
+            b => return Err(CodecError::BadValue(format!("bad sro phase {b}"))),
+        };
+        self.queue = r.points()?;
+        self.got = r.f64_vec()?;
+        self.reflect_check_val = r.f64()?;
+        self.incumbent.restore_state(r)?;
+        self.history.restore_state(r)?;
+        self.iterations = r.usize()?;
+        self.converged = r.bool()?;
+        self.iter_span = 0;
+        Ok(())
+    }
+}
+
 impl Optimizer for SroOptimizer {
     fn space(&self) -> &ParamSpace {
         &self.space
@@ -425,6 +478,14 @@ impl Optimizer for SroOptimizer {
 
     fn name(&self) -> &str {
         "sro"
+    }
+
+    fn as_checkpoint(&self) -> Option<&dyn Checkpoint> {
+        Some(self)
+    }
+
+    fn as_checkpoint_mut(&mut self) -> Option<&mut dyn Checkpoint> {
+        Some(self)
     }
 }
 

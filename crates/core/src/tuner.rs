@@ -17,6 +17,7 @@
 use crate::cache::CachedObjective;
 use crate::optimizer::Optimizer;
 use crate::sampling::Estimator;
+use crate::server::ServerError;
 use harmony_cluster::{Cluster, SamplingMode, TuningTrace};
 use harmony_params::Point;
 use harmony_surface::Objective;
@@ -182,12 +183,16 @@ impl OnlineTuner {
     /// (recording every consumed time step's `T_k`) → reduce → observe,
     /// until the optimizer converges or the budget is reached; the
     /// remaining steps run the incumbent once per step.
+    ///
+    /// # Errors
+    /// [`ServerError::NoObservations`] when the optimizer never produced
+    /// a recommendation (it proposed no batches at all).
     pub fn run<O, M>(
         &self,
         objective: &O,
         noise: &M,
         optimizer: &mut dyn Optimizer,
-    ) -> TuningOutcome
+    ) -> Result<TuningOutcome, ServerError>
     where
         O: Objective + ?Sized,
         M: NoiseModel + ?Sized,
@@ -212,7 +217,7 @@ impl OnlineTuner {
         noise: &M,
         optimizer: &mut dyn Optimizer,
         tel: &Telemetry,
-    ) -> TuningOutcome
+    ) -> Result<TuningOutcome, ServerError>
     where
         O: Objective + ?Sized,
         M: NoiseModel + ?Sized,
@@ -280,9 +285,14 @@ impl OnlineTuner {
         // deploy what the algorithm recommends (its converged vertex),
         // not the luckiest raw observation — under heavy-tailed noise
         // the two can differ substantially
-        let (best_point, best_estimate) = optimizer
-            .recommendation()
-            .expect("tuning session observed at least one batch");
+        let Some((best_point, best_estimate)) = optimizer.recommendation() else {
+            if let Some(id) = session {
+                tel.set_clock(trace.len() as u64);
+                event!(tel, "tuner.failed", error = "no_observations");
+                tel.span_close(id);
+            }
+            return Err(ServerError::NoObservations);
+        };
         let best_true_cost = objective.eval(&best_point);
 
         // exploit: the application keeps running with the tuned
@@ -336,7 +346,7 @@ impl OnlineTuner {
             tel.span_close(id);
         }
 
-        TuningOutcome {
+        Ok(TuningOutcome {
             trace,
             steps_budget: self.cfg.max_steps,
             best_point,
@@ -346,7 +356,7 @@ impl OnlineTuner {
             evaluations,
             quality_curve,
             faults: FaultStats::default(),
-        }
+        })
     }
 
     /// Runs one session against a *non-stationary* environment: the
@@ -362,6 +372,10 @@ impl OnlineTuner {
     /// The reported `best_*` fields refer to the *final* phase's
     /// objective.
     ///
+    /// # Errors
+    /// [`ServerError::NoObservations`] when the optimizer never produced
+    /// a recommendation.
+    ///
     /// # Panics
     /// Panics when `phases` is empty or the starts are not ascending
     /// from 0.
@@ -370,7 +384,7 @@ impl OnlineTuner {
         phases: &[(usize, &dyn Objective)],
         noise: &M,
         optimizer: &mut dyn Optimizer,
-    ) -> TuningOutcome
+    ) -> Result<TuningOutcome, ServerError>
     where
         M: NoiseModel + ?Sized,
     {
@@ -431,9 +445,9 @@ impl OnlineTuner {
             }
         }
 
-        let (best_point, best_estimate) = optimizer
-            .recommendation()
-            .expect("tuning session observed at least one batch");
+        let Some((best_point, best_estimate)) = optimizer.recommendation() else {
+            return Err(ServerError::NoObservations);
+        };
         let final_objective = &cached.last().expect("non-empty phases").1;
         let best_true_cost = final_objective.eval(&best_point);
 
@@ -453,7 +467,7 @@ impl OnlineTuner {
             trace.push(t_k);
         }
 
-        TuningOutcome {
+        Ok(TuningOutcome {
             trace,
             steps_budget: self.cfg.max_steps,
             best_point,
@@ -463,7 +477,7 @@ impl OnlineTuner {
             evaluations,
             quality_curve,
             faults: FaultStats::default(),
-        }
+        })
     }
 }
 
@@ -507,7 +521,7 @@ mod tests {
         let obj = bowl();
         let tuner = OnlineTuner::new(cfg(Estimator::Single, 100, 1));
         let mut opt = ProOptimizer::with_defaults(space());
-        let out = tuner.run(&obj, &Noise::None, &mut opt);
+        let out = tuner.run(&obj, &Noise::None, &mut opt).unwrap();
         assert!(out.converged);
         assert_eq!(out.best_point.as_slice(), &[0.0, 0.0]);
         assert_eq!(out.best_true_cost, 2.0);
@@ -522,7 +536,7 @@ mod tests {
         let obj = bowl();
         let tuner = OnlineTuner::new(cfg(Estimator::Single, 50, 2));
         let mut opt = ProOptimizer::with_defaults(space());
-        let out = tuner.run(&obj, &Noise::None, &mut opt);
+        let out = tuner.run(&obj, &Noise::None, &mut opt).unwrap();
         let manual: f64 = out.trace.step_times()[..50].iter().sum();
         assert!((out.total_time() - manual).abs() < 1e-12);
         assert!((out.ntt(0.2) - 0.8 * out.total_time()).abs() < 1e-9);
@@ -534,16 +548,20 @@ mod tests {
         // costs ~3x the time steps per algorithm phase; Total_Time over
         // the same budget is therefore larger (the rho=0 line of Fig 10)
         let obj = bowl();
-        let t1 = OnlineTuner::new(cfg(Estimator::Single, 60, 3)).run(
-            &obj,
-            &Noise::None,
-            &mut ProOptimizer::with_defaults(space()),
-        );
-        let t3 = OnlineTuner::new(cfg(Estimator::MinOfK(3), 60, 3)).run(
-            &obj,
-            &Noise::None,
-            &mut ProOptimizer::with_defaults(space()),
-        );
+        let t1 = OnlineTuner::new(cfg(Estimator::Single, 60, 3))
+            .run(
+                &obj,
+                &Noise::None,
+                &mut ProOptimizer::with_defaults(space()),
+            )
+            .unwrap();
+        let t3 = OnlineTuner::new(cfg(Estimator::MinOfK(3), 60, 3))
+            .run(
+                &obj,
+                &Noise::None,
+                &mut ProOptimizer::with_defaults(space()),
+            )
+            .unwrap();
         // same steps charged
         assert_eq!(t1.steps_budget, t3.steps_budget);
         // K=3 spends ~3x evaluations before converging
@@ -568,7 +586,7 @@ mod tests {
                 .map(|r| {
                     let tuner = OnlineTuner::new(cfg(est, 120, 1000 + r));
                     let mut opt = ProOptimizer::with_defaults(space());
-                    tuner.run(&obj, &noise, &mut opt).best_true_cost
+                    tuner.run(&obj, &noise, &mut opt).unwrap().best_true_cost
                 })
                 .sum::<f64>()
                 / reps as f64
@@ -585,7 +603,7 @@ mod tests {
         let run = |seed| {
             let tuner = OnlineTuner::new(cfg(Estimator::MinOfK(2), 80, seed));
             let mut opt = ProOptimizer::with_defaults(space());
-            tuner.run(&obj, &noise, &mut opt).total_time()
+            tuner.run(&obj, &noise, &mut opt).unwrap().total_time()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -596,7 +614,7 @@ mod tests {
         let obj = bowl();
         let tuner = OnlineTuner::new(cfg(Estimator::Single, 40, 4));
         let mut opt = RandomSearch::new(space(), 8, 4);
-        let out = tuner.run(&obj, &Noise::None, &mut opt);
+        let out = tuner.run(&obj, &Noise::None, &mut opt).unwrap();
         assert!(!out.converged);
         assert!(out.trace.len() >= 40);
         assert!(out.best_true_cost < 25.0);
@@ -607,7 +625,7 @@ mod tests {
         let obj = bowl();
         let tuner = OnlineTuner::new(cfg(Estimator::Single, 100, 1));
         let mut opt = ProOptimizer::with_defaults(space());
-        let out = tuner.run(&obj, &Noise::None, &mut opt);
+        let out = tuner.run(&obj, &Noise::None, &mut opt).unwrap();
         assert!(!out.quality_curve.is_empty());
         // steps are non-decreasing; final quality equals the deployed cost
         assert!(out.quality_curve.windows(2).all(|w| w[0].0 <= w[1].0));
@@ -634,12 +652,14 @@ mod tests {
         let tuner = OnlineTuner::new(cfg(Estimator::MinOfK(2), 80, 7));
 
         let mut plain_opt = ProOptimizer::with_defaults(space());
-        let plain = tuner.run(&obj, &noise, &mut plain_opt);
+        let plain = tuner.run(&obj, &noise, &mut plain_opt).unwrap();
 
         let (tel, sink) = harmony_telemetry::Telemetry::memory();
         let mut traced_opt = ProOptimizer::with_defaults(space());
         traced_opt.set_telemetry(tel.clone());
-        let traced = tuner.run_traced(&obj, &noise, &mut traced_opt, &tel);
+        let traced = tuner
+            .run_traced(&obj, &noise, &mut traced_opt, &tel)
+            .unwrap();
 
         assert_eq!(plain, traced, "telemetry must not perturb the session");
         let summary = harmony_telemetry::Summary::from_records(&sink.take());
@@ -676,7 +696,9 @@ mod tests {
             ..crate::pro::ProConfig::default()
         };
         let mut opt = ProOptimizer::new(space(), pro_cfg);
-        let out = tuner.run_phases(&[(0, &obj_a), (150, &obj_b)], &Noise::None, &mut opt);
+        let out = tuner
+            .run_phases(&[(0, &obj_a), (150, &obj_b)], &Noise::None, &mut opt)
+            .unwrap();
         assert!(!out.converged);
         assert_eq!(out.best_point.as_slice(), &[-5.0, -5.0]);
         assert_eq!(out.best_true_cost, 2.0);
@@ -694,7 +716,9 @@ mod tests {
         });
         let tuner = OnlineTuner::new(cfg(Estimator::Single, 600, 5));
         let mut opt = ProOptimizer::with_defaults(space());
-        let out = tuner.run_phases(&[(0, &obj_a), (150, &obj_b)], &Noise::None, &mut opt);
+        let out = tuner
+            .run_phases(&[(0, &obj_a), (150, &obj_b)], &Noise::None, &mut opt)
+            .unwrap();
         assert!(out.converged);
         assert_eq!(out.best_point.as_slice(), &[5.0, 5.0]); // stale!
         assert!(out.best_true_cost > 2.0);

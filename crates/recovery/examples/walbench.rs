@@ -1,0 +1,47 @@
+//! Micro-benchmark of WAL record serialisation (see `to_line`).
+use harmony_recovery::wal::{BatchRecord, RoundDelta, WalRecord};
+use std::time::Instant;
+fn main() {
+    let rec = WalRecord::Batch(BatchRecord {
+        batch: 3,
+        estimates: vec![
+            Some(1.5),
+            None,
+            Some(2.25),
+            Some(3.5),
+            Some(0.125),
+            Some(9.0),
+            Some(1.0),
+        ],
+        rounds: vec![RoundDelta {
+            step: 2.25,
+            clients: (0..8).collect(),
+            ok: vec![true; 8],
+            evicted: vec![],
+            missed: 0,
+            retries: 0,
+            abandoned: 0,
+            duplicates: 0,
+        }],
+        partial: false,
+        forced: false,
+        evaluations: 170,
+        live: (0..8).collect(),
+        serials: vec![40, 11, 33, 12, 9, 8, 7, 22],
+        draws: vec![400, 110, 330, 120, 90, 80, 70, 220],
+        stats: [1, 1, 0, 2, 1, 1],
+    });
+    let n = 100_000;
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for _ in 0..n {
+        total += rec.to_line().len();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "to_line: {:.1} ns/record ({} bytes, checksum {})",
+        dt / n as f64 * 1e9,
+        rec.to_line().len(),
+        total
+    );
+}

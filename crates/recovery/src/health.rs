@@ -1,0 +1,350 @@
+//! Deterministic per-client health tracking for the session supervisor:
+//! consecutive-miss scores and circuit breakers with escalating
+//! cooldowns, layered on the resilient server's eviction.
+//!
+//! The tracker is a pure state machine over logical *dispatch rounds* —
+//! no wall clocks — so identical round outcomes produce identical
+//! transitions, which the server emits as telemetry in canonical order.
+
+use crate::codec::{CodecError, StateReader, StateWriter};
+use crate::Checkpoint;
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Consecutive misses that trip a client's breaker open.
+    pub breaker_threshold: u32,
+    /// Dispatch rounds an opened breaker stays open before probing
+    /// half-open. Doubles on every re-open (escalating backoff) and
+    /// resets when the breaker closes.
+    pub breaker_cooldown: u64,
+    /// Extra narrow-batch (width-1) dispatch attempts per unresolved
+    /// slot when a batch finishes below quorum, before the supervisor
+    /// either forces a partial advance or gives up.
+    pub salvage_retries: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            breaker_threshold: 3,
+            breaker_cooldown: 4,
+            salvage_retries: 3,
+        }
+    }
+}
+
+/// Circuit-breaker state of one client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: dispatched normally.
+    Closed,
+    /// Quarantined until the given round (exclusive).
+    Open {
+        /// First round at which the breaker probes half-open.
+        until_round: u64,
+    },
+    /// Probation: dispatched (after closed clients); one success closes,
+    /// one miss re-opens with a doubled cooldown.
+    HalfOpen,
+}
+
+/// One breaker state change, for telemetry and the supervised outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The client whose breaker moved.
+    pub client: usize,
+    /// Where it moved to.
+    pub kind: TransitionKind,
+}
+
+/// The breaker movement of a [`Transition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// Closed/half-open → open (quarantined).
+    Open,
+    /// Open → half-open (probation probe).
+    HalfOpen,
+    /// Half-open → closed (recovered).
+    Close,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ClientHealth {
+    state: BreakerState,
+    consecutive_misses: u32,
+    /// Next open duration (escalates ×2 per re-open).
+    cooldown: u64,
+    successes: u64,
+    misses: u64,
+}
+
+/// Health scores and circuit breakers for a fleet of clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthTracker {
+    cfg: SupervisorConfig,
+    clients: Vec<ClientHealth>,
+    round: u64,
+    opens: usize,
+    closes: usize,
+}
+
+impl HealthTracker {
+    /// A tracker for `procs` clients, all breakers closed.
+    pub fn new(procs: usize, cfg: SupervisorConfig) -> Self {
+        HealthTracker {
+            cfg,
+            clients: vec![
+                ClientHealth {
+                    state: BreakerState::Closed,
+                    consecutive_misses: 0,
+                    cooldown: cfg.breaker_cooldown.max(1),
+                    successes: 0,
+                    misses: 0,
+                };
+                procs
+            ],
+            round: 0,
+            opens: 0,
+            closes: 0,
+        }
+    }
+
+    /// Advances the round counter and probes expired breakers half-open.
+    /// Returns the transitions in ascending client order.
+    pub fn begin_round(&mut self) -> Vec<Transition> {
+        self.round += 1;
+        let round = self.round;
+        let mut out = Vec::new();
+        for (c, h) in self.clients.iter_mut().enumerate() {
+            if let BreakerState::Open { until_round } = h.state {
+                if round >= until_round {
+                    h.state = BreakerState::HalfOpen;
+                    out.push(Transition {
+                        client: c,
+                        kind: TransitionKind::HalfOpen,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Records one dispatch outcome for `client`; returns the breaker
+    /// transition it caused, if any.
+    pub fn record(&mut self, client: usize, ok: bool) -> Option<Transition> {
+        let h = &mut self.clients[client];
+        if ok {
+            h.successes += 1;
+            h.consecutive_misses = 0;
+            if h.state == BreakerState::HalfOpen {
+                h.state = BreakerState::Closed;
+                h.cooldown = self.cfg.breaker_cooldown.max(1);
+                self.closes += 1;
+                return Some(Transition {
+                    client,
+                    kind: TransitionKind::Close,
+                });
+            }
+            return None;
+        }
+        h.misses += 1;
+        h.consecutive_misses += 1;
+        let trip = match h.state {
+            BreakerState::Closed => h.consecutive_misses >= self.cfg.breaker_threshold,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open { .. } => false,
+        };
+        if trip {
+            h.state = BreakerState::Open {
+                until_round: self.round + h.cooldown,
+            };
+            h.cooldown = h.cooldown.saturating_mul(2);
+            h.consecutive_misses = 0;
+            self.opens += 1;
+            return Some(Transition {
+                client,
+                kind: TransitionKind::Open,
+            });
+        }
+        None
+    }
+
+    /// Dispatch order over the live set: closed breakers first, then
+    /// half-open probes, each ascending; open breakers are quarantined.
+    /// When quarantine would leave nothing dispatchable, the full live
+    /// set is returned — availability beats quarantine.
+    pub fn dispatch_order(&self, live: &[usize]) -> Vec<usize> {
+        let mut order: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&c| self.clients[c].state == BreakerState::Closed)
+            .collect();
+        order.extend(
+            live.iter()
+                .copied()
+                .filter(|&c| self.clients[c].state == BreakerState::HalfOpen),
+        );
+        if order.is_empty() {
+            return live.to_vec();
+        }
+        order
+    }
+
+    /// Breaker state of one client.
+    pub fn state(&self, client: usize) -> BreakerState {
+        self.clients[client].state
+    }
+
+    /// Total breaker-open transitions so far.
+    pub fn opens(&self) -> usize {
+        self.opens
+    }
+
+    /// Total breaker-close transitions so far.
+    pub fn closes(&self) -> usize {
+        self.closes
+    }
+
+    /// The current dispatch-round counter.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+}
+
+impl Checkpoint for HealthTracker {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.tag("health");
+        w.u64(self.round);
+        w.usize(self.opens);
+        w.usize(self.closes);
+        w.usize(self.clients.len());
+        for h in &self.clients {
+            match h.state {
+                BreakerState::Closed => w.u8(0),
+                BreakerState::Open { until_round } => {
+                    w.u8(1);
+                    w.u64(until_round);
+                }
+                BreakerState::HalfOpen => w.u8(2),
+            }
+            w.u32(h.consecutive_misses);
+            w.u64(h.cooldown);
+            w.u64(h.successes);
+            w.u64(h.misses);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), CodecError> {
+        r.tag("health")?;
+        self.round = r.u64()?;
+        self.opens = r.usize()?;
+        self.closes = r.usize()?;
+        let n = r.usize()?;
+        if n != self.clients.len() {
+            return Err(CodecError::BadValue(format!(
+                "health tracker arity {n} != {}",
+                self.clients.len()
+            )));
+        }
+        for h in &mut self.clients {
+            h.state = match r.u8()? {
+                0 => BreakerState::Closed,
+                1 => BreakerState::Open {
+                    until_round: r.u64()?,
+                },
+                2 => BreakerState::HalfOpen,
+                b => return Err(CodecError::BadValue(format!("bad breaker state {b}"))),
+            };
+            h.consecutive_misses = r.u32()?;
+            h.cooldown = r.u64()?;
+            h.successes = r.u64()?;
+            h.misses = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            breaker_threshold: 2,
+            breaker_cooldown: 3,
+            salvage_retries: 2,
+        }
+    }
+
+    #[test]
+    fn breaker_opens_probes_and_closes() {
+        let mut t = HealthTracker::new(2, cfg());
+        t.begin_round(); // round 1
+        assert_eq!(t.record(0, false), None);
+        let tr = t.record(0, false).unwrap();
+        assert_eq!(tr.kind, TransitionKind::Open);
+        assert!(matches!(t.state(0), BreakerState::Open { until_round: 4 }));
+        // quarantined: dispatch order excludes client 0
+        assert_eq!(t.dispatch_order(&[0, 1]), vec![1]);
+        t.begin_round(); // 2
+        t.begin_round(); // 3
+        assert!(matches!(t.state(0), BreakerState::Open { .. }));
+        let probes = t.begin_round(); // 4: cooldown expired
+        assert_eq!(
+            probes,
+            vec![Transition {
+                client: 0,
+                kind: TransitionKind::HalfOpen
+            }]
+        );
+        // half-open probes sort after closed clients
+        assert_eq!(t.dispatch_order(&[0, 1]), vec![1, 0]);
+        let tr = t.record(0, true).unwrap();
+        assert_eq!(tr.kind, TransitionKind::Close);
+        assert_eq!(t.dispatch_order(&[0, 1]), vec![0, 1]);
+        assert_eq!((t.opens(), t.closes()), (1, 1));
+    }
+
+    #[test]
+    fn half_open_miss_escalates_cooldown() {
+        let mut t = HealthTracker::new(1, cfg());
+        t.begin_round();
+        t.record(0, false);
+        t.record(0, false); // open at round 1, until 4, cooldown now 6
+        for _ in 0..3 {
+            t.begin_round();
+        }
+        assert_eq!(t.state(0), BreakerState::HalfOpen);
+        let tr = t.record(0, false).unwrap();
+        assert_eq!(tr.kind, TransitionKind::Open);
+        // re-opened from round 4 with the doubled cooldown
+        assert_eq!(t.state(0), BreakerState::Open { until_round: 10 });
+    }
+
+    #[test]
+    fn full_quarantine_falls_back_to_live_set() {
+        let mut t = HealthTracker::new(1, cfg());
+        t.begin_round();
+        t.record(0, false);
+        t.record(0, false);
+        assert!(matches!(t.state(0), BreakerState::Open { .. }));
+        assert_eq!(t.dispatch_order(&[0]), vec![0]);
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let mut t = HealthTracker::new(3, cfg());
+        t.begin_round();
+        t.record(0, false);
+        t.record(0, false);
+        t.record(1, true);
+        let bytes = crate::save_to_vec(&t);
+        let mut back = HealthTracker::new(3, cfg());
+        crate::restore_from_slice(&mut back, &bytes).unwrap();
+        assert_eq!(t, back);
+        // arity mismatch is typed
+        let mut wrong = HealthTracker::new(2, cfg());
+        assert!(crate::restore_from_slice(&mut wrong, &bytes).is_err());
+    }
+}

@@ -33,6 +33,7 @@
 
 use crate::objective::Objective;
 use harmony_params::{ParamSpace, Point};
+use harmony_recovery::{Checkpoint, CodecError, StateReader, StateWriter};
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::RwLock;
@@ -465,6 +466,35 @@ fn ring_rec(
     }
 }
 
+impl Checkpoint for PerfDatabase {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.tag("perfdb");
+        w.usize(self.entries.len());
+        for (p, v) in &self.entries {
+            w.point(p);
+            w.f64(*v);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), CodecError> {
+        r.tag("perfdb")?;
+        let n = r.usize()?;
+        self.index_of.clear();
+        self.entries.clear();
+        self.grid = Grid::default();
+        write_lock(&self.memo).clear();
+        for _ in 0..n {
+            let p = r.point()?;
+            let v = r.f64()?;
+            if !self.space.is_admissible(&p) || !v.is_finite() {
+                return Err(CodecError::BadValue(format!("bad database entry {p:?}")));
+            }
+            self.insert(p, v);
+        }
+        Ok(())
+    }
+}
+
 impl Objective for PerfDatabase {
     fn space(&self) -> &ParamSpace {
         &self.space
@@ -650,6 +680,21 @@ mod tests {
             elapsed < std::time::Duration::from_secs(5),
             "full-lattice build took {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_identically() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let db = PerfDatabase::from_objective(&plane(), 0.5, 3, &mut rng);
+        let bytes = harmony_recovery::save_to_vec(&db);
+        let mut back = PerfDatabase::new(space(), 3);
+        harmony_recovery::restore_from_slice(&mut back, &bytes).unwrap();
+        assert_eq!(back.len(), db.len());
+        for p in space().lattice() {
+            assert_eq!(back.interpolate(&p).to_bits(), db.interpolate(&p).to_bits());
+        }
+        // insertion order is preserved, so a re-save is byte-identical
+        assert_eq!(harmony_recovery::save_to_vec(&back), bytes);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! RNG consumption metering for checkpoint/resume.
+//!
+//! A resumed client must continue its noise stream exactly where the
+//! killed run left it. Rather than checkpointing raw generator state per
+//! client (which would put RNG internals into the WAL), the server
+//! records how many 64-bit words each client has consumed; on resume the
+//! client reseeds from the same `(seed, stream)` pair and fast-forwards
+//! that many words. [`CountingRng`] is the meter: every word drawn from
+//! the wrapped generator is counted, and all [`RngCore`] entry points
+//! are funnelled through `next_u64` so the count is word-exact no
+//! matter which method the consumer calls (the vendored `SmallRng` uses
+//! the same funnelling, so wrapped and bare generators produce identical
+//! streams).
+
+use rand::RngCore;
+
+/// An [`RngCore`] wrapper that counts 64-bit words consumed from the
+/// wrapped generator.
+#[derive(Debug, Clone)]
+pub struct CountingRng<R: RngCore> {
+    inner: R,
+    draws: u64,
+}
+
+impl<R: RngCore> CountingRng<R> {
+    /// Wraps `inner` with the meter at zero.
+    pub fn new(inner: R) -> Self {
+        CountingRng { inner, draws: 0 }
+    }
+
+    /// Words consumed since construction (fast-forwarded words count).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Advances the wrapped generator by `words` draws, as if they had
+    /// been consumed normally — the resume path's stream replay.
+    pub fn fast_forward(&mut self, words: u64) {
+        for _ in 0..words {
+            self.inner.next_u64();
+        }
+        self.draws += words;
+    }
+
+    /// The wrapped generator.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: RngCore> RngCore for CountingRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn counted_stream_matches_bare_stream() {
+        let mut bare = seeded_rng(7);
+        let mut counted = CountingRng::new(seeded_rng(7));
+        for _ in 0..100 {
+            assert_eq!(bare.next_u64(), counted.next_u64());
+        }
+        let a: f64 = bare.random();
+        let b: f64 = counted.random();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(counted.draws(), 101);
+    }
+
+    #[test]
+    fn fast_forward_resumes_the_exact_stream() {
+        let mut full = CountingRng::new(seeded_rng(42));
+        let prefix: Vec<u64> = (0..37).map(|_| full.next_u64()).collect();
+        let _ = prefix;
+        let expected: Vec<u64> = (0..10).map(|_| full.next_u64()).collect();
+
+        let mut resumed = CountingRng::new(seeded_rng(42));
+        resumed.fast_forward(37);
+        assert_eq!(resumed.draws(), 37);
+        let got: Vec<u64> = (0..10).map(|_| resumed.next_u64()).collect();
+        assert_eq!(got, expected);
+        assert_eq!(resumed.draws(), full.draws());
+    }
+
+    #[test]
+    fn fill_bytes_is_word_metered() {
+        let mut counted = CountingRng::new(seeded_rng(3));
+        let mut buf = [0u8; 20];
+        counted.fill_bytes(&mut buf);
+        // 20 bytes = 3 words (8 + 8 + 4)
+        assert_eq!(counted.draws(), 3);
+        let mut bare = seeded_rng(3);
+        let mut expect = [0u8; 20];
+        bare.fill_bytes(&mut expect);
+        assert_eq!(buf, expect);
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod counting;
 pub mod des;
 pub mod dist;
 pub mod noise;

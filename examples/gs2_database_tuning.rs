@@ -17,7 +17,9 @@ fn session(db: &PerfDatabase, estimator: Estimator, rho: f64, seed: u64) -> Tuni
     };
     let tuner = OnlineTuner::new(TunerConfig::paper_default(100, estimator, seed));
     let mut pro = ProOptimizer::with_defaults(db.space().clone());
-    tuner.run(db, &noise, &mut pro)
+    tuner
+        .run(db, &noise, &mut pro)
+        .expect("tuning session produced a recommendation")
 }
 
 fn main() {

@@ -28,7 +28,9 @@ fn tune(obj: &dyn Objective, rho: f64, r: f64, seed: u64) -> TuningOutcome {
             ..ProConfig::default()
         },
     );
-    tuner.run(obj, &noise, &mut pro)
+    tuner
+        .run(obj, &noise, &mut pro)
+        .expect("tuning session produced a recommendation")
 }
 
 fn report(name: &str, obj: &dyn Objective) {
@@ -57,7 +59,9 @@ fn report(name: &str, obj: &dyn Objective) {
         ..TunerConfig::paper_default(150, Estimator::Single, 7)
     });
     let mut ga = GeneticAlgorithm::new(obj.space().clone(), 16, 0.4, 7);
-    let out = tuner.run(obj, &Noise::None, &mut ga);
+    let out = tuner
+        .run(obj, &Noise::None, &mut ga)
+        .expect("tuning session produced a recommendation");
     println!(
         "  GA  (pop 16)      -> {:?} = {:.4e} s/iter ({:.2}x optimum, {} evals)",
         out.best_point.as_slice(),

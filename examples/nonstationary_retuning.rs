@@ -49,7 +49,9 @@ fn main() {
         };
         let mut pro = ProOptimizer::new(quiet.space().clone(), pro_cfg);
         let phases: [(usize, &dyn Objective); 2] = [(0, &quiet), (shift_at, &congested)];
-        let out = OnlineTuner::new(cfg).run_phases(&phases, &noise, &mut pro);
+        let out = OnlineTuner::new(cfg)
+            .run_phases(&phases, &noise, &mut pro)
+            .expect("tuning session produced a recommendation");
         println!(
             "{label:<12} ({:>3},{:>2},{:>2})              {:>6.3}               {:>10.1}",
             out.best_point[0],

@@ -27,6 +27,7 @@ fn session(
         ..TunerConfig::paper_default(steps, Estimator::Single, seed)
     })
     .run(obj, noise, opt)
+    .expect("tuning session produced a recommendation")
 }
 
 fn main() {
@@ -102,7 +103,10 @@ fn main() {
                     ..TunerConfig::paper_default(100, est, stream_seed(9, r))
                 });
                 let mut pro = ProOptimizer::with_defaults(gs2.space().clone());
-                tuner.run(&gs2, &heavy, &mut pro).best_true_cost
+                tuner
+                    .run(&gs2, &heavy, &mut pro)
+                    .expect("tuning session produced a recommendation")
+                    .best_true_cost
             })
             .sum::<f64>()
             / reps as f64;

@@ -23,7 +23,9 @@ fn main() {
 
     // --- run 1: cold start, with logging ---
     let mut cold = Logged::new(ProOptimizer::with_defaults(gs2.space().clone()));
-    let cold_out = OnlineTuner::new(config(1)).run(&gs2, &noise, &mut cold);
+    let cold_out = OnlineTuner::new(config(1))
+        .run(&gs2, &noise, &mut cold)
+        .expect("tuning session produced a recommendation");
     let log = cold.log().clone();
     println!(
         "cold run:  best {} -> {:.3} s/iter  ({} configs measured, {} estimates)",
@@ -50,7 +52,9 @@ fn main() {
     let mut warm_inner = ProOptimizer::with_defaults(gs2.space().clone());
     warm_inner.recenter(&prior_best);
     let mut warm = Logged::new(warm_inner);
-    let warm_out = OnlineTuner::new(config(2)).run(&gs2, &noise, &mut warm);
+    let warm_out = OnlineTuner::new(config(2))
+        .run(&gs2, &noise, &mut warm)
+        .expect("tuning session produced a recommendation");
     println!(
         "warm run:  best {} -> {:.3} s/iter",
         gs2.space().describe(&warm_out.best_point),

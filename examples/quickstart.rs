@@ -33,7 +33,9 @@ fn main() {
     // 4. run the on-line tuning session: 200 time steps on 64 processors
     let tuner = OnlineTuner::new(TunerConfig::paper_default(200, Estimator::MinOfK(2), 7));
     let mut pro = ProOptimizer::with_defaults(space);
-    let outcome = tuner.run(&app, &noise, &mut pro);
+    let outcome = tuner
+        .run(&app, &noise, &mut pro)
+        .expect("tuning session produced a recommendation");
 
     println!("converged:        {}", outcome.converged);
     println!(

@@ -264,7 +264,9 @@ mod tests {
         });
         let mut pro = ProOptimizer::with_defaults(gs2.space().clone());
         let rho = 0.2;
-        let out = tuner.run(&gs2, &Noise::paper_default(rho), &mut pro);
+        let out = tuner
+            .run(&gs2, &Noise::paper_default(rho), &mut pro)
+            .expect("tuning session produced a recommendation");
         let report = SessionReport::of(&out, &gs2, rho);
         assert_eq!(report.total_time, out.total_time());
         assert!((report.ntt - 0.8 * report.total_time).abs() < 1e-9);
@@ -291,7 +293,9 @@ mod tests {
             ..TunerConfig::paper_default(40, Estimator::Single, 1)
         });
         let mut pro = ProOptimizer::with_defaults(space);
-        let out = tuner.run(&obj, &Noise::None, &mut pro);
+        let out = tuner
+            .run(&obj, &Noise::None, &mut pro)
+            .expect("tuning session produced a recommendation");
         let report = SessionReport::of(&out, &obj, 0.0);
         assert!(report.global_optimum.is_none());
         assert!(report.optimality_ratio.is_none());

@@ -273,7 +273,9 @@ impl CliConfig {
             full_occupancy: false,
             exploit_width: 6,
         });
-        let out = tuner.run(objective.as_ref(), &noise, optimizer.as_mut());
+        let out = tuner
+            .run(objective.as_ref(), &noise, optimizer.as_mut())
+            .map_err(|e| e.to_string())?;
 
         let mut report = String::new();
         use std::fmt::Write as _;
@@ -345,7 +347,9 @@ impl CliConfig {
                 full_occupancy: false,
                 exploit_width: 6,
             });
-            let out = tuner.run(objective.as_ref(), &noise, optimizer.as_mut());
+            let out = tuner
+                .run(objective.as_ref(), &noise, optimizer.as_mut())
+                .map_err(|e| e.to_string())?;
             ntts.push(out.ntt(self.rho));
             costs.push(out.best_true_cost);
         }

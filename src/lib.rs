@@ -21,6 +21,9 @@
 //! * [`telemetry`] — deterministic structured tracing: logical-clock
 //!   stamped events, counters, histograms, nestable spans, JSONL
 //!   serialisation and trace summaries,
+//! * [`recovery`] — session persistence: versioned checkpoint codecs, a
+//!   write-ahead observation log with snapshots, and supervisor health
+//!   tracking for self-healing tuning sessions,
 //! * [`core`] — the optimizers (PRO, SRO, Nelder–Mead, baselines), the
 //!   estimator layer, the on-line tuning driver, and the threaded
 //!   fault-tolerant Active-Harmony-style server.
@@ -39,7 +42,7 @@
 //!     42,
 //! ));
 //! let mut pro = ProOptimizer::with_defaults(gs2.space().clone());
-//! let outcome = tuner.run(&gs2, &noise, &mut pro);
+//! let outcome = tuner.run(&gs2, &noise, &mut pro)?;
 //! println!(
 //!     "best {:?} -> {:.3}s/iter, Total_Time(100) = {:.1}s",
 //!     outcome.best_point,
@@ -47,6 +50,7 @@
 //!     outcome.total_time()
 //! );
 //! assert!(outcome.best_true_cost < 10.0);
+//! # Ok::<(), harmony::core::server::ServerError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,6 +62,7 @@ pub mod cli;
 pub use harmony_cluster as cluster;
 pub use harmony_core as core;
 pub use harmony_params as params;
+pub use harmony_recovery as recovery;
 pub use harmony_stats as stats;
 pub use harmony_surface as surface;
 pub use harmony_telemetry as telemetry;
@@ -69,7 +74,9 @@ pub mod prelude {
     pub use harmony_core::baselines::{GeneticAlgorithm, RandomSearch, SimulatedAnnealing};
     pub use harmony_core::nelder_mead::{NelderMead, NelderMeadConfig};
     pub use harmony_core::server::{
-        run_distributed, run_resilient, run_resilient_traced, ServerConfig, ServerError,
+        run_distributed, run_recoverable, run_recoverable_traced, run_resilient,
+        run_resilient_traced, run_session_traced, run_supervised, run_supervised_traced,
+        RecoveryConfig, ServerConfig, ServerError, SupervisedOutcome, SupervisorReport,
     };
     pub use harmony_core::sro::{SroConfig, SroOptimizer};
     pub use harmony_core::{
@@ -78,6 +85,7 @@ pub mod prelude {
     };
     pub use harmony_params::init::{InitialShape, DEFAULT_RELATIVE_SIZE};
     pub use harmony_params::{ParamDef, ParamKind, ParamSpace, Point, Rounding, Simplex};
+    pub use harmony_recovery::{Checkpoint, SessionJournal, SupervisorConfig};
     pub use harmony_stats::{Ecdf, Histogram, Summary};
     pub use harmony_surface::{best_on_lattice, Gs2Model, Objective, PerfDatabase};
     pub use harmony_telemetry::{JsonlSink, MemorySink, NullSink, Telemetry, TelemetryConfig};

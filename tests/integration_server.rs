@@ -80,7 +80,7 @@ fn server_matches_tuner_on_deterministic_problems() {
         full_occupancy: false,
         ..TunerConfig::paper_default(100, Estimator::Single, 7)
     });
-    let local = tuner.run(&obj, &Noise::None, &mut b);
+    let local = tuner.run(&obj, &Noise::None, &mut b).unwrap();
     assert_eq!(server.best_point, local.best_point);
     assert_eq!(server.best_true_cost, local.best_true_cost);
 }
@@ -100,7 +100,9 @@ fn adaptive_tuner_handles_tiny_clusters() {
         exploit_width: 2,
     });
     let mut pro = ProOptimizer::with_defaults(space());
-    let out = tuner.run(&obj, &Noise::paper_default(0.3), &mut pro);
+    let out = tuner
+        .run(&obj, &Noise::paper_default(0.3), &mut pro)
+        .unwrap();
     assert!(out.trace.len() >= 60);
     assert!(out.best_true_cost < 5.0);
 }
@@ -121,7 +123,7 @@ fn adaptive_tuner_on_gs2_is_frugal() {
         exploit_width: 6,
     });
     let mut a = ProOptimizer::with_defaults(gs2.space().clone());
-    let out_a = adaptive.run(&gs2, &noise, &mut a);
+    let out_a = adaptive.run(&gs2, &noise, &mut a).unwrap();
 
     // the adaptive session fills its budget, returns a sane config, and
     // respects the sampling cap (at most max_k rounds per consumed step

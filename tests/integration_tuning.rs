@@ -14,7 +14,7 @@ fn full_paper_pipeline_on_gs2_database() {
 
     let tuner = OnlineTuner::new(TunerConfig::paper_default(150, Estimator::MinOfK(3), 99));
     let mut pro = ProOptimizer::with_defaults(db.space().clone());
-    let out = tuner.run(&db, &noise, &mut pro);
+    let out = tuner.run(&db, &noise, &mut pro).unwrap();
 
     let (_, optimum) = best_on_lattice(&db).expect("discrete space");
     assert!(
@@ -42,7 +42,7 @@ fn min_estimator_dominates_mean_under_heavy_tails() {
                 let tuner =
                     OnlineTuner::new(TunerConfig::paper_default(120, est, stream_seed(5, r)));
                 let mut pro = ProOptimizer::with_defaults(gs2.space().clone());
-                tuner.run(&gs2, &noise, &mut pro).best_true_cost
+                tuner.run(&gs2, &noise, &mut pro).unwrap().best_true_cost
             })
             .sum::<f64>()
             / reps as f64
@@ -63,7 +63,7 @@ fn sequential_and_distributed_agree_without_noise() {
 
     let tuner = OnlineTuner::new(TunerConfig::paper_default(200, Estimator::Single, 3));
     let mut a = ProOptimizer::with_defaults(gs2.space().clone());
-    let seq = tuner.run(&gs2, &Noise::None, &mut a);
+    let seq = tuner.run(&gs2, &Noise::None, &mut a).unwrap();
 
     let mut b = ProOptimizer::with_defaults(gs2.space().clone());
     let dist = run_distributed(
@@ -97,7 +97,7 @@ fn all_optimizers_run_on_the_same_problem() {
     ];
     for opt in &mut opts {
         let tuner = OnlineTuner::new(TunerConfig::paper_default(80, Estimator::Single, 17));
-        let out = tuner.run(&gs2, &noise, opt.as_mut());
+        let out = tuner.run(&gs2, &noise, opt.as_mut()).unwrap();
         assert!(
             out.best_true_cost.is_finite() && out.best_true_cost > 0.0,
             "{} produced nonsense",
@@ -128,7 +128,7 @@ fn ntt_makes_different_rho_comparable() {
                     ..TunerConfig::paper_default(100, Estimator::Single, stream_seed(23, r))
                 });
                 let mut pro = ProOptimizer::with_defaults(gs2.space().clone());
-                tuner.run(&gs2, &noise, &mut pro).ntt(rho)
+                tuner.run(&gs2, &noise, &mut pro).unwrap().ntt(rho)
             })
             .sum::<f64>()
             / reps as f64

@@ -232,7 +232,7 @@ proptest! {
         };
         let run = |o: &dyn Objective| {
             let mut opt = ProOptimizer::with_defaults(space.clone());
-            OnlineTuner::new(cfg).run(o, &noise, &mut opt)
+            OnlineTuner::new(cfg).run(o, &noise, &mut opt).unwrap()
         };
         let raw = run(&obj);
         let cached = CachedObjective::new(&obj);

@@ -12,7 +12,9 @@
 //! CI runs this file with an elevated `PROPTEST_CASES` as the chaos
 //! step.
 
+use harmony::core::{restarting_pro, run_session_traced};
 use harmony::prelude::*;
+use harmony::recovery::{restore_from_slice, save_to_vec};
 use harmony::surface::objective::FnObjective;
 use proptest::prelude::*;
 
@@ -38,6 +40,33 @@ fn session(
     let mut pro = ProOptimizer::with_defaults(space());
     let cfg = ServerConfig::new(procs, steps, Estimator::Single, seed).unwrap();
     run_resilient(&obj, &Noise::paper_default(0.2), &mut pro, cfg, plan)
+}
+
+/// Deterministic pseudo-observations: the bowl cost plus a small
+/// seed-hashed perturbation — interesting optimizer trajectories, exact
+/// reproducibility, no session machinery needed.
+fn pseudo_values(batch: &[Point], seed: u64, round: usize) -> Vec<f64> {
+    batch
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let cost = 1.0 + 0.1 * (p[0] * p[0] + p[1] * p[1]);
+            let h = stream_seed(seed, (round * 131 + i) as u64) % 1_000;
+            cost + h as f64 / 5_000.0
+        })
+        .collect()
+}
+
+/// Advances an optimizer through `batches` ask/tell rounds.
+fn drive(opt: &mut dyn Optimizer, seed: u64, from: usize, batches: usize) {
+    for b in 0..batches {
+        let batch = opt.propose();
+        if batch.is_empty() {
+            return;
+        }
+        let values = pseudo_values(&batch, seed, from + b);
+        opt.observe(&values);
+    }
 }
 
 proptest! {
@@ -72,6 +101,104 @@ proptest! {
         prop_assert!(resilient.faults.is_clean());
     }
 
+    /// Journalled sessions resume bit-identically from a kill at *any*
+    /// batch boundary — including failed sessions, which must fail the
+    /// same way again — under arbitrary fault plans and snapshot
+    /// cadences.
+    #[test]
+    fn resume_after_random_kill_is_bit_identical(
+        seed in 0u64..2_000,
+        plan_seed in 0u64..2_000,
+        procs in 2usize..9,
+        crash in 0.0f64..0.4,
+        kill_frac in 0.0f64..1.0,
+        snap in 0u64..4,
+    ) {
+        let plan = FaultPlan::new(plan_seed, crash, 0.0, crash * 0.6, 0.0);
+        let obj = bowl();
+        let noise = Noise::paper_default(0.2);
+        let cfg = ServerConfig::new(procs, 25, Estimator::Single, seed).unwrap();
+        let recovery = RecoveryConfig { snapshot_every: snap };
+
+        let mut journal = SessionJournal::in_memory();
+        let mut pro = ProOptimizer::with_defaults(space());
+        let full = run_recoverable(&obj, &noise, &mut pro, cfg, &plan, &mut journal, recovery);
+
+        let records = journal.wal_lines().unwrap().len().saturating_sub(1);
+        let kill = ((records as f64) * kill_frac) as usize;
+        let mut part = journal.clone();
+        part.truncate_records(kill).unwrap();
+        let mut pro2 = ProOptimizer::with_defaults(space());
+        let resumed = run_recoverable(&obj, &noise, &mut pro2, cfg, &plan, &mut part, recovery);
+        prop_assert_eq!(full, resumed);
+    }
+
+    /// Checkpoint round-trip identity for every optimizer: saving after
+    /// a few warm-up batches and restoring into a freshly constructed
+    /// twin reproduces the exact future (proposals, observations,
+    /// recommendation).
+    #[test]
+    fn checkpoint_roundtrip_preserves_optimizer_future(
+        seed in 0u64..5_000,
+        warm in 1usize..8,
+        which in 0usize..4,
+    ) {
+        let make = |which: usize| -> Box<dyn Optimizer> {
+            match which {
+                0 => Box::new(ProOptimizer::with_defaults(space())),
+                1 => Box::new(SroOptimizer::with_defaults(space())),
+                2 => Box::new(NelderMead::with_defaults(space())),
+                _ => Box::new(restarting_pro(space(), ProConfig::default(), 3, seed)),
+            }
+        };
+        let mut original = make(which);
+        let mut fresh = make(which);
+
+        drive(original.as_mut(), seed, 0, warm);
+        let bytes = save_to_vec(original.as_checkpoint().expect("optimizer is checkpointable"));
+        restore_from_slice(
+            fresh.as_checkpoint_mut().expect("optimizer is checkpointable"),
+            &bytes,
+        )
+        .expect("checkpoint restores cleanly");
+
+        for b in 0..6 {
+            let a = original.propose();
+            let z = fresh.propose();
+            prop_assert_eq!(&a, &z, "proposal {} diverged", b);
+            if a.is_empty() {
+                break;
+            }
+            let values = pseudo_values(&a, seed, warm + b);
+            original.observe(&values);
+            fresh.observe(&values);
+        }
+        prop_assert_eq!(original.recommendation(), fresh.recommendation());
+        prop_assert_eq!(original.converged(), fresh.converged());
+    }
+
+    /// Supervised sessions are as deterministic as plain ones: same
+    /// seed + plan + supervisor config ⇒ bit-identical outcome and
+    /// supervisor report (Ok or Err).
+    #[test]
+    fn supervised_replay_is_bit_identical(
+        seed in 0u64..2_000,
+        plan_seed in 0u64..2_000,
+        procs in 2usize..9,
+        hang in 0.0f64..0.5,
+        drop in 0.0f64..0.4,
+    ) {
+        let plan = FaultPlan::new(plan_seed, 0.0, hang, drop, 0.0);
+        let obj = bowl();
+        let noise = Noise::paper_default(0.2);
+        let cfg = ServerConfig::new(procs, 25, Estimator::Single, seed).unwrap();
+        let run = || {
+            let mut pro = ProOptimizer::with_defaults(space());
+            run_supervised(&obj, &noise, &mut pro, cfg, &plan, SupervisorConfig::default())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
     /// Killing every client is a typed error, never a hang or a panic.
     /// The budget (250 steps) comfortably exceeds the worst case in
     /// which every client survives to the crash-serial horizon, so the
@@ -90,6 +217,48 @@ proptest! {
             | Err(ServerError::QuorumNotReached { .. }) => {}
             other => prop_assert!(false, "expected a fleet-death error, got {other:?}"),
         }
+    }
+}
+
+/// ISSUE acceptance: exhaustive kill-point sweep. A journaled,
+/// supervised, traced session killed after *every* WAL record resumes to
+/// a byte-identical outcome, supervisor report, and telemetry stream
+/// (WAL-only mode re-emits the full trace).
+#[test]
+fn every_kill_point_resumes_byte_identically_with_supervision() {
+    let obj = bowl();
+    let noise = Noise::paper_default(0.2);
+    let cfg = ServerConfig::new(6, 30, Estimator::Single, 2005).unwrap();
+    let plan = FaultPlan::new(41, 0.2, 0.15, 0.1, 0.05);
+    let sup = SupervisorConfig::default();
+
+    let run = |journal: &mut SessionJournal| {
+        let (tel, sink) = Telemetry::memory();
+        let mut pro = ProOptimizer::with_defaults(space());
+        let out = run_session_traced(
+            &obj,
+            &noise,
+            &mut pro,
+            cfg,
+            &plan,
+            &tel,
+            Some(journal),
+            RecoveryConfig::default(),
+            Some(sup),
+        );
+        (out, sink.take())
+    };
+
+    let mut journal = SessionJournal::in_memory();
+    let (full, full_trace) = run(&mut journal);
+    let records = journal.wal_lines().unwrap().len() - 1;
+    assert!(records > 3, "session committed only {records} records");
+    for kill in 0..=records {
+        let mut part = journal.clone();
+        part.truncate_records(kill).unwrap();
+        let (resumed, resumed_trace) = run(&mut part);
+        assert_eq!(full, resumed, "kill after record {kill}");
+        assert_eq!(full_trace, resumed_trace, "telemetry after record {kill}");
     }
 }
 

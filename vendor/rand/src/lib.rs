@@ -263,6 +263,25 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state, for checkpoint/restore. A
+        /// generator rebuilt with [`SmallRng::from_state`] from this
+        /// value continues the exact same stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`SmallRng::state`] capture. An
+        /// all-zero state (unreachable from any seeded generator) is
+        /// perturbed exactly like `from_seed` to avoid the fixed point.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self::from_seed([0u8; 32]);
+            }
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         type Seed = [u8; 32];
 
