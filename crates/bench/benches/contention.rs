@@ -1,0 +1,94 @@
+//! Criterion contention benchmark: concurrent readers against the
+//! sharded lock-free [`SharedPerfDb`] versus the obvious alternative, a
+//! single `Mutex<PerfDatabase>`, at 1/2/4/8 threads.
+//!
+//! Each thread performs a fixed number of exact-hit queries against a
+//! pre-populated database — the read-dominated steady state of a
+//! multi-session tuning service. The sharded reads never take a lock,
+//! so throughput should scale with readers while the mutex baseline
+//! serialises them.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmony_params::{ParamDef, ParamSpace, Point};
+use harmony_surface::{PerfDatabase, SharedPerfDb};
+use std::sync::Mutex;
+
+/// Queries issued per reader thread per iteration.
+const QUERIES: usize = 1_000;
+/// Points pre-populated before measurement (all queries hit).
+const ENTRIES: usize = 512;
+/// Reader-thread counts swept.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn space() -> ParamSpace {
+    ParamSpace::new(vec![
+        ParamDef::integer("x", 0, 1_023, 1).unwrap(),
+        ParamDef::integer("y", 0, 1_023, 1).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn points() -> Vec<Point> {
+    (0..ENTRIES)
+        .map(|i| Point::new(vec![(i % 32) as f64, (i / 32) as f64]))
+        .collect()
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let pts = points();
+
+    let sharded = SharedPerfDb::new(space(), 4);
+    for (i, p) in pts.iter().enumerate() {
+        sharded.record(p, i as f64);
+    }
+    sharded.flush();
+
+    let mut plain = PerfDatabase::new(space(), 4);
+    for (i, p) in pts.iter().enumerate() {
+        plain.insert(p.clone(), i as f64);
+    }
+    let locked = Mutex::new(plain);
+
+    for threads in THREADS {
+        c.bench_function(&format!("db_contention/sharded/{threads}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let sharded = &sharded;
+                        let pts = &pts;
+                        s.spawn(move || {
+                            let mut acc = 0.0;
+                            for q in 0..QUERIES {
+                                let p = &pts[(q * 7 + t * 131) % pts.len()];
+                                acc += sharded.query(black_box(p)).unwrap_or(0.0);
+                            }
+                            black_box(acc)
+                        });
+                    }
+                })
+            })
+        });
+        c.bench_function(&format!("db_contention/mutex/{threads}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let locked = &locked;
+                        let pts = &pts;
+                        s.spawn(move || {
+                            let mut acc = 0.0;
+                            for q in 0..QUERIES {
+                                let p = &pts[(q * 7 + t * 131) % pts.len()];
+                                let db = locked.lock().unwrap();
+                                acc += db.get(black_box(p)).unwrap_or(0.0);
+                            }
+                            black_box(acc)
+                        });
+                    }
+                })
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_contention);
+criterion_main!(benches);

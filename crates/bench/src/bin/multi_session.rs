@@ -1,0 +1,118 @@
+//! T7: multi-session concurrency sweep — fleets of concurrent tuning
+//! sessions sharing one cross-session performance database pair
+//! (deterministic costs + min-of-K estimates), with warm-starting from
+//! published measurements.
+//!
+//! ```text
+//! multi_session [--quick] [--seed N] [-jN | --workers N]
+//!               [--sessions N] [--checkpoint]
+//! ```
+//!
+//! By default runs the full fleet-size sweep. `--sessions N` runs a
+//! single fleet instead and prints its row. `--checkpoint` additionally
+//! round-trips the populated cost tier through the recovery codec and
+//! verifies a restored tier carries identical entries — the
+//! cross-session persistence path a long-lived tuning service relies
+//! on.
+
+use harmony_bench::experiments::multi_session::{
+    fleet_in, fleet_with, t7_multi_session, K_NEIGHBORS, SESSION_COUNTS,
+};
+use harmony_bench::report::emit;
+use harmony_recovery::{restore_from_slice, save_to_vec};
+use harmony_surface::{Gs2Model, Objective, SharedPerfDb};
+
+fn parse_or_die<T: std::str::FromStr>(what: &str, v: Option<&String>) -> T {
+    let Some(v) = v else {
+        eprintln!("{what} needs a value");
+        std::process::exit(2);
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad {what} value: {v}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed: u64 = 2005;
+    let mut workers: usize = 1;
+    let mut sessions: Option<usize> = None;
+    let mut checkpoint = false;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--quick" {
+            quick = true;
+        } else if a == "--seed" {
+            i += 1;
+            seed = parse_or_die("--seed", args.get(i));
+        } else if a == "--workers" {
+            i += 1;
+            workers = parse_or_die("--workers", args.get(i));
+        } else if let Some(rest) = a.strip_prefix("-j") {
+            if rest.is_empty() {
+                i += 1;
+                workers = parse_or_die("-j", args.get(i));
+            } else {
+                workers = parse_or_die("-j", Some(&rest.to_string()));
+            }
+        } else if a == "--sessions" {
+            i += 1;
+            sessions = Some(parse_or_die("--sessions", args.get(i)));
+        } else if a == "--checkpoint" {
+            checkpoint = true;
+        } else {
+            eprintln!("unknown argument: {a}");
+            std::process::exit(2);
+        }
+        i += 1;
+    }
+    workers = workers.max(1);
+    let steps = if quick { 30 } else { 60 };
+
+    match sessions {
+        Some(n) => {
+            println!("T7: single fleet, {n} sessions, {steps} steps, {workers} workers");
+            let row = if checkpoint {
+                let space = Gs2Model::paper_scale().space().clone();
+                let costs = SharedPerfDb::new(space.clone(), K_NEIGHBORS);
+                let estimates = SharedPerfDb::new(space.clone(), K_NEIGHBORS);
+                let row = fleet_with(workers, n, steps, seed, &costs, &estimates);
+                let bytes = save_to_vec(&costs);
+                let mut restored = SharedPerfDb::new(space, K_NEIGHBORS);
+                restore_from_slice(&mut restored, &bytes)
+                    .expect("cost tier restores from its own checkpoint");
+                assert_eq!(
+                    costs.entries_canonical(),
+                    restored.entries_canonical(),
+                    "restored tier must carry identical entries"
+                );
+                println!(
+                    "checkpoint: {} entries round-tripped through {} bytes, bit-identical",
+                    restored.len(),
+                    bytes.len()
+                );
+                row
+            } else {
+                fleet_in(workers, n, steps, seed)
+            };
+            println!(
+                "hit {:.2}% | shared misses {} | entries {} | mean best true cost {:.4} | warm {:.0}%",
+                row[0],
+                row[1] as u64,
+                row[2] as u64,
+                row[3],
+                100.0 * row[4]
+            );
+        }
+        None => {
+            println!(
+                "T7: multi-session sweep over fleets of {SESSION_COUNTS:?}, \
+                 {steps} steps, {workers} workers"
+            );
+            emit(&t7_multi_session(workers, steps, seed));
+        }
+    }
+}

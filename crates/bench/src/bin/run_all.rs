@@ -131,6 +131,11 @@ fn main() {
                 println!("{} ({parts} subtasks)", t.name);
             }
         }
+        println!(
+            "total: {} experiments, {} schedulable jobs",
+            harness::TASKS.len(),
+            harness::job_count()
+        );
         return;
     }
     if !only.is_empty() {

@@ -10,5 +10,6 @@ pub mod fig04_07;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;
+pub mod multi_session;
 pub mod recovery;
 pub mod tables;

@@ -33,7 +33,8 @@
 //! SVGs to a serial `-j1` run for every `N`.
 
 use crate::experiments::{
-    ablations, charts, fault, fig01, fig02, fig03, fig04_07, fig08, fig09, fig10, recovery, tables,
+    ablations, charts, fault, fig01, fig02, fig03, fig04_07, fig08, fig09, fig10, multi_session,
+    recovery, tables,
 };
 use crate::report::{emit_table_telemetry, emit_to, results_dir, Table};
 use harmony_cluster::pool;
@@ -75,6 +76,7 @@ const ABLATION_MONITORING: usize = 18;
 const ABLATION_ADAPTIVE_K: usize = 19;
 const TABLE_FAULT_TOLERANCE: usize = 20;
 const TABLE_RECOVERY: usize = 21;
+const MULTI_SESSION: usize = 22;
 
 /// The full task graph, in canonical report order. Only the chart
 /// renderer has dependencies — it consumes the already-computed figure
@@ -168,6 +170,10 @@ pub const TASKS: &[TaskDef] = &[
         name: "table_recovery",
         deps: &[],
     },
+    TaskDef {
+        name: "t7_multi_session",
+        deps: &[],
+    },
 ];
 
 /// Number of canonical experiments (= merge/report jobs).
@@ -189,6 +195,7 @@ pub fn subtask_count(e: usize) -> usize {
         ABLATION_ESTIMATORS => ablations::ESTIMATORS.len() * estimator_noise_count(),
         ABLATION_MONITORING => ablations::MONITORING_RHOS.len() * 2,
         TABLE_RECOVERY => recovery::CRASH_RATES.len() * recovery::SNAPSHOT_EVERY.len(),
+        MULTI_SESSION => multi_session::SESSION_COUNTS.len(),
         _ => 0,
     }
 }
@@ -236,6 +243,9 @@ pub fn subtask_label(e: usize, p: usize) -> String {
                 recovery::CRASH_RATES[p / n],
                 recovery::SNAPSHOT_EVERY[p % n]
             )
+        }
+        MULTI_SESSION => {
+            format!("t7_multi_session.s{}", multi_session::SESSION_COUNTS[p])
         }
         _ => unreachable!("experiment {e} has no subtasks"),
     }
@@ -438,6 +448,9 @@ pub struct HarnessReport {
     /// (see [`measure_recovery_overhead`]); `None` when the gate was
     /// not requested.
     pub recovery_overhead_pct: Option<f64>,
+    /// Cross-session shared-cache hit rate of the largest T7 fleet, in
+    /// `[0, 1]`; `None` when `t7_multi_session` was not selected.
+    pub shared_cache_hit_rate: Option<f64>,
 }
 
 impl HarnessReport {
@@ -481,6 +494,9 @@ impl HarnessReport {
         );
         if let Some(pct) = self.recovery_overhead_pct {
             let _ = writeln!(s, "  \"recovery_overhead_pct\": {pct:.2},");
+        }
+        if let Some(rate) = self.shared_cache_hit_rate {
+            let _ = writeln!(s, "  \"shared_cache_hit_rate\": {rate:.4},");
         }
         s.push_str("  \"experiments\": [\n");
         for (i, t) in self.tasks.iter().enumerate() {
@@ -832,6 +848,13 @@ pub fn run(cfg: &RunConfig) -> HarnessReport {
             eprintln!("failed to write trace {}: {e}", path.display());
         }
     }
+    // headline shared-cache effectiveness: the largest T7 fleet's hit
+    // rate (deterministic — see the multi_session module docs)
+    let shared_cache_hit_rate = slots[MULTI_SESSION]
+        .get()
+        .and_then(|ts| ts.first())
+        .and_then(|t| t.rows.last())
+        .map(|row| row[1] / 100.0);
     HarnessReport {
         scale: if cfg.full { "full" } else { "quick" },
         workers: cfg.workers,
@@ -840,6 +863,7 @@ pub fn run(cfg: &RunConfig) -> HarnessReport {
         critical_path_s,
         tasks,
         recovery_overhead_pct: None,
+        shared_cache_hit_rate,
     }
 }
 
@@ -943,6 +967,10 @@ fn run_part(e: usize, p: usize, cfg: &RunConfig) -> Vec<f64> {
             let (steps, reps) = if quick { (30, 3) } else { (60, 6) };
             let n = recovery::SNAPSHOT_EVERY.len();
             recovery::recovery_cell_in(1, p / n, p % n, 8, steps, reps, 0.1, seed)
+        }
+        MULTI_SESSION => {
+            let steps = if quick { 30 } else { 60 };
+            multi_session::multi_session_cell_in(1, p, steps, seed)
         }
         _ => unreachable!("experiment {e} has no subtasks"),
     }
@@ -1135,6 +1163,11 @@ fn run_report(
             emit_to(buf, dir, &t);
             vec![t]
         }
+        MULTI_SESSION => {
+            let t = multi_session::assemble_multi_session(parts);
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
         _ => unreachable!("unknown task index {e}"),
     }
 }
@@ -1187,6 +1220,7 @@ mod tests {
         assert_eq!(subtask_count(ABLATION_ESTIMATORS), 20);
         assert_eq!(subtask_count(ABLATION_MONITORING), 8);
         assert_eq!(subtask_count(TABLE_RECOVERY), 9);
+        assert_eq!(subtask_count(MULTI_SESSION), 6);
     }
 
     #[test]
@@ -1263,10 +1297,12 @@ mod tests {
                 },
             ],
             recovery_overhead_pct: Some(1.75),
+            shared_cache_hit_rate: Some(0.42),
         };
         let json = r.to_json();
         assert_eq!(json_number(&json, "total_wall_s"), Some(1.5));
         assert_eq!(json_number(&json, "recovery_overhead_pct"), Some(1.75));
+        assert_eq!(json_number(&json, "shared_cache_hit_rate"), Some(0.42));
         assert_eq!(json_number(&json, "serial_wall_s"), Some(3.0));
         assert_eq!(json_number(&json, "workers"), Some(4.0));
         assert_eq!(json_number(&json, "speedup"), Some(2.0));
@@ -1296,6 +1332,7 @@ mod tests {
             critical_path_s: 0.0,
             tasks: Vec::new(),
             recovery_overhead_pct: None,
+            shared_cache_hit_rate: None,
         };
         assert_eq!(r.speedup(), 1.0);
         assert_eq!(r.parallel_efficiency(), 1.0);

@@ -435,6 +435,41 @@ where
     par_map_reduce_in(workers, n, f, 0.0, |acc, x| acc + x, |a, b| a + b) / n as f64
 }
 
+/// Runs `0..n` in fixed *waves* of at most `wave` indices: every index
+/// inside a wave runs concurrently on the pool, then `between(next)` is
+/// called on the caller's thread before the next wave starts — a full
+/// barrier. Results come back in index order.
+///
+/// This is the multi-session scheduling primitive: concurrent tuning
+/// sessions form a wave, and the barrier is where the driver flushes
+/// the shared performance database so every session in wave `w+1`
+/// observes exactly the measurements of waves `0..=w` — deterministic
+/// visibility for any worker count or interleaving. `between` receives
+/// the index the next wave starts at (`wave`, `2·wave`, …, and is not
+/// called after the final wave).
+///
+/// `f` must derive all randomness from the index, as with
+/// [`par_map_indexed`].
+pub fn par_waves_in<T, F, B>(workers: usize, n: usize, wave: usize, f: F, mut between: B) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    B: FnMut(usize),
+{
+    assert!(wave > 0, "wave size must be positive");
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    while start < n {
+        let len = wave.min(n - start);
+        out.extend(par_map_indexed_in(workers, len, |i| f(start + i)));
+        start += len;
+        if start < n {
+            between(start);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,6 +684,38 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(stats, PoolStats::default());
         assert_eq!(stats.imbalance(), 0);
+    }
+
+    #[test]
+    fn waves_barrier_between_every_wave() {
+        use std::sync::atomic::AtomicUsize;
+        // barrier correctness: while index i runs, the flush count must
+        // equal i's wave number — no job from wave w+1 starts early
+        let flushes = AtomicUsize::new(0);
+        let barriers = Mutex::new(Vec::new());
+        let out = par_waves_in(
+            4,
+            10,
+            4,
+            |i| {
+                assert_eq!(flushes.load(Ordering::SeqCst), i / 4, "index {i}");
+                i * 3
+            },
+            |next| {
+                flushes.fetch_add(1, Ordering::SeqCst);
+                barriers.lock().unwrap().push(next);
+            },
+        );
+        assert_eq!(out, (0..10).map(|i| i * 3).collect::<Vec<_>>());
+        // 3 waves (4+4+2) → barriers after the first two only
+        assert_eq!(*barriers.lock().unwrap(), vec![4, 8]);
+    }
+
+    #[test]
+    fn waves_output_is_worker_count_independent() {
+        let run = |workers| par_waves_in(workers, 23, 5, |i| i * i + 1, |_| {});
+        assert_eq!(run(1), run(4));
+        assert!(par_waves_in(3, 0, 4, |i| i, |_| {}).is_empty());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use harmony_params::{ParamSpace, Point};
 use harmony_recovery::{Checkpoint, CodecError, StateReader, StateWriter};
-use harmony_surface::Objective;
+use harmony_surface::{Objective, SharedPerfDb};
 use harmony_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -28,10 +28,23 @@ use std::sync::RwLock;
 /// A memoizing [`Objective`] wrapper. Evaluations at previously seen
 /// points are served from the memo; determinism of the inner objective
 /// makes the substitution exact.
+///
+/// With [`CachedObjective::with_shared`], the memo becomes the first
+/// tier of a three-tier *cache-before-evaluate* path: session-local
+/// memo → shared cross-session [`SharedPerfDb`] → fresh probe of the
+/// inner objective. Shared hits are memoized locally and fresh probes
+/// are recorded back to the shared tier (visible to other sessions
+/// after its next flush). Because every tier stores the deterministic
+/// true cost, lookups substitute exactly and outcomes are unchanged
+/// bit for bit.
 pub struct CachedObjective<'a, O: Objective + ?Sized> {
     inner: &'a O,
     memo: RwLock<HashMap<Vec<u64>, f64>>,
+    /// Cross-session shared tier, consulted between the memo and the
+    /// inner objective.
+    shared: Option<&'a SharedPerfDb>,
     hits: AtomicUsize,
+    shared_hits: AtomicUsize,
     misses: AtomicUsize,
 }
 
@@ -45,9 +58,20 @@ impl<'a, O: Objective + ?Sized> CachedObjective<'a, O> {
         CachedObjective {
             inner,
             memo: RwLock::new(HashMap::new()),
+            shared: None,
             hits: AtomicUsize::new(0),
+            shared_hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
+    }
+
+    /// Wraps `inner` with an empty memo backed by the cross-session
+    /// shared tier `shared`: misses consult it before probing `inner`,
+    /// and fresh probes are recorded back for other sessions.
+    pub fn with_shared(inner: &'a O, shared: &'a SharedPerfDb) -> Self {
+        let mut cached = CachedObjective::new(inner);
+        cached.shared = Some(shared);
+        cached
     }
 
     /// The wrapped objective.
@@ -58,6 +82,12 @@ impl<'a, O: Objective + ?Sized> CachedObjective<'a, O> {
     /// Number of evaluations answered from the memo.
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of evaluations answered by the shared cross-session tier
+    /// (always 0 without [`Self::with_shared`]).
+    pub fn shared_hits(&self) -> usize {
+        self.shared_hits.load(Ordering::Relaxed)
     }
 
     /// Number of evaluations that reached the inner objective.
@@ -76,7 +106,8 @@ impl<'a, O: Objective + ?Sized> CachedObjective<'a, O> {
     }
 
     /// Exports the memo's effectiveness as `cache.hits` / `cache.misses`
-    /// / `cache.entries` telemetry counters.
+    /// / `cache.entries` telemetry counters (`cache.shared_hits` too
+    /// when a shared tier is attached).
     pub fn emit_telemetry(&self, tel: &Telemetry) {
         if !tel.enabled() {
             return;
@@ -84,6 +115,9 @@ impl<'a, O: Objective + ?Sized> CachedObjective<'a, O> {
         tel.counter("cache.hits", self.hits() as u64);
         tel.counter("cache.misses", self.misses() as u64);
         tel.counter("cache.entries", self.len() as u64);
+        if self.shared.is_some() {
+            tel.counter("cache.shared_hits", self.shared_hits() as u64);
+        }
     }
 }
 
@@ -135,8 +169,21 @@ impl<O: Objective + ?Sized> Objective for CachedObjective<'_, O> {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
+        if let Some(db) = self.shared {
+            if let Some(v) = db.query(x) {
+                self.shared_hits.fetch_add(1, Ordering::Relaxed);
+                self.memo
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(key, v);
+                return v;
+            }
+        }
         let v = self.inner.eval(x);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(db) = self.shared {
+            db.record(x, v);
+        }
         self.memo
             .write()
             .unwrap_or_else(|e| e.into_inner())
@@ -201,6 +248,37 @@ mod tests {
         assert_eq!(summary.counter_total("cache.hits"), Some(1));
         assert_eq!(summary.counter_total("cache.misses"), Some(1));
         assert_eq!(summary.counter_total("cache.entries"), Some(1));
+    }
+
+    #[test]
+    fn shared_tier_sits_between_memo_and_probe() {
+        let calls = Counter::new(0);
+        let obj = FnObjective::new("f", space(), |p| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            p[0] * 3.0
+        });
+        let shared = SharedPerfDb::new(space(), 1);
+        let p = Point::from(&[2.0][..]);
+        // one session probes fresh and records back to the shared tier
+        {
+            let first = CachedObjective::with_shared(&obj, &shared);
+            assert_eq!(first.eval(&p), 6.0);
+            assert_eq!((first.shared_hits(), first.misses()), (0, 1));
+        }
+        shared.flush();
+        // the next session is served without touching the objective
+        let second = CachedObjective::with_shared(&obj, &shared);
+        assert_eq!(second.eval(&p), 6.0); // shared hit, memoized
+        assert_eq!(second.eval(&p), 6.0); // memo hit
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            (second.hits(), second.shared_hits(), second.misses()),
+            (1, 1, 0)
+        );
+        let (tel, sink) = Telemetry::memory();
+        second.emit_telemetry(&tel);
+        let summary = harmony_telemetry::Summary::from_records(&sink.take());
+        assert_eq!(summary.counter_total("cache.shared_hits"), Some(1));
     }
 
     #[test]

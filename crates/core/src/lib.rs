@@ -43,7 +43,14 @@
 //!   when `P > n` (§5.2); under an injected
 //!   [`harmony_cluster::FaultPlan`] it reassigns missed slots, evicts
 //!   crashed clients, and advances optimizers on partial batches
-//!   ([`Optimizer::observe_partial`]).
+//!   ([`Optimizer::observe_partial`]). Sessions can attach a shared
+//!   cross-session [`harmony_surface::SharedPerfDb`]
+//!   ([`server::SharedSession`]) so concurrent sessions reuse each
+//!   other's measurements (cache-before-evaluate) and publish their
+//!   estimates back,
+//! * [`warm`] — warm-start seeding: a new session picks its simplex
+//!   center from neighbours' published estimates, smoothed by §6's
+//!   nearest-neighbour interpolation to damp lucky min-of-K outliers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +67,7 @@ pub mod sampling;
 pub mod server;
 pub mod sro;
 pub mod tuner;
+pub mod warm;
 
 pub use adaptive::{AdaptiveSampling, AdaptiveTuner, AdaptiveTunerConfig};
 pub use cache::CachedObjective;
@@ -69,7 +77,9 @@ pub use pro::{ProConfig, ProOptimizer};
 pub use restart::{restarting_pro, Restarting};
 pub use sampling::Estimator;
 pub use server::{
-    run_distributed, run_recoverable, run_resilient, run_session_traced, run_supervised,
-    RecoveryConfig, ServerConfig, ServerError, SupervisedOutcome, SupervisorReport,
+    run_distributed, run_recoverable, run_resilient, run_resilient_shared, run_session_traced,
+    run_supervised, run_supervised_shared, RecoveryConfig, ServerConfig, ServerError,
+    SharedSession, SupervisedOutcome, SupervisorReport,
 };
 pub use tuner::{FaultStats, OnlineTuner, TunerConfig, TuningOutcome};
+pub use warm::warm_start_center;

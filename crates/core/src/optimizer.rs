@@ -122,7 +122,7 @@ impl HistoryInterpolator {
     /// Records one measured estimate (later measurements of the same
     /// point replace earlier ones).
     pub fn record(&mut self, point: &Point, value: f64) {
-        self.db.insert(point.clone(), value);
+        self.db.insert_replacing(point.clone(), value);
     }
 
     /// Interpolated estimate for `point`, or `None` while the history

@@ -55,13 +55,13 @@ use crate::sampling::Estimator;
 use crate::tuner::{FaultStats, TuningOutcome};
 use harmony_cluster::fault::{Delivery, FaultPlan};
 use harmony_cluster::TuningTrace;
-use harmony_params::Point;
+use harmony_params::{ParamSpace, Point};
 use harmony_recovery::{
     BatchRecord, Checkpoint, ExploitKind, ExploitRecord, HeaderRecord, HealthTracker, RoundDelta,
     SessionJournal, StateReader, StateWriter, SupervisorConfig, TransitionKind, WalRecord,
     WAL_VERSION,
 };
-use harmony_surface::Objective;
+use harmony_surface::{Objective, SharedPerfDb};
 use harmony_telemetry::{event, Field, Telemetry};
 use harmony_variability::counting::CountingRng;
 use harmony_variability::noise::NoiseModel;
@@ -477,6 +477,172 @@ where
     )
 }
 
+/// The cross-session shared-database handles a session may attach (see
+/// [`harmony_surface::SharedPerfDb`]). Both tiers are optional and
+/// independent:
+///
+/// * `costs` — deterministic *true-cost* values. Clients and the
+///   server's recommendation probes consult it before evaluating the
+///   objective (cache-before-evaluate) and record fresh probes back.
+///   Because the objective is deterministic, substitution is exact and
+///   tuning outcomes are unchanged bit for bit.
+/// * `estimates` — the *noisy* min-of-K batch estimates the optimizer
+///   observed, published back so new sessions can warm-start from
+///   neighbours' measurements ([`crate::warm`]). Estimates are never
+///   substituted for evaluations — they only seed starting points.
+///
+/// Records stay pending (invisible to readers) until someone calls
+/// [`SharedPerfDb::flush`]. Sessions deliberately do **not** flush:
+/// multi-session drivers flush at wave barriers so every session in a
+/// wave sees the same snapshot regardless of scheduling, which is what
+/// keeps aggregate hit counts deterministic.
+#[derive(Clone, Copy, Default)]
+pub struct SharedSession<'a> {
+    /// Shared deterministic true-cost tier.
+    pub costs: Option<&'a SharedPerfDb>,
+    /// Shared noisy-estimate tier (warm-start seeds).
+    pub estimates: Option<&'a SharedPerfDb>,
+}
+
+impl<'a> SharedSession<'a> {
+    /// No shared tiers: the session behaves exactly like the legacy
+    /// entry points.
+    pub fn none() -> Self {
+        SharedSession::default()
+    }
+
+    /// Attaches both tiers.
+    pub fn new(costs: &'a SharedPerfDb, estimates: &'a SharedPerfDb) -> Self {
+        SharedSession {
+            costs: Some(costs),
+            estimates: Some(estimates),
+        }
+    }
+}
+
+/// Wraps an optimizer so every estimate it observes is also recorded
+/// (pending) into the shared estimate tier, paired with the proposal
+/// that produced it. Pure pass-through otherwise — checkpointing,
+/// convergence, and recommendations all delegate.
+struct PublishingOptimizer<'a> {
+    inner: &'a mut dyn Optimizer,
+    estimates: &'a SharedPerfDb,
+    last: Vec<Point>,
+}
+
+impl Optimizer for PublishingOptimizer<'_> {
+    fn space(&self) -> &ParamSpace {
+        self.inner.space()
+    }
+
+    fn propose(&mut self) -> Vec<Point> {
+        let batch = self.inner.propose();
+        self.last = batch.clone();
+        batch
+    }
+
+    fn observe(&mut self, values: &[f64]) {
+        for (p, v) in self.last.iter().zip(values) {
+            self.estimates.record(p, *v);
+        }
+        self.inner.observe(values);
+    }
+
+    fn observe_partial(&mut self, values: &[Option<f64>]) {
+        for (p, v) in self.last.iter().zip(values) {
+            if let Some(v) = v {
+                self.estimates.record(p, *v);
+            }
+        }
+        self.inner.observe_partial(values);
+    }
+
+    fn best(&self) -> Option<(Point, f64)> {
+        self.inner.best()
+    }
+
+    fn recommendation(&self) -> Option<(Point, f64)> {
+        self.inner.recommendation()
+    }
+
+    fn converged(&self) -> bool {
+        self.inner.converged()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn as_checkpoint(&self) -> Option<&dyn Checkpoint> {
+        self.inner.as_checkpoint()
+    }
+
+    fn as_checkpoint_mut(&mut self) -> Option<&mut dyn Checkpoint> {
+        self.inner.as_checkpoint_mut()
+    }
+}
+
+/// [`run_resilient`] with cross-session shared database tiers attached:
+/// evaluations consult `shared.costs` before probing the objective and
+/// record fresh probes back, and observed batch estimates are published
+/// (pending) into `shared.estimates`. The caller flushes the shared
+/// databases when the new measurements should become visible.
+pub fn run_resilient_shared<O, M>(
+    objective: &O,
+    noise: &M,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+    plan: &FaultPlan,
+    shared: SharedSession<'_>,
+) -> Result<TuningOutcome, ServerError>
+where
+    O: Objective + Sync + ?Sized,
+    M: NoiseModel + Sync + ?Sized,
+{
+    run_session_shared_traced(
+        objective,
+        noise,
+        optimizer,
+        cfg,
+        plan,
+        &Telemetry::disabled(),
+        None,
+        RecoveryConfig::default(),
+        None,
+        shared,
+    )
+    .map(|s| s.outcome)
+}
+
+/// [`run_supervised`] with cross-session shared database tiers attached
+/// (see [`run_resilient_shared`]).
+pub fn run_supervised_shared<O, M>(
+    objective: &O,
+    noise: &M,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+    plan: &FaultPlan,
+    supervisor: SupervisorConfig,
+    shared: SharedSession<'_>,
+) -> Result<SupervisedOutcome, ServerError>
+where
+    O: Objective + Sync + ?Sized,
+    M: NoiseModel + Sync + ?Sized,
+{
+    run_session_shared_traced(
+        objective,
+        noise,
+        optimizer,
+        cfg,
+        plan,
+        &Telemetry::disabled(),
+        None,
+        RecoveryConfig::default(),
+        Some(supervisor),
+        shared,
+    )
+}
+
 /// The master session entry point: [`run_resilient_traced`] plus
 /// optional journaled persistence/resume and optional supervision, in
 /// any combination. With both options off it reduces to the legacy
@@ -489,7 +655,7 @@ pub fn run_session_traced<O, M>(
     cfg: ServerConfig,
     plan: &FaultPlan,
     tel: &Telemetry,
-    mut journal: Option<&mut SessionJournal>,
+    journal: Option<&mut SessionJournal>,
     recovery: RecoveryConfig,
     supervisor: Option<SupervisorConfig>,
 ) -> Result<SupervisedOutcome, ServerError>
@@ -497,6 +663,52 @@ where
     O: Objective + Sync + ?Sized,
     M: NoiseModel + Sync + ?Sized,
 {
+    run_session_shared_traced(
+        objective,
+        noise,
+        optimizer,
+        cfg,
+        plan,
+        tel,
+        journal,
+        recovery,
+        supervisor,
+        SharedSession::none(),
+    )
+}
+
+/// [`run_session_traced`] with cross-session shared database tiers (see
+/// [`SharedSession`]). With both tiers `None` it *is*
+/// [`run_session_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_session_shared_traced<O, M>(
+    objective: &O,
+    noise: &M,
+    optimizer: &mut dyn Optimizer,
+    cfg: ServerConfig,
+    plan: &FaultPlan,
+    tel: &Telemetry,
+    mut journal: Option<&mut SessionJournal>,
+    recovery: RecoveryConfig,
+    supervisor: Option<SupervisorConfig>,
+    shared: SharedSession<'_>,
+) -> Result<SupervisedOutcome, ServerError>
+where
+    O: Objective + Sync + ?Sized,
+    M: NoiseModel + Sync + ?Sized,
+{
+    let mut publishing;
+    let optimizer: &mut dyn Optimizer = match shared.estimates {
+        Some(estimates) => {
+            publishing = PublishingOptimizer {
+                inner: optimizer,
+                estimates,
+                last: Vec::new(),
+            };
+            &mut publishing
+        }
+        None => optimizer,
+    };
     let cfg = cfg.validated()?;
     let k = cfg.estimator.samples();
     let resume = match journal.as_deref() {
@@ -528,9 +740,18 @@ where
             client_txs.push(task_tx);
             let event_tx = event_tx.clone();
             let start = resume.starts[c];
+            let shared_costs = shared.costs;
             scope.spawn(move || {
                 client_loop(
-                    c, task_rx, event_tx, objective, noise, cfg.seed, plan, start,
+                    c,
+                    task_rx,
+                    event_tx,
+                    objective,
+                    noise,
+                    cfg.seed,
+                    plan,
+                    start,
+                    shared_costs,
                 )
             });
         }
@@ -548,6 +769,7 @@ where
                 snapshot_every: recovery.snapshot_every,
                 supervisor,
                 resume,
+                shared_costs: shared.costs,
             },
         );
         // tolerant shutdown: crashed clients have already dropped their
@@ -611,6 +833,7 @@ fn client_loop<O, M>(
     seed: u64,
     plan: &FaultPlan,
     start: (usize, u64),
+    shared_costs: Option<&SharedPerfDb>,
 ) where
     O: Objective + ?Sized,
     M: NoiseModel + ?Sized,
@@ -632,7 +855,17 @@ fn client_loop<O, M>(
                     let _ = events.send(Event::Died { client: id, assign });
                     return;
                 }
-                let cost = objective.eval(&point);
+                // cache-before-evaluate: a flushed cross-session entry
+                // is the exact deterministic cost, so substituting it
+                // skips the probe without changing any outcome
+                let cost = match shared_costs {
+                    Some(db) => db.query(&point).unwrap_or_else(|| {
+                        let c = objective.eval(&point);
+                        db.record(&point, c);
+                        c
+                    }),
+                    None => objective.eval(&point),
+                };
                 let observed = noise.observe(cost, &mut rng);
                 serial += 1;
                 let draws = rng.draws();
@@ -690,12 +923,13 @@ fn client_loop<O, M>(
     }
 }
 
-/// Options threaded into [`serve`] by [`run_session_traced`].
+/// Options threaded into [`serve`] by [`run_session_shared_traced`].
 struct SessionExtras<'a> {
     journal: Option<&'a mut SessionJournal>,
     snapshot_every: u64,
     supervisor: Option<SupervisorConfig>,
     resume: ResumePlan,
+    shared_costs: Option<&'a SharedPerfDb>,
 }
 
 /// What a journal scan found: the snapshot to restore (if any), the WAL
@@ -1166,11 +1400,16 @@ where
         snapshot_every,
         supervisor,
         resume,
+        shared_costs,
     } = extras;
     // objectives are deterministic (noise is applied per-client), so
     // memoizing the recommendation probes is exact — the quality curve
-    // and best_true_cost revisit the same points heavily
-    let mut objective = CachedObjective::new(objective);
+    // and best_true_cost revisit the same points heavily. When a shared
+    // cost tier is attached it sits between the memo and the probe.
+    let mut objective = match shared_costs {
+        Some(db) => CachedObjective::with_shared(objective, db),
+        None => CachedObjective::new(objective),
+    };
     let mut trace = TuningTrace::new();
     let mut evaluations = 0usize;
     let mut quality_curve: Vec<(usize, f64)> = Vec::new();
@@ -1869,6 +2108,50 @@ mod tests {
             run_distributed(&obj, &noise, &mut opt, cfg(Estimator::MinOfK(2), 60, 4)).total_time()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shared_session_outcome_is_bit_identical() {
+        // the shared cost tier substitutes deterministic true costs, so
+        // attaching it — cold or fully warm — must not change a single
+        // bit of the outcome, only how many probes reached the objective
+        let obj = bowl();
+        let noise = Noise::paper_default(0.2);
+        let config = || cfg(Estimator::MinOfK(2), 60, 4);
+        let baseline = {
+            let mut opt = ProOptimizer::with_defaults(space());
+            run_distributed(&obj, &noise, &mut opt, config())
+        };
+        let costs = SharedPerfDb::new(space(), 4);
+        let estimates = SharedPerfDb::new(space(), 4);
+        let shared_run = || {
+            let mut opt = ProOptimizer::with_defaults(space());
+            run_resilient_shared(
+                &obj,
+                &noise,
+                &mut opt,
+                config(),
+                &FaultPlan::none(),
+                SharedSession::new(&costs, &estimates),
+            )
+            .unwrap()
+        };
+        let cold = shared_run();
+        assert_eq!(cold, baseline);
+        // make the first session's probes visible, then rerun warm
+        costs.flush();
+        estimates.flush();
+        assert!(!costs.is_empty());
+        assert!(!estimates.is_empty());
+        let hits_before = costs.stats().hits;
+        let warm = shared_run();
+        assert_eq!(warm, baseline);
+        assert!(
+            costs.stats().hits > hits_before,
+            "warm session never hit the shared tier"
+        );
+        // published estimates give later sessions a warm-start center
+        assert!(crate::warm::warm_start_center(&estimates).is_some());
     }
 
     #[test]

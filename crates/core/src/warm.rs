@@ -1,0 +1,120 @@
+//! Warm-starting new tuning sessions from neighbours' measurements.
+//!
+//! A session joining an ongoing multi-session tuning effort should not
+//! start its simplex at the default center when dozens of neighbours
+//! have already published estimates into the shared tier
+//! ([`harmony_surface::SharedPerfDb`]). [`warm_start_center`] turns
+//! those published estimates into a starting point, and the caller
+//! recenters its optimizer there — e.g.
+//! [`ProOptimizer::recenter`](crate::pro::ProOptimizer::recenter) —
+//! before the session starts.
+//!
+//! The raw minimum of the published estimates is an *extreme-value
+//! biased* record: under min-of-K estimation the luckiest draw ever
+//! seen wins, not the best configuration. So instead of trusting it,
+//! each published point is scored by its own estimate averaged with the
+//! inverse-distance interpolation (§6's mechanism for unmeasured
+//! points) one lattice step away in every direction — a lucky outlier
+//! surrounded by expensive neighbourhoods scores poorly, while a point
+//! inside a genuinely cheap basin keeps its low score. The center is
+//! the published point with the lowest smoothed score.
+//!
+//! The selection is a pure function of the published snapshot (entries
+//! scanned in canonical key order, dimensions ascending, below before
+//! above, strict improvement required), so every session warm-starting
+//! from the same flushed state picks the same center regardless of
+//! scheduling.
+
+use harmony_params::Point;
+use harmony_surface::SharedPerfDb;
+
+/// Relative step used for continuous parameters when probing a
+/// neighbour of a published point (lattice parameters step by their own
+/// stride instead).
+const WARM_EPS: f64 = 0.05;
+
+/// The starting center for a new session: the published point with the
+/// lowest neighbourhood-smoothed estimate (see the module docs), or
+/// `None` while nothing is published (cold start — the caller keeps its
+/// default initial simplex). The returned point is always admissible:
+/// it is one of the published entries.
+pub fn warm_start_center(estimates: &SharedPerfDb) -> Option<Point> {
+    let entries = estimates.entries_canonical();
+    let space = estimates.space().clone();
+    let mut best: Option<(f64, Point)> = None;
+    for (p, v) in &entries {
+        let mut sum = *v;
+        let mut n = 1.0;
+        for (d, def) in space.params().iter().enumerate() {
+            let (below, above) = def.neighbors(p[d], WARM_EPS);
+            for coord in [below, above].into_iter().flatten() {
+                let mut q = p.clone();
+                q.as_mut_slice()[d] = coord;
+                if !space.is_admissible(&q) {
+                    continue;
+                }
+                if let Some(iv) = estimates.interpolate(&q) {
+                    sum += iv;
+                    n += 1.0;
+                }
+            }
+        }
+        let score = sum / n;
+        if best.as_ref().is_none_or(|(bs, _)| score < *bs) {
+            best = Some((score, p.clone()));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_params::{ParamDef, ParamSpace};
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::integer("a", 0, 10, 1).unwrap(),
+            ParamDef::integer("b", 0, 10, 1).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_tier_gives_no_center() {
+        let db = SharedPerfDb::new(space(), 2);
+        assert_eq!(warm_start_center(&db), None);
+    }
+
+    #[test]
+    fn single_entry_is_the_center() {
+        let db = SharedPerfDb::new(space(), 1);
+        db.record(&Point::from(&[4.0, 7.0][..]), 3.0);
+        db.flush();
+        assert_eq!(warm_start_center(&db), Some(Point::from(&[4.0, 7.0][..])));
+    }
+
+    #[test]
+    fn lucky_outlier_loses_to_a_cheap_basin() {
+        let db = SharedPerfDb::new(space(), 1);
+        // a lucky min-of-K draw at (2,2) surrounded by expensive
+        // measurements...
+        db.record(&Point::from(&[2.0, 2.0][..]), 1.0);
+        for (x, y) in [(1.0, 2.0), (3.0, 2.0), (2.0, 1.0), (2.0, 3.0)] {
+            db.record(&Point::from(&[x, y][..]), 50.0);
+        }
+        // ...versus a consistently cheap basin around (8,8)
+        db.record(&Point::from(&[8.0, 8.0][..]), 2.0);
+        for (x, y) in [(7.0, 8.0), (9.0, 8.0), (8.0, 7.0), (8.0, 9.0)] {
+            db.record(&Point::from(&[x, y][..]), 2.5);
+        }
+        db.flush();
+        let center = warm_start_center(&db).unwrap();
+        assert!(
+            center[0] >= 7.0 && center[1] >= 7.0,
+            "picked the outlier: {center:?}"
+        );
+        // deterministic: repeated calls agree exactly
+        assert_eq!(warm_start_center(&db), Some(center));
+    }
+}

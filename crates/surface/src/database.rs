@@ -96,8 +96,44 @@ impl Clone for PerfDatabase {
     }
 }
 
-fn key_of(p: &Point) -> Vec<u64> {
+/// The exact-match lattice key: per-coordinate IEEE-754 bit patterns.
+/// Shared with the sharded database so both agree on point identity.
+pub(crate) fn key_of(p: &Point) -> Vec<u64> {
     p.iter().map(f64::to_bits).collect()
+}
+
+/// Inverse coordinate scales (1/width per parameter) for the
+/// width-normalised distance frame — shared with the sharded database so
+/// both compute bit-identical distances.
+pub(crate) fn inv_scales(space: &ParamSpace) -> Vec<f64> {
+    space
+        .params()
+        .iter()
+        .map(|p| {
+            let w = p.width();
+            if w > 0.0 {
+                1.0 / w
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// The inverse-distance weighting kernel over `(distance², value)` pairs
+/// in ascending selection order. Both [`PerfDatabase`] paths and the
+/// sharded database accumulate through this exact loop, so their sums
+/// are bit-identical whenever they select the same neighbours in the
+/// same order.
+pub(crate) fn idw_average(pairs: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let mut wsum = 0.0;
+    let mut vsum = 0.0;
+    for (d2, v) in pairs {
+        let w = 1.0 / d2.sqrt().max(1e-12);
+        wsum += w;
+        vsum += w * v;
+    }
+    vsum / wsum
 }
 
 /// Reads a lock, recovering from poisoning (the data is a plain memo and
@@ -139,18 +175,7 @@ impl PerfDatabase {
     /// `k_neighbors` neighbours.
     pub fn new(space: ParamSpace, k_neighbors: usize) -> Self {
         assert!(k_neighbors >= 1, "need at least one neighbour");
-        let inv_scale = space
-            .params()
-            .iter()
-            .map(|p| {
-                let w = p.width();
-                if w > 0.0 {
-                    1.0 / w
-                } else {
-                    1.0
-                }
-            })
-            .collect();
+        let inv_scale = inv_scales(&space);
         let origin = space.params().iter().map(|p| p.lower()).collect();
         PerfDatabase {
             space,
@@ -191,10 +216,26 @@ impl PerfDatabase {
         }
     }
 
-    /// Records one measurement (replacing any previous value at the same
-    /// point). Amortised O(1): replaces via the key index, appends to the
-    /// grid cell, and rebuilds the grid only on 4× growth.
+    /// Records one measurement. A point measured before keeps the
+    /// *better* (lower) of the two observations — re-measuring a lattice
+    /// point can only improve its entry, matching the min-of-visits
+    /// reduction the paper's resilient estimators already apply.
+    /// Amortised O(1): resolves duplicates via the key index, appends to
+    /// the grid cell, and rebuilds the grid only on 4× growth.
     pub fn insert(&mut self, point: Point, value: f64) {
+        self.upsert(point, value, false);
+    }
+
+    /// Records one measurement with *newest-wins* semantics: any
+    /// previous value at the same point is replaced unconditionally.
+    /// Rolling measured histories use this (a later estimate of the same
+    /// configuration supersedes the earlier one); cross-run aggregation
+    /// should prefer [`Self::insert`].
+    pub fn insert_replacing(&mut self, point: Point, value: f64) {
+        self.upsert(point, value, true);
+    }
+
+    fn upsert(&mut self, point: Point, value: f64, replace: bool) {
         assert!(
             self.space.is_admissible(&point),
             "database point must be admissible: {point:?}"
@@ -202,6 +243,10 @@ impl PerfDatabase {
         assert!(value.is_finite(), "database value must be finite");
         let k = key_of(&point);
         if let Some(&i) = self.index_of.get(&k) {
+            if !replace && value >= self.entries[i].1 {
+                // keep-min no-op: stored state unchanged, memo stays valid
+                return;
+            }
             self.entries[i].1 = value;
         } else {
             let i = self.entries.len();
@@ -276,6 +321,14 @@ impl PerfDatabase {
         self.index_of.contains_key(&key_of(point))
     }
 
+    /// The stored value at an exact entry, if present (no
+    /// interpolation).
+    pub fn get(&self, point: &Point) -> Option<f64> {
+        self.index_of
+            .get(&key_of(point))
+            .map(|&i| self.entries[i].1)
+    }
+
     /// Number of memoised interpolation results currently held.
     pub fn memo_len(&self) -> usize {
         read_lock(&self.memo).len()
@@ -310,14 +363,7 @@ impl PerfDatabase {
     /// shared verbatim by the indexed and scan paths so both produce
     /// bit-identical sums.
     fn weighted_average(&self, nearest: &[(f64, usize)]) -> f64 {
-        let mut wsum = 0.0;
-        let mut vsum = 0.0;
-        for &(d2, idx) in nearest {
-            let w = 1.0 / d2.sqrt().max(1e-12);
-            wsum += w;
-            vsum += w * self.entries[idx].1;
-        }
-        vsum / wsum
+        idw_average(nearest.iter().map(|&(d2, idx)| (d2, self.entries[idx].1)))
     }
 
     /// Brute-force reference interpolation: linear scan over all entries.
@@ -550,11 +596,60 @@ mod tests {
     }
 
     #[test]
-    fn insert_replaces() {
+    fn insert_keeps_the_better_observation() {
         let mut db = PerfDatabase::new(space(), 1);
         let p = Point::from(&[1.0, 1.0][..]);
-        db.insert(p.clone(), 1.0);
         db.insert(p.clone(), 2.0);
+        db.insert(p.clone(), 1.0); // better: kept
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.interpolate(&p), 1.0);
+        db.insert(p.clone(), 3.0); // worse: discarded
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.interpolate(&p), 1.0);
+    }
+
+    #[test]
+    fn get_returns_exact_entries_only() {
+        let mut db = PerfDatabase::new(space(), 1);
+        let p = Point::from(&[1.0, 1.0][..]);
+        db.insert(p.clone(), 2.5);
+        assert_eq!(db.get(&p), Some(2.5));
+        assert_eq!(db.get(&Point::from(&[0.0, 0.0][..])), None);
+    }
+
+    #[test]
+    fn insert_dedup_leaves_lookups_unchanged() {
+        // re-inserting every point with worse values must not perturb
+        // any lookup — exact hits or interpolations — bit for bit
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut db = PerfDatabase::from_objective(&plane(), 0.5, 3, &mut rng);
+        let before: Vec<u64> = space()
+            .lattice()
+            .map(|p| db.interpolate(&p).to_bits())
+            .collect();
+        let dup: Vec<(Point, f64)> = space()
+            .lattice()
+            .filter(|p| db.contains(p))
+            .map(|p| (p.clone(), db.interpolate(&p) + 5.0))
+            .collect();
+        let len = db.len();
+        for (p, worse) in dup {
+            db.insert(p, worse);
+        }
+        assert_eq!(db.len(), len, "duplicates must not grow the database");
+        let after: Vec<u64> = space()
+            .lattice()
+            .map(|p| db.interpolate(&p).to_bits())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn insert_replacing_overwrites() {
+        let mut db = PerfDatabase::new(space(), 1);
+        let p = Point::from(&[1.0, 1.0][..]);
+        db.insert_replacing(p.clone(), 1.0);
+        db.insert_replacing(p.clone(), 2.0);
         assert_eq!(db.len(), 1);
         assert_eq!(db.interpolate(&p), 2.0);
     }

@@ -20,18 +20,27 @@
 //!   (the canonical SPMD decomposition trade-off),
 //! * [`testfns`] — standard optimization test functions (sphere,
 //!   Rosenbrock, Rastrigin, Ackley, Griewank) on boxes or lattices, for
-//!   unit tests and algorithm ablations.
+//!   unit tests and algorithm ablations,
+//! * [`sharded`] — a concurrent, sharded cross-session performance
+//!   database with lock-free snapshot reads, deterministic write
+//!   combining, and results bit-identical to the single-owner
+//!   [`PerfDatabase`].
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one vetted lock-free module in
+// `sharded::swap` can locally `allow` its AtomicPtr snapshot cell;
+// everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod database;
 pub mod gs2;
 pub mod kernels;
 pub mod objective;
+pub mod sharded;
 pub mod testfns;
 
 pub use database::PerfDatabase;
 pub use gs2::Gs2Model;
 pub use kernels::{StencilHalo, TiledMatMul};
 pub use objective::{best_on_lattice, Objective};
+pub use sharded::{SharedDbStats, SharedPerfDb};

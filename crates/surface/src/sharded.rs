@@ -1,0 +1,702 @@
+//! A concurrent, sharded cross-session performance database.
+//!
+//! The single-owner [`PerfDatabase`](crate::PerfDatabase) serves one
+//! tuning session. When many sessions tune the *same* application
+//! concurrently (the multi-tenant setting motivated by kernel_tuner's
+//! shared tuning cache and production variability traces), most of
+//! their probes land on lattice points some neighbour has already
+//! measured — so the highest-leverage optimisation is a shared
+//! cache-before-evaluate tier that every session consults before
+//! paying for a fresh probe.
+//!
+//! [`SharedPerfDb`] is that tier:
+//!
+//! * **Sharded** — entries hash (by their exact lattice key) into a
+//!   fixed array of [`SHARD_COUNT`] shards, so unrelated writers rarely
+//!   touch the same shard.
+//! * **Lock-free reads** — each shard holds an *immutable snapshot*
+//!   behind an atomically swapped pointer (the private `swap::Swap`, an
+//!   epoch-counted `AtomicPtr` cell). [`SharedPerfDb::query`] and
+//!   [`SharedPerfDb::interpolate`] never take a lock: they pin the
+//!   current snapshot with a reader count, binary-search it, and
+//!   unpin.
+//! * **Write-combining** — [`SharedPerfDb::record`] appends to a small
+//!   per-shard pending buffer (the only mutex on the write path);
+//!   [`SharedPerfDb::flush`] drains each buffer, merges keep-min into
+//!   a fresh sorted snapshot, and publishes it atomically.
+//! * **Deterministic** — the merge is keep-min (commutative and
+//!   associative) and snapshots are sorted ascending by lattice key,
+//!   so the post-flush state is independent of thread interleaving,
+//!   and [`SharedPerfDb::interpolate`] selects neighbours by
+//!   `(distance², key)` with the same inverse-distance kernel as
+//!   `PerfDatabase` — results are *bit-identical* to a single-owner
+//!   database built from the same measurements (pinned by lockstep
+//!   property tests).
+//!
+//! Readers observe the snapshot published by the most recent flush;
+//! pending records are invisible until flushed. Drivers flush at wave
+//! barriers, which is what keeps multi-session experiments
+//! deterministic: within a wave every session sees the same snapshot
+//! no matter how its threads interleave.
+
+use crate::database::{idw_average, inv_scales, key_of};
+use harmony_params::{ParamSpace, Point};
+use harmony_recovery::{Checkpoint, CodecError, StateReader, StateWriter};
+use harmony_stats::splitmix::mix64;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of shards; a power of two comfortably above typical writer
+/// counts so concurrent sessions rarely contend on one pending buffer.
+pub const SHARD_COUNT: usize = 16;
+
+/// The vetted lock-free cell: an atomically swapped boxed snapshot with
+/// epoch-counted readers. This is the only unsafe code in the crate.
+mod swap {
+    #![allow(unsafe_code)]
+
+    use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Decrements the reader count even if the read closure panics, so
+    /// retired snapshots can still be reclaimed afterwards.
+    struct ReadGuard<'a>(&'a AtomicUsize);
+
+    impl Drop for ReadGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// An atomically swappable immutable value with lock-free reads.
+    ///
+    /// Readers pin the current value by incrementing `readers` before
+    /// loading the pointer; writers swap in a fresh allocation and
+    /// retire the old one, freeing retired allocations only at a moment
+    /// when `readers == 0` is observed *after* the swap. Under the
+    /// `SeqCst` total order that observation proves no reader still
+    /// holds a retired pointer: a reader that loaded the old pointer
+    /// incremented `readers` first (so the writer would have seen a
+    /// non-zero count), and a reader incrementing after the writer's
+    /// check loads the new pointer.
+    pub(super) struct Swap<T> {
+        ptr: AtomicPtr<T>,
+        readers: AtomicUsize,
+        retired: Mutex<Vec<*mut T>>,
+    }
+
+    // SAFETY: the raw pointers always come from `Box<T>` and are
+    // handed out only as `&T`; with `T: Send + Sync` the cell is safe
+    // to share and move across threads.
+    unsafe impl<T: Send + Sync> Send for Swap<T> {}
+    unsafe impl<T: Send + Sync> Sync for Swap<T> {}
+
+    impl<T> Swap<T> {
+        pub fn new(value: T) -> Self {
+            Swap {
+                ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+                readers: AtomicUsize::new(0),
+                retired: Mutex::new(Vec::new()),
+            }
+        }
+
+        /// Runs `f` against the current value without taking a lock.
+        pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+            self.readers.fetch_add(1, Ordering::SeqCst);
+            let _guard = ReadGuard(&self.readers);
+            let p = self.ptr.load(Ordering::SeqCst);
+            // SAFETY: `p` was published by `new` or `publish` and is
+            // freed only after the writer observes `readers == 0`
+            // strictly after unlinking it; our increment above precedes
+            // any such observation in the SeqCst total order, so the
+            // allocation outlives this borrow.
+            f(unsafe { &*p })
+        }
+
+        /// Atomically replaces the value; superseded allocations are
+        /// reclaimed at the next quiescent moment (no active readers).
+        pub fn publish(&self, value: T) {
+            let fresh = Box::into_raw(Box::new(value));
+            let old = self.ptr.swap(fresh, Ordering::SeqCst);
+            let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+            retired.push(old);
+            if self.readers.load(Ordering::SeqCst) == 0 {
+                for p in retired.drain(..) {
+                    // SAFETY: `p` was unlinked before the zero reader
+                    // count was observed, so no reader can still hold
+                    // it (see the type-level argument above), and each
+                    // retired pointer is freed exactly once.
+                    drop(unsafe { Box::from_raw(p) });
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Swap<T> {
+        fn drop(&mut self) {
+            // `&mut self`: no readers or writers can exist.
+            // SAFETY: the live pointer and every retired pointer are
+            // distinct `Box` allocations owned by this cell.
+            drop(unsafe { Box::from_raw(*self.ptr.get_mut()) });
+            let retired = self.retired.get_mut().unwrap_or_else(|e| e.into_inner());
+            for p in retired.drain(..) {
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+/// One shard's published state: entries sorted ascending by lattice
+/// key, so exact lookups binary-search and canonical enumeration is a
+/// merge.
+type ShardSnap = Vec<(Vec<u64>, Point, f64)>;
+
+/// One shard: an immutable published snapshot plus a mutex-guarded
+/// pending buffer of unflushed records, with operation counters.
+struct Shard {
+    snap: swap::Swap<ShardSnap>,
+    pending: Mutex<Vec<(Point, f64)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    records: AtomicU64,
+    publishes: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            snap: swap::Swap::new(Vec::new()),
+            pending: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Operation counters for a [`SharedPerfDb`] (or one of its shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharedDbStats {
+    /// Queries answered from a published snapshot.
+    pub hits: u64,
+    /// Queries that found no published entry.
+    pub misses: u64,
+    /// Measurements appended to pending buffers.
+    pub records: u64,
+    /// Snapshot publications (flushes that had work to merge).
+    pub publishes: u64,
+    /// `record` calls that found the pending buffer momentarily locked
+    /// by another writer.
+    pub contended: u64,
+    /// Entries currently published.
+    pub entries: u64,
+    /// Records currently pending (invisible until the next flush).
+    pub pending: u64,
+}
+
+impl SharedDbStats {
+    /// Fraction of queries served from the shared tier, in `[0, 1]`
+    /// (zero when nothing was queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent, sharded cross-session performance database with
+/// lock-free snapshot reads and deterministic write-combining.
+///
+/// See the [module docs](self) for the design. The expected usage
+/// pattern is *cache-before-evaluate*: sessions call
+/// [`query`](Self::query) before paying for a measurement,
+/// [`record`](Self::record) afterwards, and a driver calls
+/// [`flush`](Self::flush) at wave barriers to make new measurements
+/// visible to everyone.
+///
+/// # Example
+///
+/// ```
+/// use harmony_params::{ParamDef, ParamSpace, Point};
+/// use harmony_surface::SharedPerfDb;
+///
+/// let space = ParamSpace::new(vec![ParamDef::integer("n", 0, 10, 1).unwrap()]).unwrap();
+/// let db = SharedPerfDb::new(space, 2);
+/// let p = Point::from(&[4.0][..]);
+/// assert_eq!(db.query(&p), None);      // cold: caller must measure
+/// db.record(&p, 12.5);
+/// assert_eq!(db.query(&p), None);      // pending, not yet visible
+/// db.flush();
+/// assert_eq!(db.query(&p), Some(12.5));
+/// ```
+pub struct SharedPerfDb {
+    space: ParamSpace,
+    /// Number of neighbours blended by [`Self::interpolate`].
+    pub k_neighbors: usize,
+    inv_scale: Vec<f64>,
+    shards: Vec<Shard>,
+}
+
+impl std::fmt::Debug for SharedPerfDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPerfDb")
+            .field("k_neighbors", &self.k_neighbors)
+            .field("shards", &SHARD_COUNT)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// The shard a lattice key hashes to: a splitmix fold over the key's
+/// bit-pattern words. Purely a function of the key, so placement is
+/// deterministic across runs and thread interleavings.
+fn shard_of(key: &[u64]) -> usize {
+    shard_of_words(key.iter().copied())
+}
+
+/// [`shard_of`] over a word stream — lets the hot read path route
+/// without materialising the key vector first.
+fn shard_of_words(words: impl Iterator<Item = u64>) -> usize {
+    let mut h = 0u64;
+    for w in words {
+        h = mix64(h ^ mix64(w));
+    }
+    (h % SHARD_COUNT as u64) as usize
+}
+
+impl SharedPerfDb {
+    /// An empty shared database over `space`, interpolating with
+    /// `k_neighbors` neighbours.
+    pub fn new(space: ParamSpace, k_neighbors: usize) -> Self {
+        assert!(k_neighbors >= 1, "need at least one neighbour");
+        let inv_scale = inv_scales(&space);
+        SharedPerfDb {
+            space,
+            k_neighbors,
+            inv_scale,
+            shards: (0..SHARD_COUNT).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// The parameter space the database is defined over.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// Looks up the published value at exactly `point`, lock-free.
+    /// `None` means no flushed measurement exists (pending records are
+    /// invisible); the caller should measure and [`record`](Self::record).
+    pub fn query(&self, point: &Point) -> Option<f64> {
+        let shard = &self.shards[shard_of_words(point.iter().map(|x| x.to_bits()))];
+        let found = shard.snap.read(|snap| {
+            snap.binary_search_by(|e| {
+                // lexicographic key comparison straight against the
+                // point's bit patterns — no per-query allocation
+                e.0.iter().copied().cmp(point.iter().map(|x| x.to_bits()))
+            })
+            .ok()
+            .map(|i| snap[i].2)
+        });
+        match found {
+            Some(v) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Appends one measurement to its shard's pending buffer. Invisible
+    /// to readers until the next [`flush`](Self::flush). Duplicate
+    /// records of the same point merge keep-min at flush time, so the
+    /// eventual state is independent of arrival order.
+    pub fn record(&self, point: &Point, value: f64) {
+        assert!(
+            self.space.is_admissible(point),
+            "database point must be admissible: {point:?}"
+        );
+        assert!(value.is_finite(), "database value must be finite");
+        let key = key_of(point);
+        let shard = &self.shards[shard_of(&key)];
+        let mut pending = match shard.pending.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                shard.contended.fetch_add(1, Ordering::Relaxed);
+                shard.pending.lock().unwrap_or_else(|e| e.into_inner())
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+        };
+        pending.push((point.clone(), value));
+        shard.records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drains every shard's pending buffer into a fresh sorted snapshot
+    /// (keep-min on duplicate keys) and publishes it atomically.
+    ///
+    /// Each shard's pending lock is held across its merge-and-publish,
+    /// so concurrent flushes serialise per shard; because the keep-min
+    /// merge is commutative, the state after all flushes complete is
+    /// the same for every interleaving.
+    pub fn flush(&self) {
+        for shard in &self.shards {
+            let mut pending = shard.pending.lock().unwrap_or_else(|e| e.into_inner());
+            if pending.is_empty() {
+                continue;
+            }
+            let mut map: BTreeMap<Vec<u64>, (Point, f64)> = shard
+                .snap
+                .read(|snap| snap.clone())
+                .into_iter()
+                .map(|(k, p, v)| (k, (p, v)))
+                .collect();
+            for (p, v) in pending.drain(..) {
+                match map.entry(key_of(&p)) {
+                    Entry::Occupied(mut e) => {
+                        if v < e.get().1 {
+                            e.get_mut().1 = v;
+                        }
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert((p, v));
+                    }
+                }
+            }
+            let snap: ShardSnap = map.into_iter().map(|(k, (p, v))| (k, p, v)).collect();
+            shard.snap.publish(snap);
+            shard.publishes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn scaled_dist2(&self, a: &Point, b: &Point) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .zip(self.inv_scale.iter())
+            .map(|((x, y), s)| {
+                let d = (x - y) * s;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Inverse-distance-weighted estimate from published entries, or
+    /// `None` while nothing is published. Exact hits return the stored
+    /// value. Lock-free (reads each shard's pinned snapshot).
+    ///
+    /// Neighbours are the `k_neighbors` nearest by `(distance², key)`;
+    /// since a single-owner [`PerfDatabase`](crate::PerfDatabase)
+    /// built by inserting the canonical (key-ascending) entries ranks
+    /// by `(distance², insertion index)`, both select the same
+    /// neighbours in the same order and accumulate through the same
+    /// kernel — bit-identical results, pinned by lockstep tests.
+    pub fn interpolate(&self, point: &Point) -> Option<f64> {
+        if let Some(v) = self.query(point) {
+            return Some(v);
+        }
+        // (d2, key, value), ascending; capped at k
+        let mut nearest: Vec<(f64, Vec<u64>, f64)> = Vec::new();
+        let k = self.k_neighbors;
+        for shard in &self.shards {
+            shard.snap.read(|snap| {
+                for (ekey, ep, ev) in snap.iter() {
+                    let d2 = self.scaled_dist2(point, ep);
+                    if nearest.len() == k {
+                        let worst = &nearest[k - 1];
+                        if (d2, ekey.as_slice()) >= (worst.0, worst.1.as_slice()) {
+                            continue;
+                        }
+                    }
+                    let pos =
+                        nearest.partition_point(|e| (e.0, e.1.as_slice()) < (d2, ekey.as_slice()));
+                    nearest.insert(pos, (d2, ekey.clone(), *ev));
+                    nearest.truncate(k);
+                }
+            });
+        }
+        if nearest.is_empty() {
+            return None;
+        }
+        Some(idw_average(nearest.iter().map(|e| (e.0, e.2))))
+    }
+
+    /// Number of published entries across all shards (excludes pending
+    /// records).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.snap.read(|snap| snap.len()))
+            .sum()
+    }
+
+    /// True when nothing is published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records waiting for the next flush.
+    pub fn pending_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.pending.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// All published entries in canonical (lattice-key ascending)
+    /// order — the deterministic enumeration used by checkpoints and
+    /// by [`Self::to_database`].
+    pub fn entries_canonical(&self) -> Vec<(Point, f64)> {
+        let mut all: Vec<(Vec<u64>, Point, f64)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            shard.snap.read(|snap| all.extend(snap.iter().cloned()));
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all.into_iter().map(|(_, p, v)| (p, v)).collect()
+    }
+
+    /// The published entry with the lowest value (ties broken by
+    /// lattice key), or `None` while empty — the warm-start seed for a
+    /// session joining an ongoing tuning effort.
+    pub fn best_entry(&self) -> Option<(Point, f64)> {
+        let mut best: Option<(f64, Vec<u64>, Point)> = None;
+        for shard in &self.shards {
+            shard.snap.read(|snap| {
+                for (k, p, v) in snap.iter() {
+                    let candidate = (*v, k.as_slice());
+                    if best
+                        .as_ref()
+                        .is_none_or(|(bv, bk, _)| candidate < (*bv, bk.as_slice()))
+                    {
+                        best = Some((*v, k.clone(), p.clone()));
+                    }
+                }
+            });
+        }
+        best.map(|(v, _, p)| (p, v))
+    }
+
+    /// Materialises the published state as a single-owner
+    /// [`PerfDatabase`](crate::PerfDatabase) (canonical insertion
+    /// order), whose lookups are bit-identical to this database's.
+    pub fn to_database(&self) -> crate::PerfDatabase {
+        let mut db = crate::PerfDatabase::new(self.space.clone(), self.k_neighbors);
+        for (p, v) in self.entries_canonical() {
+            db.insert(p, v);
+        }
+        db
+    }
+
+    /// Aggregate operation counters plus current sizes.
+    pub fn stats(&self) -> SharedDbStats {
+        let mut total = SharedDbStats::default();
+        for s in self.per_shard() {
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.records += s.records;
+            total.publishes += s.publishes;
+            total.contended += s.contended;
+            total.entries += s.entries;
+            total.pending += s.pending;
+        }
+        total
+    }
+
+    /// Per-shard counters, indexed by shard number — the telemetry
+    /// surface for spotting skewed shards or contended writers.
+    pub fn per_shard(&self) -> Vec<SharedDbStats> {
+        self.shards
+            .iter()
+            .map(|s| SharedDbStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                records: s.records.load(Ordering::Relaxed),
+                publishes: s.publishes.load(Ordering::Relaxed),
+                contended: s.contended.load(Ordering::Relaxed),
+                entries: s.snap.read(|snap| snap.len()) as u64,
+                pending: s.pending.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
+            })
+            .collect()
+    }
+
+    /// Discards all published entries and pending records (counters are
+    /// kept; they are cumulative).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut pending = shard.pending.lock().unwrap_or_else(|e| e.into_inner());
+            pending.clear();
+            shard.snap.publish(Vec::new());
+        }
+    }
+}
+
+impl Checkpoint for SharedPerfDb {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.flush();
+        let entries = self.entries_canonical();
+        w.tag("shareddb");
+        w.usize(entries.len());
+        for (p, v) in &entries {
+            w.point(p);
+            w.f64(*v);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), CodecError> {
+        r.tag("shareddb")?;
+        let n = r.usize()?;
+        self.clear();
+        for _ in 0..n {
+            let p = r.point()?;
+            let v = r.f64()?;
+            if !self.space.is_admissible(&p) || !v.is_finite() {
+                return Err(CodecError::BadValue(format!("bad shared entry {p:?}")));
+            }
+            self.record(&p, v);
+        }
+        self.flush();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_params::ParamDef;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::integer("a", 0, 10, 1).unwrap(),
+            ParamDef::integer("b", 0, 10, 1).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn query_sees_only_flushed_records() {
+        let db = SharedPerfDb::new(space(), 2);
+        let p = Point::from(&[3.0, 4.0][..]);
+        assert_eq!(db.query(&p), None);
+        db.record(&p, 7.0);
+        assert_eq!(db.query(&p), None, "pending records are invisible");
+        assert_eq!(db.pending_len(), 1);
+        db.flush();
+        assert_eq!(db.query(&p), Some(7.0));
+        assert_eq!(db.pending_len(), 0);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn keep_min_merge_is_order_independent() {
+        let p = Point::from(&[5.0, 5.0][..]);
+        let orders: [&[f64]; 2] = [&[3.0, 1.0, 2.0], &[2.0, 1.0, 3.0]];
+        for vals in orders {
+            let db = SharedPerfDb::new(space(), 2);
+            for &v in vals {
+                db.record(&p, v);
+                db.flush();
+            }
+            assert_eq!(db.query(&p), Some(1.0));
+            assert_eq!(db.len(), 1);
+        }
+    }
+
+    #[test]
+    fn interpolate_matches_single_owner_database() {
+        let db = SharedPerfDb::new(space(), 3);
+        for (x, y, v) in [
+            (0.0, 0.0, 10.0),
+            (10.0, 0.0, 20.0),
+            (0.0, 10.0, 30.0),
+            (10.0, 10.0, 40.0),
+            (5.0, 6.0, 17.0),
+        ] {
+            db.record(&Point::from(&[x, y][..]), v);
+        }
+        db.flush();
+        let reference = db.to_database();
+        for p in space().lattice() {
+            let got = db.interpolate(&p).unwrap();
+            let want = reference.interpolate(&p);
+            assert_eq!(got.to_bits(), want.to_bits(), "at {p:?}");
+        }
+    }
+
+    #[test]
+    fn interpolate_on_empty_is_none() {
+        let db = SharedPerfDb::new(space(), 2);
+        assert!(db.is_empty());
+        assert_eq!(db.interpolate(&Point::from(&[1.0, 1.0][..])), None);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let db = SharedPerfDb::new(space(), 2);
+        let p = Point::from(&[2.0, 2.0][..]);
+        assert_eq!(db.query(&p), None);
+        db.record(&p, 1.0);
+        db.flush();
+        db.flush(); // empty: no publish
+        assert_eq!(db.query(&p), Some(1.0));
+        let s = db.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.records, 1);
+        assert_eq!(s.publishes, 1);
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.pending, 0);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(db.per_shard().len(), SHARD_COUNT);
+    }
+
+    #[test]
+    fn best_entry_breaks_ties_by_key() {
+        let db = SharedPerfDb::new(space(), 1);
+        let a = Point::from(&[1.0, 1.0][..]);
+        let b = Point::from(&[9.0, 9.0][..]);
+        db.record(&b, 5.0);
+        db.record(&a, 5.0);
+        db.flush();
+        assert_eq!(db.best_entry(), Some((a, 5.0)));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_canonically() {
+        let db = SharedPerfDb::new(space(), 2);
+        for (x, y, v) in [(1.0, 2.0, 5.0), (8.0, 3.0, 2.5), (4.0, 4.0, 9.0)] {
+            db.record(&Point::from(&[x, y][..]), v);
+        }
+        // save flushes pending records itself
+        let bytes = harmony_recovery::save_to_vec(&db);
+        let mut back = SharedPerfDb::new(space(), 2);
+        harmony_recovery::restore_from_slice(&mut back, &bytes).unwrap();
+        assert_eq!(back.entries_canonical(), db.entries_canonical());
+        assert_eq!(harmony_recovery::save_to_vec(&back), bytes);
+    }
+
+    #[test]
+    fn clear_empties_published_and_pending() {
+        let db = SharedPerfDb::new(space(), 1);
+        db.record(&Point::from(&[1.0, 1.0][..]), 1.0);
+        db.flush();
+        db.record(&Point::from(&[2.0, 2.0][..]), 2.0);
+        db.clear();
+        assert!(db.is_empty());
+        assert_eq!(db.pending_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "admissible")]
+    fn inadmissible_record_rejected() {
+        let db = SharedPerfDb::new(space(), 1);
+        db.record(&Point::from(&[0.5, 0.0][..]), 1.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Integration tests pinning [`SharedPerfDb`] to the single-owner
+//! [`PerfDatabase`] semantics: a lockstep property test over random
+//! operation sequences, a thread-interleaving equivalence check, and a
+//! reader/writer stress test of the lock-free snapshot path.
+
+use harmony_surface::SharedPerfDb;
+use proptest::prelude::*;
+
+use harmony_params::{ParamDef, ParamSpace, Point};
+use std::collections::BTreeMap;
+
+fn space() -> ParamSpace {
+    ParamSpace::new(vec![
+        ParamDef::integer("x", 0, 6, 1).unwrap(),
+        ParamDef::integer("y", 0, 6, 1).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn pt(x: i64, y: i64) -> Point {
+    Point::new(vec![x as f64, y as f64])
+}
+
+/// Reference model: keep-min map keyed by coordinates.
+fn model_insert(model: &mut BTreeMap<(u64, u64), f64>, p: &Point, v: f64) {
+    let k = (p[0].to_bits(), p[1].to_bits());
+    let e = model.entry(k).or_insert(v);
+    if v < *e {
+        *e = v;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random `record`/`flush` sequences leave the sharded database
+    /// observationally identical — bit for bit — to a single-owner
+    /// [`PerfDatabase`] built by canonical keep-min insertion: every
+    /// exact lookup and every interpolation agrees on the full lattice.
+    #[test]
+    fn lockstep_with_single_owner_database(
+        ops in prop::collection::vec(
+            (0i64..7, 0i64..7, 0.0f64..100.0, 0usize..4),
+            1..80,
+        ),
+    ) {
+        let shared = SharedPerfDb::new(space(), 4);
+        let mut model = BTreeMap::new();
+        for (x, y, v, flush_sel) in ops {
+            let p = pt(x, y);
+            shared.record(&p, v);
+            model_insert(&mut model, &p, v);
+            if flush_sel == 0 {
+                shared.flush();
+            }
+        }
+        shared.flush();
+
+        // entry sets agree exactly
+        prop_assert_eq!(shared.len(), model.len());
+        let single = shared.to_database();
+        prop_assert_eq!(single.len(), model.len());
+
+        for p in space().lattice() {
+            let k = (p[0].to_bits(), p[1].to_bits());
+            // exact lookups agree with the model and the single owner
+            let got = shared.query(&p);
+            prop_assert_eq!(got, model.get(&k).copied());
+            prop_assert_eq!(got, single.get(&p));
+            // interpolations are bit-identical to the single owner
+            let a = shared.interpolate(&p).map(f64::to_bits);
+            let b = single.try_interpolate(&p).map(f64::to_bits);
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// Records arriving from concurrent threads in arbitrary interleavings
+/// publish the same state as a serial pass: keep-min merging is
+/// commutative, so thread scheduling cannot leak into the snapshot.
+#[test]
+fn concurrent_interleavings_match_serial_application() {
+    let records: Vec<(Point, f64)> = (0..84)
+        .map(|i| (pt(i % 7, (i / 7) % 7), ((i * 37) % 23) as f64))
+        .collect();
+
+    let serial = SharedPerfDb::new(space(), 4);
+    for (p, v) in &records {
+        serial.record(p, *v);
+    }
+    serial.flush();
+
+    for round in 0..8u64 {
+        let shared = SharedPerfDb::new(space(), 4);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let shared = &shared;
+                let records = &records;
+                s.spawn(move || {
+                    for (i, (p, v)) in records.iter().enumerate() {
+                        if i % 4 == t {
+                            shared.record(p, *v);
+                        }
+                        // interleave flushes differently per round
+                        if (i as u64 + round) % 11 == t as u64 {
+                            shared.flush();
+                        }
+                    }
+                });
+            }
+        });
+        shared.flush();
+        assert_eq!(
+            shared.entries_canonical(),
+            serial.entries_canonical(),
+            "round {round}: interleaving leaked into the published state"
+        );
+    }
+}
+
+/// 8 readers hammer lock-free queries and interpolations while 2
+/// writers keep recording and flushing. Readers check the keep-min
+/// safety invariants on every observation: published values are finite,
+/// never *rise* for a key (keep-min is monotone), and the final
+/// canonical snapshot is strictly key-sorted and equal to a serial
+/// replay. Iteration count scales with `HARMONY_STRESS_ITERS`.
+#[test]
+fn readers_never_observe_torn_or_rising_values() {
+    let iters: usize = std::env::var("HARMONY_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let shared = SharedPerfDb::new(space(), 4);
+    let probes: Vec<Point> = space().lattice().collect();
+
+    std::thread::scope(|s| {
+        for w in 0..2u64 {
+            let shared = &shared;
+            s.spawn(move || {
+                for i in 0..iters as u64 {
+                    let x = ((i * 5 + w * 3) % 7) as i64;
+                    let y = ((i * 11 + w) % 7) as i64;
+                    // values drift downward so keep-min keeps winning
+                    let v = 1000.0 - (i + w * 17) as f64 % 997.0;
+                    shared.record(&pt(x, y), v);
+                    if i % 13 == w {
+                        shared.flush();
+                    }
+                }
+                shared.flush();
+            });
+        }
+        for r in 0..8usize {
+            let shared = &shared;
+            let probes = &probes;
+            s.spawn(move || {
+                let mut last: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+                for i in 0..iters {
+                    let p = &probes[(i * 7 + r) % probes.len()];
+                    if let Some(v) = shared.query(p) {
+                        assert!(v.is_finite(), "torn read: {v}");
+                        let k = (p[0].to_bits(), p[1].to_bits());
+                        if let Some(&prev) = last.get(&k) {
+                            assert!(v <= prev, "published value rose for {p:?}: {prev} -> {v}");
+                        }
+                        last.insert(k, v);
+                    }
+                    if i % 17 == r {
+                        if let Some(iv) = shared.interpolate(p) {
+                            assert!(iv.is_finite(), "torn interpolation: {iv}");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // the final snapshot is canonical: strictly ascending keys
+    let entries = shared.entries_canonical();
+    assert!(!entries.is_empty());
+    let keys: Vec<Vec<u64>> = entries
+        .iter()
+        .map(|(p, _)| p.iter().map(f64::to_bits).collect())
+        .collect();
+    for w in keys.windows(2) {
+        assert!(w[0] < w[1], "snapshot keys out of order");
+    }
+
+    // and equals a serial replay of the same record stream
+    let replay = SharedPerfDb::new(space(), 4);
+    for w in 0..2u64 {
+        for i in 0..iters as u64 {
+            let x = ((i * 5 + w * 3) % 7) as i64;
+            let y = ((i * 11 + w) % 7) as i64;
+            let v = 1000.0 - (i + w * 17) as f64 % 997.0;
+            replay.record(&pt(x, y), v);
+        }
+    }
+    replay.flush();
+    assert_eq!(entries, replay.entries_canonical());
+}
