@@ -1,0 +1,71 @@
+//! T8: surrogate-model head-to-head — the TPE-style surrogate
+//! optimizer against PRO, SRO, Nelder–Mead, and random search under
+//! the paper-default Pareto noise mix, with min-of-3 resilient
+//! estimates for every contender.
+//!
+//! ```text
+//! t8_surrogate [--quick] [--seed N] [-jN | --workers N]
+//!              [--steps N] [--reps N]
+//! ```
+
+use harmony_bench::experiments::t8_surrogate::{t8_surrogate, T8_OPTIMIZERS, T8_RHOS};
+use harmony_bench::report::emit;
+
+fn parse_or_die<T: std::str::FromStr>(what: &str, v: Option<&String>) -> T {
+    let Some(v) = v else {
+        eprintln!("{what} needs a value");
+        std::process::exit(2);
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad {what} value: {v}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed: u64 = 2005;
+    let mut workers: usize = 1;
+    let mut steps: Option<usize> = None;
+    let mut reps: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--quick" {
+            quick = true;
+        } else if a == "--seed" {
+            i += 1;
+            seed = parse_or_die("--seed", args.get(i));
+        } else if a == "--workers" {
+            i += 1;
+            workers = parse_or_die("--workers", args.get(i));
+        } else if let Some(rest) = a.strip_prefix("-j") {
+            if rest.is_empty() {
+                i += 1;
+                workers = parse_or_die("-j", args.get(i));
+            } else {
+                workers = parse_or_die("-j", Some(&rest.to_string()));
+            }
+        } else if a == "--steps" {
+            i += 1;
+            steps = Some(parse_or_die("--steps", args.get(i)));
+        } else if a == "--reps" {
+            i += 1;
+            reps = Some(parse_or_die("--reps", args.get(i)));
+        } else {
+            eprintln!("unknown argument: {a}");
+            std::process::exit(2);
+        }
+        i += 1;
+    }
+    workers = workers.max(1);
+    let steps = steps.unwrap_or(if quick { 60 } else { 200 });
+    let reps = reps.unwrap_or(if quick { 10 } else { 100 });
+
+    println!(
+        "T8: {:?} over rho {:?}, {steps} steps x {reps} reps, {workers} workers",
+        T8_OPTIMIZERS, T8_RHOS
+    );
+    emit(&t8_surrogate(workers, steps, reps, seed));
+}

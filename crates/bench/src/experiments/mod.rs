@@ -12,4 +12,5 @@ pub mod fig09;
 pub mod fig10;
 pub mod multi_session;
 pub mod recovery;
+pub mod t8_surrogate;
 pub mod tables;

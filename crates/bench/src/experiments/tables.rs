@@ -10,7 +10,10 @@ use harmony_core::baselines::{
 };
 use harmony_core::nelder_mead::NelderMead;
 use harmony_core::sro::SroOptimizer;
-use harmony_core::{Estimator, OnlineTuner, Optimizer, ProOptimizer, TunerConfig};
+use harmony_core::{
+    Estimator, OnlineTuner, Optimizer, ProOptimizer, SurrogateConfig, SurrogateOptimizer,
+    TunerConfig,
+};
 use harmony_stats::minop;
 use harmony_surface::{Gs2Model, Objective};
 use harmony_variability::des::TwoPriorityDes;
@@ -103,6 +106,11 @@ pub fn make_optimizer(name: &str, gs2: &Gs2Model, seed: u64) -> Box<dyn Optimize
         "simulated-annealing" => Box::new(SimulatedAnnealing::new(space, 2.0, 0.99, seed)),
         "genetic" => Box::new(GeneticAlgorithm::new(space, 12, 0.4, seed)),
         "exhaustive" => Box::new(ExhaustiveSweep::new(space, 64)),
+        "surrogate" => Box::new(SurrogateOptimizer::new(
+            space,
+            SurrogateConfig::default(),
+            seed,
+        )),
         other => panic!("unknown optimizer {other}"),
     }
 }

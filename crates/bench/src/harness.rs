@@ -34,7 +34,7 @@
 
 use crate::experiments::{
     ablations, charts, fault, fig01, fig02, fig03, fig04_07, fig08, fig09, fig10, multi_session,
-    recovery, tables,
+    recovery, t8_surrogate, tables,
 };
 use crate::report::{emit_table_telemetry, emit_to, results_dir, Table};
 use harmony_cluster::pool;
@@ -77,6 +77,7 @@ const ABLATION_ADAPTIVE_K: usize = 19;
 const TABLE_FAULT_TOLERANCE: usize = 20;
 const TABLE_RECOVERY: usize = 21;
 const MULTI_SESSION: usize = 22;
+const T8_SURROGATE: usize = 23;
 
 /// The full task graph, in canonical report order. Only the chart
 /// renderer has dependencies — it consumes the already-computed figure
@@ -174,6 +175,10 @@ pub const TASKS: &[TaskDef] = &[
         name: "t7_multi_session",
         deps: &[],
     },
+    TaskDef {
+        name: "t8_surrogate",
+        deps: &[],
+    },
 ];
 
 /// Number of canonical experiments (= merge/report jobs).
@@ -196,6 +201,7 @@ pub fn subtask_count(e: usize) -> usize {
         ABLATION_MONITORING => ablations::MONITORING_RHOS.len() * 2,
         TABLE_RECOVERY => recovery::CRASH_RATES.len() * recovery::SNAPSHOT_EVERY.len(),
         MULTI_SESSION => multi_session::SESSION_COUNTS.len(),
+        T8_SURROGATE => t8_surrogate::T8_RHOS.len() * t8_surrogate::T8_OPTIMIZERS.len(),
         _ => 0,
     }
 }
@@ -246,6 +252,14 @@ pub fn subtask_label(e: usize, p: usize) -> String {
         }
         MULTI_SESSION => {
             format!("t7_multi_session.s{}", multi_session::SESSION_COUNTS[p])
+        }
+        T8_SURROGATE => {
+            let n = t8_surrogate::T8_OPTIMIZERS.len();
+            format!(
+                "t8_surrogate.{}.rho{:.2}",
+                t8_surrogate::T8_OPTIMIZERS[p % n],
+                t8_surrogate::T8_RHOS[p / n]
+            )
         }
         _ => unreachable!("experiment {e} has no subtasks"),
     }
@@ -896,6 +910,17 @@ fn table_scale(quick: bool) -> (usize, usize) {
     }
 }
 
+/// Scale parameters of the T8 surrogate head-to-head (min-of-3
+/// estimates cost 3 evaluations per step, hence the smaller budget
+/// than [`table_scale`]).
+fn t8_scale(quick: bool) -> (usize, usize) {
+    if quick {
+        (60, 10)
+    } else {
+        (200, 100)
+    }
+}
+
 /// Scale parameters shared by the ablation studies.
 fn ablation_scale(quick: bool) -> (usize, usize) {
     if quick {
@@ -971,6 +996,11 @@ fn run_part(e: usize, p: usize, cfg: &RunConfig) -> Vec<f64> {
         MULTI_SESSION => {
             let steps = if quick { 30 } else { 60 };
             multi_session::multi_session_cell_in(1, p, steps, seed)
+        }
+        T8_SURROGATE => {
+            let (steps, reps) = t8_scale(quick);
+            let n = t8_surrogate::T8_OPTIMIZERS.len();
+            t8_surrogate::t8_cell_in(1, p % n, p / n, steps, reps, seed)
         }
         _ => unreachable!("experiment {e} has no subtasks"),
     }
@@ -1168,6 +1198,11 @@ fn run_report(
             emit_to(buf, dir, &t);
             vec![t]
         }
+        T8_SURROGATE => {
+            let t = t8_surrogate::assemble_t8(parts);
+            emit_to(buf, dir, &t);
+            vec![t]
+        }
         _ => unreachable!("unknown task index {e}"),
     }
 }
@@ -1221,6 +1256,7 @@ mod tests {
         assert_eq!(subtask_count(ABLATION_MONITORING), 8);
         assert_eq!(subtask_count(TABLE_RECOVERY), 9);
         assert_eq!(subtask_count(MULTI_SESSION), 6);
+        assert_eq!(subtask_count(T8_SURROGATE), 10);
     }
 
     #[test]

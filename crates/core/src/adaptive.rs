@@ -114,7 +114,7 @@ fn argmin(values: &[f64]) -> usize {
     values
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite estimates"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty batch")
         .0
 }

@@ -282,7 +282,7 @@ impl Optimizer for GeneticAlgorithm {
             .fitness
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite fitness"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty population")
             .0;
         let mut next = vec![self.population[elite_idx].clone()];
@@ -320,7 +320,7 @@ impl Optimizer for GeneticAlgorithm {
                 .fitness
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite fitness"))
+                .min_by(|a, b| a.1.total_cmp(b.1))
                 .expect("non-empty population");
             Some((self.population[0].clone(), *elite.1))
         }
@@ -491,6 +491,24 @@ mod tests {
         let (_, val) = opt.best().unwrap();
         assert!(val <= 5.0, "val={val}");
         assert_eq!(opt.generations(), 60);
+    }
+
+    #[test]
+    fn ga_survives_nan_fitness() {
+        // a NaN estimate (corrupted measurement) must not panic the
+        // elite argmin, and the elite must stay a finite-fitness member
+        let mut opt = GeneticAlgorithm::new(space(), 8, 0.5, 5);
+        let batch = opt.propose();
+        let vals: Vec<f64> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, p)| if i == 2 { f64::NAN } else { bowl(p) })
+            .collect();
+        opt.observe(&vals);
+        let (_, elite_val) = opt.recommendation().unwrap();
+        assert!(elite_val.is_finite(), "elite fitness is {elite_val}");
+        drive(&mut opt, 5); // keeps evolving normally afterwards
+        assert!(opt.best().unwrap().1.is_finite());
     }
 
     #[test]

@@ -29,6 +29,11 @@
 //!   objective is deterministic, so the memo is exact,
 //! * [`adaptive`] — the paper's future-work item: per-batch adaptive
 //!   sample counts that stop as soon as the pending decision is stable,
+//! * [`surrogate`] — the Bayesian-optimization tier: a from-scratch
+//!   TPE-style density-ratio surrogate that models the observed
+//!   (point, min-of-K estimate) history and proposes each batch from a
+//!   deterministic splitmix-seeded candidate pool (benchmarked
+//!   head-to-head with PRO/SRO/Nelder–Mead in the T8 experiment),
 //! * [`restart`] — multi-start wrapping for global coverage on deceptive
 //!   surfaces,
 //! * [`logged`] — transparent observation logging and prior-run reuse
@@ -66,6 +71,7 @@ pub mod restart;
 pub mod sampling;
 pub mod server;
 pub mod sro;
+pub mod surrogate;
 pub mod tuner;
 pub mod warm;
 
@@ -81,5 +87,6 @@ pub use server::{
     run_supervised, run_supervised_shared, RecoveryConfig, ServerConfig, ServerError,
     SharedSession, SupervisedOutcome, SupervisorReport,
 };
+pub use surrogate::{SurrogateConfig, SurrogateOptimizer};
 pub use tuner::{FaultStats, OnlineTuner, TunerConfig, TuningOutcome};
 pub use warm::warm_start_center;

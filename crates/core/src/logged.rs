@@ -84,11 +84,9 @@ impl ObservationLog {
     /// The best configuration by minimum estimate — the natural
     /// warm-start center for a follow-up session.
     pub fn best(&self) -> Option<&PointRecord> {
-        self.records.values().min_by(|a, b| {
-            a.min_estimate
-                .partial_cmp(&b.min_estimate)
-                .expect("finite estimates")
-        })
+        self.records
+            .values()
+            .min_by(|a, b| a.min_estimate.total_cmp(&b.min_estimate))
     }
 
     /// Exports the log as a performance database over `space` (per-point

@@ -132,11 +132,9 @@ impl NelderMead {
 
     fn enter_iteration(&mut self) {
         let mut order: Vec<usize> = (0..self.values.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.values[a]
-                .partial_cmp(&self.values[b])
-                .expect("finite objective values")
-        });
+        // total_cmp: a stray NaN estimate sorts above every finite value
+        // instead of panicking mid-session
+        order.sort_by(|&a, &b| self.values[a].total_cmp(&self.values[b]));
         self.simplex.permute(&order);
         self.values = order.iter().map(|&i| self.values[i]).collect();
 

@@ -142,23 +142,30 @@ impl HistoryInterpolator {
     }
 
     /// Substitutes every hole in `values` with the interpolated estimate
-    /// of the corresponding point in `points`.
+    /// of the corresponding point in `points`. When the history database
+    /// is still empty (the very first batch arriving with holes under
+    /// faults, before the caller has recorded anything), holes fall back
+    /// to the mean of the batch's own measured entries instead of
+    /// panicking — the least-informative finite substitute.
     ///
     /// # Panics
     /// Panics when the lengths differ, or when a hole needs filling
-    /// while the history is empty (callers record the batch's measured
-    /// entries first, and drivers guarantee a quorum of at least one).
+    /// while *both* the history and the batch are empty of measurements
+    /// (drivers guarantee a quorum of at least one `Some` per batch).
     pub fn fill(&self, points: &[Point], values: &[Option<f64>]) -> Vec<f64> {
         assert_eq!(points.len(), values.len(), "points/values length mismatch");
+        let measured: Vec<f64> = values.iter().flatten().copied().collect();
+        let batch_mean = || {
+            assert!(
+                !measured.is_empty(),
+                "cannot fill a hole: empty history and no measured value in the batch"
+            );
+            measured.iter().sum::<f64>() / measured.len() as f64
+        };
         points
             .iter()
             .zip(values.iter())
-            .map(|(p, v)| {
-                v.unwrap_or_else(|| {
-                    self.estimate(p)
-                        .expect("history has at least one measurement to interpolate from")
-                })
-            })
+            .map(|(p, v)| v.unwrap_or_else(|| self.estimate(p).unwrap_or_else(batch_mean)))
             .collect()
     }
 }
@@ -327,7 +334,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one measurement")]
+    fn empty_history_falls_back_to_batch_mean() {
+        // first batch with holes under faults: nothing recorded yet, so
+        // holes take the mean of the batch's own measured entries
+        let space = space_1d();
+        let hist = HistoryInterpolator::new(&space);
+        let filled = hist.fill(
+            &[
+                Point::from(&[1.0][..]),
+                Point::from(&[2.0][..]),
+                Point::from(&[3.0][..]),
+            ],
+            &[Some(4.0), None, Some(8.0)],
+        );
+        assert_eq!(filled, vec![4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty history and no measured value")]
     fn history_interpolator_cannot_fill_from_nothing() {
         let space = space_1d();
         let hist = HistoryInterpolator::new(&space);

@@ -329,11 +329,9 @@ impl ProOptimizer {
         let mut order = std::mem::take(&mut self.scratch_order);
         order.clear();
         order.extend(0..self.values.len());
-        order.sort_by(|&a, &b| {
-            self.values[a]
-                .partial_cmp(&self.values[b])
-                .expect("finite objective values")
-        });
+        // total_cmp: a stray NaN estimate sorts above every finite value
+        // instead of panicking mid-session
+        order.sort_by(|&a, &b| self.values[a].total_cmp(&self.values[b]));
         self.simplex.permute(&order);
         let mut sorted = std::mem::take(&mut self.scratch_vals);
         sorted.clear();
@@ -738,7 +736,7 @@ fn argmin(values: &[f64]) -> usize {
     values
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite objective values"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty batch")
         .0
 }

@@ -73,7 +73,10 @@ impl Estimator {
             Estimator::MeanOfK(k) => samples.iter().sum::<f64>() / k as f64,
             Estimator::MedianOfK(_) => {
                 let mut s = samples.to_vec();
-                s.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                // total_cmp: NaN samples sort to the top instead of
+                // panicking, so the median still comes from the finite
+                // majority
+                s.sort_by(|a, b| a.total_cmp(b));
                 let n = s.len();
                 if n % 2 == 1 {
                     s[n / 2]
@@ -110,7 +113,10 @@ impl Estimator {
             Estimator::MeanOfK(_) => samples.iter().sum::<f64>() / samples.len() as f64,
             Estimator::MedianOfK(_) => {
                 let mut s = samples.to_vec();
-                s.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                // total_cmp: NaN samples sort to the top instead of
+                // panicking, so the median still comes from the finite
+                // majority
+                s.sort_by(|a, b| a.total_cmp(b));
                 let n = s.len();
                 if n % 2 == 1 {
                     s[n / 2]
@@ -195,6 +201,18 @@ mod tests {
     #[should_panic(expected = "at most 2 samples")]
     fn reduce_available_rejects_excess() {
         Estimator::MinOfK(2).reduce_available(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn median_tolerates_nan_samples() {
+        // a NaN observation (lost/corrupted report) sorts above +inf
+        // under total_cmp, so the median still comes from the finite
+        // majority instead of panicking
+        assert_eq!(Estimator::MedianOfK(3).reduce(&[4.0, f64::NAN, 2.0]), 4.0);
+        assert_eq!(
+            Estimator::MedianOfK(5).reduce_available(&[9.0, f64::NAN, 1.0]),
+            9.0
+        );
     }
 
     #[test]

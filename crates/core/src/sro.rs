@@ -195,11 +195,9 @@ impl SroOptimizer {
         let mut order = std::mem::take(&mut self.scratch_order);
         order.clear();
         order.extend(0..self.values.len());
-        order.sort_by(|&a, &b| {
-            self.values[a]
-                .partial_cmp(&self.values[b])
-                .expect("finite objective values")
-        });
+        // total_cmp: a stray NaN estimate sorts above every finite value
+        // instead of panicking mid-session
+        order.sort_by(|&a, &b| self.values[a].total_cmp(&self.values[b]));
         self.simplex.permute(&order);
         let mut sorted = std::mem::take(&mut self.scratch_vals);
         sorted.clear();
@@ -324,7 +322,7 @@ impl SroOptimizer {
                 let min_v = *self
                     .got
                     .iter()
-                    .min_by(|a, b| a.partial_cmp(b).expect("finite values"))
+                    .min_by(|a, b| a.total_cmp(b))
                     .expect("non-empty probe set");
                 if min_v < self.values[0] {
                     event!(

@@ -371,10 +371,23 @@ impl PerfDatabase {
     /// (property tests assert exact equality) and as the baseline the
     /// micro-benchmarks compare against. Does not consult or fill the
     /// memo.
+    ///
+    /// # Panics
+    /// Panics on an empty database; external callers that cannot
+    /// guarantee a non-empty history use [`Self::try_interpolate_scan`].
     pub fn interpolate_scan(&self, point: &Point) -> f64 {
-        assert!(!self.entries.is_empty(), "interpolating an empty database");
+        self.try_interpolate_scan(point)
+            .expect("interpolating an empty database")
+    }
+
+    /// [`Self::interpolate_scan`] that returns `None` instead of
+    /// panicking on an empty database.
+    pub fn try_interpolate_scan(&self, point: &Point) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
         if let Some(&i) = self.index_of.get(&key_of(point)) {
-            return self.entries[i].1;
+            return Some(self.entries[i].1);
         }
         let k = self.k_neighbors.min(self.entries.len());
         let mut nearest: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
@@ -382,7 +395,7 @@ impl PerfDatabase {
             let d2 = self.scaled_dist2(point, p);
             Self::offer(&mut nearest, k, d2, i);
         }
-        self.weighted_average(&nearest)
+        Some(self.weighted_average(&nearest))
     }
 
     /// Selects the `k` nearest entries via the bucket grid: visits cell
@@ -433,19 +446,37 @@ impl PerfDatabase {
     /// memo — the kernel of [`Self::interpolate`], exposed so
     /// benchmarks and tests can measure the index itself rather than
     /// memo hits.
+    ///
+    /// # Panics
+    /// Panics on an empty database; external callers that cannot
+    /// guarantee a non-empty history use
+    /// [`Self::try_interpolate_indexed`].
     pub fn interpolate_indexed(&self, point: &Point) -> f64 {
-        assert!(!self.entries.is_empty(), "interpolating an empty database");
+        self.try_interpolate_indexed(point)
+            .expect("interpolating an empty database")
+    }
+
+    /// [`Self::interpolate_indexed`] that returns `None` instead of
+    /// panicking on an empty database.
+    pub fn try_interpolate_indexed(&self, point: &Point) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
         if let Some(&i) = self.index_of.get(&key_of(point)) {
-            return self.entries[i].1;
+            return Some(self.entries[i].1);
         }
         let k = self.k_neighbors.min(self.entries.len());
-        self.weighted_average(&self.select_grid(point, k))
+        Some(self.weighted_average(&self.select_grid(point, k)))
     }
 
     /// Inverse-distance-weighted average of the `k` nearest stored
     /// neighbours (exact hit returns the stored value). Served from the
     /// bucket-grid index plus a lattice-keyed memo; bit-identical to
     /// [`Self::interpolate_scan`].
+    ///
+    /// # Panics
+    /// Panics on an empty database; external callers that cannot
+    /// guarantee a non-empty history use [`Self::try_interpolate`].
     pub fn interpolate(&self, point: &Point) -> f64 {
         assert!(!self.entries.is_empty(), "interpolating an empty database");
         let key = key_of(point);
@@ -590,9 +621,16 @@ mod tests {
         let mut db = PerfDatabase::new(space(), 3);
         let p = Point::from(&[2.0, 3.0][..]);
         assert_eq!(db.try_interpolate(&p), None);
+        assert_eq!(db.try_interpolate_scan(&p), None);
+        assert_eq!(db.try_interpolate_indexed(&p), None);
         db.insert(Point::from(&[1.0, 1.0][..]), 7.0);
         db.insert(Point::from(&[4.0, 4.0][..]), 9.0);
         assert_eq!(db.try_interpolate(&p), Some(db.interpolate(&p)));
+        assert_eq!(db.try_interpolate_scan(&p), Some(db.interpolate_scan(&p)));
+        assert_eq!(
+            db.try_interpolate_indexed(&p),
+            Some(db.interpolate_indexed(&p))
+        );
     }
 
     #[test]

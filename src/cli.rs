@@ -12,6 +12,7 @@ use crate::core::baselines::{ExhaustiveSweep, GeneticAlgorithm, RandomSearch, Si
 use crate::core::nelder_mead::NelderMead;
 use crate::core::restart::restarting_pro;
 use crate::core::sro::SroOptimizer;
+use crate::core::surrogate::SurrogateOptimizer;
 use crate::core::{Estimator, OnlineTuner, Optimizer, ProConfig, ProOptimizer, TunerConfig};
 use crate::params::spec::parse_space;
 use crate::params::ParamSpace;
@@ -81,7 +82,7 @@ pub const USAGE: &str =
 USAGE:
   harmony-tune [--objective gs2|database|matmul|stencil|sphere|rastrigin|rosenbrock|ackley|griewank]
                [--space \"<name> int <lo> <hi> [step <s>]; <name> real <lo> <hi>; ...\"]
-               [--algo pro|pro-multistart|sro|nelder-mead|random|sa|ga|exhaustive]
+               [--algo pro|pro-multistart|sro|nelder-mead|surrogate|random|sa|ga|exhaustive]
                [--rho <0..1>] [--alpha <pareto tail index>]
                [--estimator single|min<K>|mean<K>|median<K>]
                [--steps <n>] [--procs <n>] [--seed <n>]
@@ -237,6 +238,7 @@ impl CliConfig {
             "pro-multistart" => Box::new(restarting_pro(space, ProConfig::default(), 6, self.seed)),
             "sro" => Box::new(SroOptimizer::with_defaults(space)),
             "nelder-mead" => Box::new(NelderMead::with_defaults(space)),
+            "surrogate" => Box::new(SurrogateOptimizer::with_defaults(space, self.seed)),
             "random" => Box::new(RandomSearch::new(space, 6, self.seed)),
             "sa" => Box::new(SimulatedAnnealing::new(space, 2.0, 0.99, self.seed)),
             "ga" => Box::new(GeneticAlgorithm::new(space, 12, 0.4, self.seed)),

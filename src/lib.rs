@@ -80,8 +80,8 @@ pub mod prelude {
     };
     pub use harmony_core::sro::{SroConfig, SroOptimizer};
     pub use harmony_core::{
-        Estimator, FaultStats, OnlineTuner, Optimizer, ProConfig, ProOptimizer, TunerConfig,
-        TuningOutcome,
+        Estimator, FaultStats, OnlineTuner, Optimizer, ProConfig, ProOptimizer, SurrogateConfig,
+        SurrogateOptimizer, TunerConfig, TuningOutcome,
     };
     pub use harmony_params::init::{InitialShape, DEFAULT_RELATIVE_SIZE};
     pub use harmony_params::{ParamDef, ParamKind, ParamSpace, Point, Rounding, Simplex};

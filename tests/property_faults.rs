@@ -141,13 +141,14 @@ proptest! {
     fn checkpoint_roundtrip_preserves_optimizer_future(
         seed in 0u64..5_000,
         warm in 1usize..8,
-        which in 0usize..4,
+        which in 0usize..5,
     ) {
         let make = |which: usize| -> Box<dyn Optimizer> {
             match which {
                 0 => Box::new(ProOptimizer::with_defaults(space())),
                 1 => Box::new(SroOptimizer::with_defaults(space())),
                 2 => Box::new(NelderMead::with_defaults(space())),
+                3 => Box::new(SurrogateOptimizer::with_defaults(space(), seed)),
                 _ => Box::new(restarting_pro(space(), ProConfig::default(), 3, seed)),
             }
         };
@@ -239,6 +240,48 @@ fn every_kill_point_resumes_byte_identically_with_supervision() {
             &obj,
             &noise,
             &mut pro,
+            cfg,
+            &plan,
+            &tel,
+            Some(journal),
+            RecoveryConfig::default(),
+            Some(sup),
+        );
+        (out, sink.take())
+    };
+
+    let mut journal = SessionJournal::in_memory();
+    let (full, full_trace) = run(&mut journal);
+    let records = journal.wal_lines().unwrap().len() - 1;
+    assert!(records > 3, "session committed only {records} records");
+    for kill in 0..=records {
+        let mut part = journal.clone();
+        part.truncate_records(kill).unwrap();
+        let (resumed, resumed_trace) = run(&mut part);
+        assert_eq!(full, resumed, "kill after record {kill}");
+        assert_eq!(full_trace, resumed_trace, "telemetry after record {kill}");
+    }
+}
+
+/// The surrogate tier goes through the same kill matrix as PRO: a
+/// journaled, supervised, traced session killed after *every* WAL
+/// record resumes to a byte-identical outcome, supervisor report, and
+/// telemetry stream.
+#[test]
+fn surrogate_kill_matrix_resumes_byte_identically() {
+    let obj = bowl();
+    let noise = Noise::paper_default(0.2);
+    let cfg = ServerConfig::new(6, 30, Estimator::Single, 2005).unwrap();
+    let plan = FaultPlan::new(41, 0.2, 0.15, 0.1, 0.05);
+    let sup = SupervisorConfig::default();
+
+    let run = |journal: &mut SessionJournal| {
+        let (tel, sink) = Telemetry::memory();
+        let mut opt = SurrogateOptimizer::with_defaults(space(), 2005);
+        let out = run_session_traced(
+            &obj,
+            &noise,
+            &mut opt,
             cfg,
             &plan,
             &tel,

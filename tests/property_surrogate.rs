@@ -1,0 +1,156 @@
+//! Property suite for the TPE-style surrogate optimizer tier.
+//!
+//! Three invariants hold for *every* seed, space shape, and batch
+//! history:
+//!
+//! * proposals are always admissible and never empty (the surrogate is
+//!   budget-driven: empty-iff-finished with finished ≡ false);
+//! * trajectories are pure functions of `(seed, observations)` — two
+//!   instances fed identical estimates stay in lockstep forever;
+//! * a checkpoint taken at *any* batch boundary restores into a fresh
+//!   twin that reproduces the exact future, and re-saving the restored
+//!   state reproduces the exact checkpoint bytes.
+//!
+//! CI runs this file at an elevated `PROPTEST_CASES` alongside the
+//! recovery chaos step.
+
+use harmony::prelude::*;
+use harmony::recovery::{restore_from_slice, save_to_vec};
+use proptest::prelude::*;
+
+/// A mixed lattice/continuous space — stride, level, and continuous
+/// axes all exercise distinct surrogate density estimators.
+fn mixed_space() -> ParamSpace {
+    ParamSpace::new(vec![
+        ParamDef::integer("x", -12, 12, 1).unwrap(),
+        ParamDef::integer("y", 0, 30, 3).unwrap(),
+        ParamDef::levels("l", vec![1.0, 2.0, 5.0, 9.0]).unwrap(),
+        ParamDef::continuous("z", -1.0, 1.0).unwrap(),
+    ])
+    .unwrap()
+}
+
+/// Deterministic pseudo-estimates: a bowl over the first two axes plus
+/// a seed-hashed perturbation — no session machinery needed.
+fn pseudo_values(batch: &[Point], seed: u64, round: usize) -> Vec<f64> {
+    batch
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let cost = 1.0 + 0.1 * (p[0] * p[0] + p[1] * p[1]) + p[3].abs();
+            let h = stream_seed(seed, (round * 131 + i) as u64) % 1_000;
+            cost + h as f64 / 5_000.0
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every proposal is admissible and non-empty, through the startup
+    /// phase, the startup→model transition, and deep into the model
+    /// phase.
+    #[test]
+    fn proposals_admissible_and_never_empty(
+        seed in 0u64..10_000,
+        rounds in 1usize..8,
+    ) {
+        let space = mixed_space();
+        let mut opt = SurrogateOptimizer::with_defaults(space.clone(), seed);
+        for r in 0..rounds {
+            let batch = opt.propose();
+            prop_assert!(!batch.is_empty(), "round {} proposed nothing", r);
+            prop_assert!(!opt.converged());
+            for p in &batch {
+                prop_assert!(space.is_admissible(p), "inadmissible point {:?}", p);
+            }
+            opt.observe(&pseudo_values(&batch, seed, r));
+        }
+    }
+
+    /// Two instances with the same seed fed the same estimates stay in
+    /// lockstep — the trajectory is a pure function of the seed and the
+    /// observation stream.
+    #[test]
+    fn same_seed_same_observations_same_trajectory(
+        seed in 0u64..10_000,
+        rounds in 1usize..8,
+    ) {
+        let mut a = SurrogateOptimizer::with_defaults(mixed_space(), seed);
+        let mut b = SurrogateOptimizer::with_defaults(mixed_space(), seed);
+        for r in 0..rounds {
+            let ba = a.propose();
+            let bb = b.propose();
+            prop_assert_eq!(&ba, &bb, "round {} diverged", r);
+            let values = pseudo_values(&ba, seed, r);
+            a.observe(&values);
+            b.observe(&values);
+        }
+        prop_assert_eq!(a.recommendation(), b.recommendation());
+    }
+
+    /// A checkpoint at any batch boundary restores into a twin that
+    /// reproduces the exact future, and the restored state re-saves to
+    /// the exact same bytes.
+    #[test]
+    fn checkpoint_at_any_boundary_is_byte_identical(
+        seed in 0u64..10_000,
+        warm in 0usize..6,
+    ) {
+        let mut original = SurrogateOptimizer::with_defaults(mixed_space(), seed);
+        for r in 0..warm {
+            let batch = original.propose();
+            original.observe(&pseudo_values(&batch, seed, r));
+        }
+        let bytes = save_to_vec(original.as_checkpoint().expect("surrogate is checkpointable"));
+        let mut fresh = SurrogateOptimizer::with_defaults(mixed_space(), seed ^ 0xDEAD);
+        restore_from_slice(
+            fresh.as_checkpoint_mut().expect("surrogate is checkpointable"),
+            &bytes,
+        )
+        .expect("checkpoint restores cleanly");
+        prop_assert_eq!(
+            save_to_vec(fresh.as_checkpoint().unwrap()),
+            bytes,
+            "re-saved state differs from the original checkpoint"
+        );
+        for b in 0..4 {
+            let x = original.propose();
+            let y = fresh.propose();
+            prop_assert_eq!(&x, &y, "proposal {} diverged after restore", b);
+            let values = pseudo_values(&x, seed, warm + b);
+            original.observe(&values);
+            fresh.observe(&values);
+        }
+        prop_assert_eq!(original.recommendation(), fresh.recommendation());
+    }
+
+    /// Partial batches with holes (lost reports) keep the surrogate
+    /// proposing admissible, deterministic batches.
+    #[test]
+    fn partial_observations_keep_the_model_sound(
+        seed in 0u64..10_000,
+        hole_mask in 1u8..255,
+    ) {
+        let space = mixed_space();
+        let mut opt = SurrogateOptimizer::with_defaults(space.clone(), seed);
+        for r in 0..4 {
+            let batch = opt.propose();
+            let values = pseudo_values(&batch, seed, r);
+            let partial: Vec<Option<f64>> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    // keep at least slot 0 measured (driver quorum rule)
+                    if i > 0 && hole_mask & (1 << (i % 8)) != 0 {
+                        None
+                    } else {
+                        Some(v)
+                    }
+                })
+                .collect();
+            opt.observe_partial(&partial);
+            for p in &opt.propose() {
+                prop_assert!(space.is_admissible(p));
+            }
+        }
+    }
+}
