@@ -9,7 +9,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use harmony_core::{Optimizer, ProOptimizer};
 use harmony_params::{ParamDef, ParamSpace, Point};
-use harmony_telemetry::Telemetry;
+use harmony_telemetry::{JsonlSink, Telemetry};
 
 fn big_space(n: usize) -> ParamSpace {
     ParamSpace::new(
@@ -62,6 +62,13 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     bench_steady_iteration(c, "telemetry/steady_iteration_memory_sink", Some(tel));
     // keep the recording case honest: the sink must have seen records
     assert!(!sink.is_empty());
+    // the buffered-writer emit path: serialize + one write_all per
+    // record into io::sink, isolating the JSONL emit cost from disk
+    bench_steady_iteration(
+        c,
+        "telemetry/jsonl_emit",
+        Some(Telemetry::new(JsonlSink::new(std::io::sink()))),
+    );
 }
 
 criterion_group!(telemetry, bench_telemetry_overhead);

@@ -29,6 +29,8 @@
 //!   identical for every worker count; read it with `trace_summary`)
 //! * `--trace-wall` — additionally stamp wall-clock nanoseconds and
 //!   pool scheduling statistics into the trace (nondeterministic)
+//! * `--metrics PATH` — write a Prometheus-style metrics snapshot of
+//!   the run (byte-identical for every worker count; see DESIGN.md §4j)
 //! * `--verbose` — stderr progress lines while jobs finish (also
 //!   enabled by a non-empty, non-`0` `HARMONY_VERBOSE`)
 //!
@@ -88,6 +90,13 @@ fn main() {
             cfg.trace = Some(p.into());
         } else if a == "--trace-wall" {
             cfg.trace_wall = true;
+        } else if a == "--metrics" {
+            i += 1;
+            let Some(p) = args.get(i) else {
+                eprintln!("missing value for --metrics");
+                std::process::exit(2);
+            };
+            cfg.metrics = Some(p.into());
         } else if let Some(rest) = a.strip_prefix("-j") {
             if rest.is_empty() {
                 i += 1;
@@ -201,6 +210,9 @@ fn main() {
     println!("[json] {json_path}");
     if let Some(trace) = &cfg.trace {
         println!("[trace] {}", trace.display());
+    }
+    if let Some(metrics) = &cfg.metrics {
+        println!("[metrics] {}", metrics.display());
     }
 
     let mut failed = false;

@@ -10,12 +10,23 @@
 //! and exits nonzero when the attached median exceeds the detached
 //! median by more than the limit.
 //!
+//! With `--metrics` it additionally times a
+//! [`harmony_telemetry::MetricsSink`]-attached variant against a
+//! realistic (GS2-shaped, deliberately non-trivial) objective and gates
+//! the metrics-enabled overhead over the NullSink baseline the same
+//! interleaved way. The metrics path pays for record construction and
+//! registry ingestion, so it is measured against a workload whose
+//! objective dominates — mirroring real tuning sessions, where the
+//! application run dwarfs bookkeeping.
+//!
 //! Flags: `--reps N` (default 41), `--rounds N` iterations per rep
-//! (default 400), `--limit PCT` allowed overhead percent (default 2.0).
+//! (default 400), `--limit PCT` allowed overhead percent (default 2.0),
+//! `--metrics` enable the metrics-enabled gate,
+//! `--metrics-limit PCT` its budget (default 2.0).
 
 use harmony_core::{Optimizer, ProOptimizer};
 use harmony_params::{ParamDef, ParamSpace, Point};
-use harmony_telemetry::Telemetry;
+use harmony_telemetry::{MetricsSink, Telemetry};
 use std::time::Instant;
 
 fn parse_or_die<T: std::str::FromStr>(what: &str, v: Option<&String>) -> T {
@@ -41,9 +52,18 @@ fn space() -> ParamSpace {
 /// `rounds` propose/observe cycles (re-seeding on convergence), timed.
 /// Returns (seconds, checksum) — the checksum defeats dead-code
 /// elimination and double-checks both variants compute the same thing.
-fn run_rounds(rounds: usize, tel: Option<&Telemetry>) -> (f64, f64) {
+/// `work` adds that many serially-dependent flops per objective
+/// evaluation, standing in for the application run a real tuning
+/// session measures (0 = the raw bookkeeping microbenchmark).
+fn run_rounds(rounds: usize, tel: Option<&Telemetry>, work: u32) -> (f64, f64) {
     let space = space();
-    let f = |p: &Point| -> f64 { p.iter().map(|x| (x - 300.0) * (x - 300.0)).sum() };
+    let f = |p: &Point| -> f64 {
+        let mut v: f64 = p.iter().map(|x| (x - 300.0) * (x - 300.0)).sum();
+        for _ in 0..work {
+            v = v.mul_add(0.999_999, 1.0e-9);
+        }
+        v
+    };
     let fresh = |space: &ParamSpace| {
         let mut opt = ProOptimizer::with_defaults(space.clone());
         if let Some(tel) = tel {
@@ -79,6 +99,9 @@ fn main() {
     let mut reps = 41usize;
     let mut rounds = 400usize;
     let mut limit_pct = 2.0f64;
+    let mut metrics_gate = false;
+    let mut metrics_limit = 2.0f64;
+    let mut metrics_work = 20_000u32;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -94,6 +117,17 @@ fn main() {
                 i += 1;
                 limit_pct = parse_or_die("--limit", args.get(i));
             }
+            "--metrics" => {
+                metrics_gate = true;
+            }
+            "--metrics-limit" => {
+                i += 1;
+                metrics_limit = parse_or_die("--metrics-limit", args.get(i));
+            }
+            "--metrics-work" => {
+                i += 1;
+                metrics_work = parse_or_die("--metrics-work", args.get(i));
+            }
             a => {
                 eprintln!("unknown argument: {a}");
                 std::process::exit(2);
@@ -106,8 +140,8 @@ fn main() {
 
     // warm-up rep of each variant, then interleaved A/B timing so slow
     // drift (frequency scaling, noisy neighbours) hits both sides alike
-    let (_, base_sum) = run_rounds(rounds, None);
-    let (_, null_sum) = run_rounds(rounds, Some(&null));
+    let (_, base_sum) = run_rounds(rounds, None, 0);
+    let (_, null_sum) = run_rounds(rounds, Some(&null), 0);
     assert_eq!(
         base_sum.to_bits(),
         null_sum.to_bits(),
@@ -116,8 +150,8 @@ fn main() {
     let mut detached = Vec::with_capacity(reps);
     let mut attached = Vec::with_capacity(reps);
     for _ in 0..reps {
-        detached.push(run_rounds(rounds, None).0);
-        attached.push(run_rounds(rounds, Some(&null)).0);
+        detached.push(run_rounds(rounds, None, 0).0);
+        attached.push(run_rounds(rounds, Some(&null), 0).0);
     }
     let base = median(&mut detached);
     let with_null = median(&mut attached);
@@ -127,8 +161,47 @@ fn main() {
          overhead {overhead_pct:+.2}% (limit {limit_pct:.2}%, {reps} reps x {rounds} rounds)",
         base, with_null
     );
-    if overhead_pct > limit_pct {
+    let mut failed = overhead_pct > limit_pct;
+    if failed {
         eprintln!("FAIL: NullSink overhead {overhead_pct:.2}% exceeds {limit_pct:.2}%");
+    }
+
+    if metrics_gate {
+        // metrics-enabled gate: a live MetricsSink pays for record
+        // construction and registry ingestion, so it is measured
+        // against an objective that dominates the loop — the regime a
+        // real tuning session runs in, where each evaluation is an
+        // application run
+        let mtel = Telemetry::new(MetricsSink::new());
+        let (_, n_sum) = run_rounds(rounds, Some(&null), metrics_work);
+        let (_, m_sum) = run_rounds(rounds, Some(&mtel), metrics_work);
+        assert_eq!(
+            n_sum.to_bits(),
+            m_sum.to_bits(),
+            "MetricsSink telemetry must not change optimizer behaviour"
+        );
+        let mut null_times = Vec::with_capacity(reps);
+        let mut metrics_times = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            null_times.push(run_rounds(rounds, Some(&null), metrics_work).0);
+            metrics_times.push(run_rounds(rounds, Some(&mtel), metrics_work).0);
+        }
+        let null_med = median(&mut null_times);
+        let metrics_med = median(&mut metrics_times);
+        let metrics_pct = (metrics_med / null_med - 1.0) * 100.0;
+        println!(
+            "telemetry_overhead: nullsink median {:.6}s, metrics median {:.6}s, \
+             overhead {metrics_pct:+.2}% (limit {metrics_limit:.2}%, work {metrics_work})",
+            null_med, metrics_med
+        );
+        if metrics_pct > metrics_limit {
+            eprintln!(
+                "FAIL: metrics-enabled overhead {metrics_pct:.2}% exceeds {metrics_limit:.2}%"
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,44 @@
+//! Renders a JSONL telemetry trace as a profiler report: per-span-kind
+//! self/total tick attribution, the critical path through the span
+//! tree, and collapsed flame stacks (one `a;b;c self_ticks` line per
+//! stack, ready for flamegraph tooling).
+//!
+//! Usage: `trace_profile PATH.jsonl [PATH2.jsonl ...]` — multiple traces
+//! are profiled independently. Produce a trace with
+//! `run_all --trace PATH` or any `Telemetry` handle over a
+//! [`harmony_telemetry::JsonlSink`]. The output is deterministic: byte-
+//! identical traces yield byte-identical profiles.
+
+use harmony_telemetry::Profile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: trace_profile PATH.jsonl [PATH2.jsonl ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match Profile::from_jsonl(&text) {
+            Ok(profile) => {
+                println!("=== {path} ===");
+                print!("{}", profile.render());
+            }
+            Err(e) => {
+                eprintln!("{path}: parse error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -8,8 +8,10 @@
 //! see the snapshot published at the last barrier — never each other's
 //! in-flight pending records — so the hit/miss counts, entry counts,
 //! and warm-start decisions are pure functions of the seed, independent
-//! of worker count or scheduling. (The only timing-dependent counter,
-//! `contended`, is deliberately not reported.)
+//! of worker count or scheduling. (The only timing-dependent counter —
+//! flush contention — is reported as 0 by `SharedPerfDb::stats`; callers
+//! that want it must opt in via `SharedPerfDb::stats_contended`, which
+//! the server surfaces only on the wall-clock telemetry channel.)
 //!
 //! Each session after the first wave warm-starts: it recenters its PRO
 //! simplex on [`warm_start_center`]'s neighbourhood-smoothed pick from

@@ -38,7 +38,9 @@ use crate::experiments::{
 };
 use crate::report::{emit_table_telemetry, emit_to, results_dir, Table};
 use harmony_cluster::pool;
-use harmony_telemetry::{to_jsonl, Field, Kind, MemorySink, Record, Telemetry, TelemetryConfig};
+use harmony_telemetry::{
+    to_jsonl, Field, Kind, MemorySink, MetricsRegistry, Record, Telemetry, TelemetryConfig,
+};
 use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -397,6 +399,11 @@ pub struct RunConfig {
     pub trace_wall: bool,
     /// `--only` experiment-name glob patterns; `None` runs everything.
     pub only: Option<Vec<String>>,
+    /// Write a metrics exposition snapshot (canonical Prometheus-style
+    /// text, built by ingesting the merged record stream) to this path.
+    /// Works with or without `trace`; on the deterministic channel the
+    /// snapshot is byte-identical for every worker count.
+    pub metrics: Option<PathBuf>,
 }
 
 impl RunConfig {
@@ -412,6 +419,7 @@ impl RunConfig {
             trace: None,
             trace_wall: false,
             only: None,
+            metrics: None,
         }
     }
 }
@@ -659,7 +667,11 @@ pub fn measure_recovery_overhead(reps: usize, steps: usize) -> RecoveryOverhead 
 /// cannot move or collide span ids. The logical clock counts tables
 /// emitted by the experiment.
 fn task_telemetry(cfg: &RunConfig, e: usize) -> Option<(Telemetry, Arc<MemorySink>)> {
-    cfg.trace.as_ref()?;
+    // the metrics snapshot is built from the same record streams, so
+    // either output turns recording on
+    if cfg.trace.is_none() && cfg.metrics.is_none() {
+        return None;
+    }
     let sink = Arc::new(MemorySink::new());
     let tel = Telemetry::with_config(
         sink.clone(),
@@ -844,22 +856,40 @@ pub fn run(cfg: &RunConfig) -> HarnessReport {
             subtasks,
         });
     }
-    if let Some(path) = &cfg.trace {
+    if cfg.trace.is_some() || cfg.metrics.is_some() {
         // pool scheduling statistics are nondeterministic, so they ride
-        // only on the opt-in wall channel
+        // only on the opt-in wall channel (PoolStats::emit_to refuses a
+        // handle without it)
         let mut trailer = Vec::new();
         if cfg.trace_wall {
-            let (tel, sink) = Telemetry::memory();
-            tel.gauge("pool.workers", pool_stats.workers as f64);
-            tel.gauge("pool.max_ready", pool_stats.max_ready as f64);
-            tel.gauge("pool.imbalance", pool_stats.imbalance() as f64);
-            for (w, &count) in pool_stats.tasks_per_worker.iter().enumerate() {
-                tel.gauge(&format!("pool.tasks.worker{w}"), count as f64);
-            }
+            let sink = Arc::new(MemorySink::new());
+            let tel = Telemetry::with_config(
+                sink.clone(),
+                TelemetryConfig {
+                    wall: true,
+                    ..TelemetryConfig::default()
+                },
+            );
+            pool_stats.emit_to(&tel);
             trailer = sink.take();
         }
-        if let Err(e) = write_trace(path, &tasks, &trailer) {
-            eprintln!("failed to write trace {}: {e}", path.display());
+        if let Some(path) = &cfg.trace {
+            if let Err(e) = write_trace(path, &tasks, &trailer) {
+                eprintln!("failed to write trace {}: {e}", path.display());
+            }
+        }
+        if let Some(path) = &cfg.metrics {
+            // ingest in canonical task order, then the trailer, so the
+            // exposition snapshot matches the trace byte for byte at
+            // every worker count
+            let mut reg = MetricsRegistry::new();
+            for t in &tasks {
+                reg.ingest_all(&t.records);
+            }
+            reg.ingest_all(&trailer);
+            if let Err(e) = std::fs::write(path, reg.render()) {
+                eprintln!("failed to write metrics {}: {e}", path.display());
+            }
         }
     }
     // headline shared-cache effectiveness: the largest T7 fleet's hit

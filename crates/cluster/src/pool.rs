@@ -133,6 +133,21 @@ impl PoolStats {
         let min = self.tasks_per_worker.iter().copied().min().unwrap_or(0);
         max - min
     }
+
+    /// Emits the scheduling observations as `pool.*` gauges — but only
+    /// when `tel`'s opt-in wall channel is on, because these values are
+    /// scheduling-dependent and must never enter a deterministic trace.
+    pub fn emit_to(&self, tel: &harmony_telemetry::Telemetry) {
+        if !tel.enabled() || !tel.wall_enabled() {
+            return;
+        }
+        tel.gauge("pool.workers", self.workers as f64);
+        tel.gauge("pool.max_ready", self.max_ready as f64);
+        tel.gauge("pool.imbalance", self.imbalance() as f64);
+        for (w, &count) in self.tasks_per_worker.iter().enumerate() {
+            tel.gauge(&format!("pool.tasks.worker{w}"), count as f64);
+        }
+    }
 }
 
 /// Executes `n` dependency-ordered tasks on a scoped work-stealing pool

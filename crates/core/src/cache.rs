@@ -105,9 +105,19 @@ impl<'a, O: Objective + ?Sized> CachedObjective<'a, O> {
         self.len() == 0
     }
 
+    /// Fraction of evaluations answered without probing the inner
+    /// objective — `(hits + shared_hits) / (hits + shared_hits +
+    /// misses)`; `None` before any evaluation. Deterministic: all three
+    /// counters are part of the checkpointed session state.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let served = self.hits() + self.shared_hits();
+        let total = served + self.misses();
+        (total > 0).then(|| served as f64 / total as f64)
+    }
+
     /// Exports the memo's effectiveness as `cache.hits` / `cache.misses`
     /// / `cache.entries` telemetry counters (`cache.shared_hits` too
-    /// when a shared tier is attached).
+    /// when a shared tier is attached) plus a `cache.hit_rate` gauge.
     pub fn emit_telemetry(&self, tel: &Telemetry) {
         if !tel.enabled() {
             return;
@@ -117,6 +127,9 @@ impl<'a, O: Objective + ?Sized> CachedObjective<'a, O> {
         tel.counter("cache.entries", self.len() as u64);
         if self.shared.is_some() {
             tel.counter("cache.shared_hits", self.shared_hits() as u64);
+        }
+        if let Some(rate) = self.hit_rate() {
+            tel.gauge("cache.hit_rate", rate);
         }
     }
 }

@@ -1325,6 +1325,14 @@ fn finish_round(
         }
         emit_transitions(tel, &ts, report);
     }
+    // Per-round batch latency for the metrics layer. WAL replay emits
+    // the matching sample from `RoundDelta::step` at the same position,
+    // keeping resumed traces byte-identical.
+    if tel.enabled() {
+        if let Some(&step) = trace.step_times().last() {
+            tel.sample("server.step_time", step);
+        }
+    }
     report.min_width = report.min_width.min(width);
     if let Some(rec) = rounds_rec {
         let evicted = live_before
@@ -1505,11 +1513,21 @@ where
                         }
                         emit_transitions(tel, &ts, &mut report);
                     }
+                    // mirrors the live emission in `finish_round`
+                    if tel.enabled() {
+                        tel.sample("server.step_time", round.step);
+                    }
                 }
                 evaluations = b.evaluations;
                 fleet.live = b.live.clone();
                 fleet.stats = stats_from_array(b.stats);
                 let reported = b.estimates.iter().filter(|e| e.is_some()).count();
+                // mirrors the live per-batch estimate dispersion samples
+                if tel.enabled() {
+                    for v in b.estimates.iter().flatten() {
+                        tel.sample("server.estimate", *v);
+                    }
+                }
                 if b.forced {
                     report.forced_batches += 1;
                     event!(
@@ -1770,6 +1788,14 @@ where
                 return Err(session_fail(tel, session, e));
             }
         }
+        // Per-batch estimate dispersion (observed Total_Time spread) for
+        // the metrics layer, in canonical slot order. Replay emits the
+        // identical samples from the WAL record before its observe call.
+        if tel.enabled() {
+            for v in estimates.iter().flatten() {
+                tel.sample("server.estimate", *v);
+            }
+        }
         if forced {
             report.forced_batches += 1;
             event!(
@@ -1939,6 +1965,14 @@ where
         );
         objective.emit_telemetry(tel);
         trace.emit_telemetry(tel, None);
+        // Shared-tier flush contention is scheduling-dependent, so it is
+        // excluded from SharedPerfDb::stats and only surfaced here when
+        // the caller explicitly opted into the wall channel.
+        if tel.wall_enabled() {
+            if let Some(db) = shared_costs {
+                tel.counter("shareddb.contended", db.stats_contended());
+            }
+        }
         tel.span_close(id);
     }
 
@@ -2742,5 +2776,133 @@ mod tests {
         assert!(sup.supervisor.breaker_opens > 0);
         assert!(sup.supervisor.degraded);
         assert!(sup.supervisor.min_width <= 4);
+    }
+
+    /// Telemetry handle over a flight recorder, plus the recorder for
+    /// post-mortem inspection.
+    fn flight_telemetry() -> (
+        harmony_telemetry::Telemetry,
+        std::sync::Arc<harmony_telemetry::FlightRecorder>,
+    ) {
+        let fr = std::sync::Arc::new(harmony_telemetry::FlightRecorder::new(64));
+        let tel = harmony_telemetry::Telemetry::with_config(
+            fr.clone(),
+            harmony_telemetry::TelemetryConfig::default(),
+        );
+        (tel, fr)
+    }
+
+    #[test]
+    fn injected_terminal_failures_produce_post_mortems() {
+        let obj = bowl();
+        // every chaos-suite terminal failure mode: total crash, total
+        // report loss, and an optimizer that never proposes
+        let cases: Vec<(&str, FaultPlan, &str)> = vec![
+            (
+                "all_dead",
+                FaultPlan::new(3, 1.0, 0.0, 0.0, 0.0),
+                "server.all_dead",
+            ),
+            (
+                "quorum",
+                FaultPlan::new(5, 0.0, 0.0, 1.0, 0.0),
+                "server.quorum_fail",
+            ),
+        ];
+        for (label, plan, event) in cases {
+            let (tel, fr) = flight_telemetry();
+            let mut opt = ProOptimizer::with_defaults(space());
+            let out = run_resilient_traced(
+                &obj,
+                &Noise::None,
+                &mut opt,
+                cfg(Estimator::Single, 60, 4),
+                &plan,
+                &tel,
+            );
+            assert!(out.is_err(), "{label} plan must fail the session");
+            let pms = fr.post_mortems();
+            assert!(!pms.is_empty(), "{label}: no post-mortem dumped");
+            assert!(
+                pms[0].text.contains(event),
+                "{label}: post-mortem does not show {event}"
+            );
+            assert!(pms[0].text.contains("-- metrics --"));
+        }
+
+        // no observations: the optimizer proposes nothing at all
+        let (tel, fr) = flight_telemetry();
+        let mut opt = NeverProposes(space());
+        let out = run_resilient_traced(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            cfg(Estimator::Single, 10, 2),
+            &FaultPlan::none(),
+            &tel,
+        );
+        assert!(matches!(out, Err(ServerError::NoObservations)));
+        let pms = fr.post_mortems();
+        assert!(!pms.is_empty());
+        assert_eq!(pms[0].reason, "server.no_observations");
+    }
+
+    #[test]
+    fn breaker_open_produces_post_mortem_with_health_state() {
+        let obj = bowl();
+        // heavy hangs: breakers open even though the session survives
+        let plan = FaultPlan::new(17, 0.0, 0.6, 0.0, 0.0);
+        let (tel, fr) = flight_telemetry();
+        let mut opt = ProOptimizer::with_defaults(space());
+        let sup = run_supervised_traced(
+            &obj,
+            &Noise::None,
+            &mut opt,
+            cfg(Estimator::Single, 60, 4),
+            &plan,
+            &tel,
+            SupervisorConfig::default(),
+        )
+        .expect("hang-only plan is survivable under supervision");
+        assert!(sup.supervisor.breaker_opens > 0);
+        let pms = fr.post_mortems();
+        assert_eq!(
+            pms.len(),
+            sup.supervisor.breaker_opens,
+            "one post-mortem per breaker open"
+        );
+        assert!(pms[0].reason.starts_with("recovery.breaker_open"));
+        assert!(
+            pms[0].text.contains("-- client health --") && pms[0].text.contains(": open"),
+            "post-mortem must show the offending client's breaker open"
+        );
+    }
+
+    #[test]
+    fn post_mortems_are_reproducible_across_runs() {
+        let obj = bowl();
+        let plan = FaultPlan::new(3, 1.0, 0.0, 0.0, 0.0);
+        let run = || {
+            let (tel, fr) = flight_telemetry();
+            let mut opt = ProOptimizer::with_defaults(space());
+            let _ = run_resilient_traced(
+                &obj,
+                &Noise::None,
+                &mut opt,
+                cfg(Estimator::Single, 60, 4),
+                &plan,
+                &tel,
+            );
+            fr.post_mortems()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty());
+        // real client threads, but the dump is canonical: byte-identical
+        // text on every run
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+        }
     }
 }

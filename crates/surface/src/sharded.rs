@@ -191,7 +191,10 @@ pub struct SharedDbStats {
     /// Snapshot publications (flushes that had work to merge).
     pub publishes: u64,
     /// `record` calls that found the pending buffer momentarily locked
-    /// by another writer.
+    /// by another writer. Timing-dependent: always 0 in the aggregate
+    /// [`SharedPerfDb::stats`] view (use
+    /// [`SharedPerfDb::stats_contended`] to opt in); populated in
+    /// [`SharedPerfDb::per_shard`], which is a diagnostic surface.
     pub contended: u64,
     /// Entries currently published.
     pub entries: u64,
@@ -496,6 +499,12 @@ impl SharedPerfDb {
     }
 
     /// Aggregate operation counters plus current sizes.
+    ///
+    /// Every field here is a deterministic function of the operations
+    /// performed; the one timing-dependent counter (`contended`) is
+    /// deliberately reported as 0 so this struct is safe to put in
+    /// deterministic artifacts. Callers that want the real contention
+    /// count must opt in via [`Self::stats_contended`].
     pub fn stats(&self) -> SharedDbStats {
         let mut total = SharedDbStats::default();
         for s in self.per_shard() {
@@ -503,11 +512,24 @@ impl SharedPerfDb {
             total.misses += s.misses;
             total.records += s.records;
             total.publishes += s.publishes;
-            total.contended += s.contended;
             total.entries += s.entries;
             total.pending += s.pending;
         }
         total
+    }
+
+    /// Total `record` calls that found a pending buffer momentarily
+    /// locked by another writer.
+    ///
+    /// **Timing-dependent**: the value depends on thread scheduling and
+    /// varies run to run, so it is excluded from [`Self::stats`] and
+    /// must only be surfaced on the opt-in wall-clock telemetry channel
+    /// (never in a deterministic trace or artifact).
+    pub fn stats_contended(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.contended.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Per-shard counters, indexed by shard number — the telemetry

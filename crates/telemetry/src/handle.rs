@@ -125,6 +125,13 @@ impl Telemetry {
         }
     }
 
+    /// Whether the opt-in wall-clock channel is on. Nondeterministic
+    /// quantities (thread contention counts, scheduler-dependent stats)
+    /// must only be emitted when this returns true.
+    pub fn wall_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.wall)
+    }
+
     /// Current logical clock.
     pub fn clock(&self) -> u64 {
         self.inner

@@ -20,6 +20,14 @@
 //!   sites skip record construction entirely — near-zero overhead),
 //!   [`MemorySink`] for tests, [`JsonlSink`] for files; [`Summary`]
 //!   parses and aggregates a JSONL trace back into a report.
+//! * **Operational layer.** [`MetricsRegistry`] folds a record stream
+//!   into windowed counters/rates, gauges, and streaming quantile
+//!   sketches with a canonical Prometheus-style exposition snapshot;
+//!   [`Profile`] turns a span tree into self/total timing, a critical
+//!   path, and collapsed flame stacks; [`FlightRecorder`] retains the
+//!   last N records and dumps a post-mortem on terminal failures. All
+//!   three run on the logical clock, so their outputs inherit the
+//!   byte-identical-across-worker-counts guarantee.
 //!
 //! ```
 //! use harmony_telemetry::{event, Telemetry};
@@ -36,14 +44,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flight;
 mod handle;
 mod hist;
+mod metrics;
+mod profile;
 mod record;
 mod sink;
 mod summary;
 
+pub use flight::{FlightRecorder, PostMortem, TERMINAL_EVENTS};
 pub use handle::{SpanGuard, Telemetry, TelemetryConfig};
 pub use hist::Histogram;
+pub use metrics::{MetricsRegistry, MetricsSink, QuantileSketch, WindowedCounter, DEFAULT_WINDOW};
+pub use profile::{PathStep, Profile, SpanStats};
 pub use record::{Field, Kind, Record, Value};
 pub use sink::{to_jsonl, JsonlSink, MemorySink, NullSink, Sink};
 pub use summary::{parse_jsonl, parse_line, Summary};

@@ -294,6 +294,8 @@ pub struct Summary {
     spans: BTreeMap<String, SpanAgg>,
     tree: BTreeMap<Vec<String>, TreeAgg>,
     unclosed_spans: u64,
+    orphan_parents: u64,
+    unmatched_exits: u64,
 }
 
 impl Summary {
@@ -326,6 +328,12 @@ impl Summary {
                     s.samples.entry(r.name.clone()).or_default().push(*value);
                 }
                 Kind::SpanEnter { id } => {
+                    // A parent id that never appeared as a span enter is a
+                    // degenerate trace (truncated or mis-merged); count it
+                    // and root the span rather than panicking or dropping.
+                    if r.parent != 0 && !paths.contains_key(&r.parent) {
+                        s.orphan_parents += 1;
+                    }
                     let mut path = paths.get(&r.parent).cloned().unwrap_or_default();
                     path.push(r.name.clone());
                     paths.insert(*id, path.clone());
@@ -342,6 +350,8 @@ impl Summary {
                             agg.wall_ns += w1.saturating_sub(w0);
                             agg.has_wall = true;
                         }
+                    } else {
+                        s.unmatched_exits += 1;
                     }
                 }
             }
@@ -380,6 +390,21 @@ impl Summary {
         self.events.get(name).copied()
     }
 
+    /// Spans entered but never exited.
+    pub fn unclosed_spans(&self) -> u64 {
+        self.unclosed_spans
+    }
+
+    /// Spans whose `parent` id never appeared as a span enter.
+    pub fn orphan_parents(&self) -> u64 {
+        self.orphan_parents
+    }
+
+    /// Span exits with no matching enter.
+    pub fn unmatched_exits(&self) -> u64 {
+        self.unmatched_exits
+    }
+
     /// Renders the per-span / per-counter report plus the span tree.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -393,8 +418,25 @@ impl Summary {
             self.gauges.len(),
             self.events.len()
         );
+        if self.total_records == 0 {
+            let _ = writeln!(out, "(empty trace)");
+        }
         if self.unclosed_spans > 0 {
             let _ = writeln!(out, "warning: {} unclosed span(s)", self.unclosed_spans);
+        }
+        if self.orphan_parents > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} span(s) with unknown parent (treated as roots)",
+                self.orphan_parents
+            );
+        }
+        if self.unmatched_exits > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} span exit(s) without a matching enter",
+                self.unmatched_exits
+            );
         }
         if !self.spans.is_empty() {
             let _ = writeln!(out, "\n== spans ==");
@@ -568,6 +610,50 @@ mod tests {
         let (tel, sink) = Telemetry::memory();
         tel.span_open("dangling", vec![]);
         let s = Summary::from_records(&sink.take());
+        assert_eq!(s.unclosed_spans(), 1);
         assert!(s.render().contains("warning: 1 unclosed span"));
+    }
+
+    #[test]
+    fn empty_trace_renders_diagnostic() {
+        let s = Summary::from_records(&[]);
+        let text = s.render();
+        assert!(text.contains("(empty trace)"));
+        assert!(text.contains("0 records"));
+    }
+
+    #[test]
+    fn orphan_parent_warns_and_roots_the_span() {
+        let records = vec![Record {
+            clock: 0,
+            parent: 777,
+            kind: Kind::SpanEnter { id: 1 },
+            name: "lost".into(),
+            fields: vec![],
+            wall_ns: None,
+        }];
+        let s = Summary::from_records(&records);
+        assert_eq!(s.orphan_parents(), 1);
+        assert_eq!(s.span_count("lost"), Some(1));
+        assert!(s
+            .render()
+            .contains("warning: 1 span(s) with unknown parent"));
+    }
+
+    #[test]
+    fn unmatched_exit_warns() {
+        let records = vec![Record {
+            clock: 1,
+            parent: 0,
+            kind: Kind::SpanExit { id: 9, ticks: 1 },
+            name: "ghost".into(),
+            fields: vec![],
+            wall_ns: None,
+        }];
+        let s = Summary::from_records(&records);
+        assert_eq!(s.unmatched_exits(), 1);
+        assert!(s
+            .render()
+            .contains("warning: 1 span exit(s) without a matching enter"));
     }
 }

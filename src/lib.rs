@@ -20,7 +20,9 @@
 //!   injection,
 //! * [`telemetry`] — deterministic structured tracing: logical-clock
 //!   stamped events, counters, histograms, nestable spans, JSONL
-//!   serialisation and trace summaries,
+//!   serialisation, trace summaries, and the operational layer
+//!   (windowed metrics registry, span profiler, flight-recorder
+//!   post-mortems),
 //! * [`recovery`] — session persistence: versioned checkpoint codecs, a
 //!   write-ahead observation log with snapshots, and supervisor health
 //!   tracking for self-healing tuning sessions,
@@ -88,7 +90,10 @@ pub mod prelude {
     pub use harmony_recovery::{Checkpoint, SessionJournal, SupervisorConfig};
     pub use harmony_stats::{Ecdf, Histogram, Summary};
     pub use harmony_surface::{best_on_lattice, Gs2Model, Objective, PerfDatabase};
-    pub use harmony_telemetry::{JsonlSink, MemorySink, NullSink, Telemetry, TelemetryConfig};
+    pub use harmony_telemetry::{
+        FlightRecorder, JsonlSink, MemorySink, MetricsRegistry, MetricsSink, NullSink, Profile,
+        Telemetry, TelemetryConfig,
+    };
     pub use harmony_variability::dist::{Distribution, Pareto};
     pub use harmony_variability::noise::{Noise, NoiseModel};
     pub use harmony_variability::{seeded_rng, stream_seed};

@@ -42,6 +42,33 @@ fn session(
     run_resilient(&obj, &Noise::paper_default(0.2), &mut pro, cfg, plan)
 }
 
+/// [`session`] through a flight recorder: returns the outcome plus
+/// whatever post-mortems the recorder dumped.
+fn session_with_flight_recorder(
+    seed: u64,
+    procs: usize,
+    steps: usize,
+    plan: &FaultPlan,
+) -> (
+    Result<TuningOutcome, ServerError>,
+    Vec<harmony::telemetry::PostMortem>,
+) {
+    let obj = bowl();
+    let mut pro = ProOptimizer::with_defaults(space());
+    let cfg = ServerConfig::new(procs, steps, Estimator::Single, seed).unwrap();
+    let recorder = std::sync::Arc::new(FlightRecorder::new(64));
+    let tel = Telemetry::with_config(recorder.clone(), TelemetryConfig::default());
+    let out = harmony::core::server::run_resilient_traced(
+        &obj,
+        &Noise::paper_default(0.2),
+        &mut pro,
+        cfg,
+        plan,
+        &tel,
+    );
+    (out, recorder.take_post_mortems())
+}
+
 /// Deterministic pseudo-observations: the bowl cost plus a small
 /// seed-hashed perturbation — interesting optimizer trajectories, exact
 /// reproducibility, no session machinery needed.
@@ -205,7 +232,9 @@ proptest! {
     /// which every client survives to the crash-serial horizon, so the
     /// session cannot finish before the fleet is gone. Depending on when
     /// the deaths land, the server reports either the empty fleet or a
-    /// batch that lost its quorum to the abandoned slots.
+    /// batch that lost its quorum to the abandoned slots. Either way the
+    /// flight recorder must dump a readable post-mortem naming the
+    /// terminal event.
     #[test]
     fn total_crash_is_a_typed_error(
         seed in 0u64..2_000,
@@ -213,11 +242,15 @@ proptest! {
         procs in 1usize..7,
     ) {
         let plan = FaultPlan::new(plan_seed, 1.0, 0.0, 0.0, 0.0);
-        match session(seed, procs, 250, &plan) {
-            Err(ServerError::AllClientsDead { .. })
-            | Err(ServerError::QuorumNotReached { .. }) => {}
-            other => prop_assert!(false, "expected a fleet-death error, got {other:?}"),
-        }
+        let (out, post_mortems) = session_with_flight_recorder(seed, procs, 250, &plan);
+        let expected_event = match out {
+            Err(ServerError::AllClientsDead { .. }) => "server.all_dead",
+            Err(ServerError::QuorumNotReached { .. }) => "server.quorum_fail",
+            other => return Err(format!("expected a fleet-death error, got {other:?}")),
+        };
+        prop_assert!(!post_mortems.is_empty(), "injected failure left no post-mortem");
+        prop_assert_eq!(&post_mortems[0].reason, expected_event);
+        prop_assert!(post_mortems[0].text.contains("-- metrics --"));
     }
 }
 
